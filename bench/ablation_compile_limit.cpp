@@ -1,0 +1,66 @@
+// Ablation for the paper's §3.3 claim: "we can compile programs at least 10
+// times larger using our optimizations than when not using them."
+//
+// Sweeps the model size upward under a FIXED ReferenceBackend memory budget
+// and reports the largest test-case size whose unoptimized program still
+// compiles versus the largest whose optimized program compiles.
+//
+// Flags:
+//   --budget-mb=M   backend budget (default 256)
+//   --max-scale=F   largest scale probed (default 1.0 = paper scale)
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "codegen/reference_backend.hpp"
+#include "models/test_cases.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rms;
+  bench::Flags flags(argc, argv);
+  const std::size_t budget_bytes = static_cast<std::size_t>(
+      flags.get_double("budget-mb", 256.0) * 1024.0 * 1024.0);
+  const double max_scale = flags.get_double("max-scale", 1.0);
+
+  codegen::BackendOptions backend;
+  backend.memory_budget_bytes = budget_bytes;
+
+  std::printf("Compile-size limit under a %zu MB backend budget\n\n",
+              budget_bytes >> 20);
+  std::printf("%10s %10s | %14s %10s | %14s %10s\n", "scale", "equations",
+              "unopt IR (MB)", "compiles", "opt IR (MB)", "compiles");
+
+  std::size_t largest_unopt = 0;
+  std::size_t largest_opt = 0;
+  for (double scale = 0.002; scale <= max_scale * 1.0001; scale *= 2.0) {
+    auto config = models::scaled_config(5, scale);
+    auto built = models::build_test_case(config);
+    if (!built.is_ok()) {
+      std::fprintf(stderr, "build failed at scale %g: %s\n", scale,
+                   built.status().to_string().c_str());
+      return 1;
+    }
+    const std::size_t unopt_bytes =
+        codegen::required_ir_bytes(built->program_unoptimized, backend);
+    const std::size_t opt_bytes =
+        codegen::required_ir_bytes(built->program_optimized, backend);
+    const bool unopt_ok = unopt_bytes <= budget_bytes;
+    const bool opt_ok = opt_bytes <= budget_bytes;
+    if (unopt_ok) largest_unopt = built->equation_count();
+    if (opt_ok) largest_opt = built->equation_count();
+    std::printf("%10.3g %10zu | %14zu %10s | %14zu %10s\n", scale,
+                built->equation_count(), unopt_bytes >> 20,
+                unopt_ok ? "yes" : "NO", opt_bytes >> 20,
+                opt_ok ? "yes" : "NO");
+    if (!opt_ok) break;  // nothing larger will fit either
+  }
+
+  if (largest_unopt > 0) {
+    std::printf("\nLargest compilable without domain optimizations: %zu "
+                "equations\nLargest compilable with domain optimizations:    "
+                "%zu equations\nRatio: %.1fx (paper claims >= 10x)\n",
+                largest_unopt, largest_opt,
+                static_cast<double>(largest_opt) /
+                    static_cast<double>(largest_unopt));
+  }
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Ablation of the optimizer stages (the design choices DESIGN.md calls out):
+// how much of the Table 1 reduction comes from §3.1 simplification, §3.2
+// DistOpt, and §3.3 CSE individually.
+//
+// Flags: --scale=F (default 0.04), --tc=N (default 4)
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "codegen/bytecode_emitter.hpp"
+#include "models/test_cases.hpp"
+#include "opt/pipeline.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rms;
+  bench::Flags flags(argc, argv);
+  const double scale = flags.get_double("scale", 0.04);
+  const int tc = static_cast<int>(flags.get_int("tc", 4));
+
+  auto config = models::scaled_config(tc, scale);
+  auto built = models::build_test_case(config);
+  if (!built.is_ok()) {
+    std::fprintf(stderr, "build failed: %s\n",
+                 built.status().to_string().c_str());
+    return 1;
+  }
+  std::printf("Optimizer stage ablation — TC%d at scale %.3g (%zu "
+              "equations)\n\n",
+              tc, scale, built->equation_count());
+  std::printf("%-44s %10s %10s %10s\n", "configuration", "mults", "adds",
+              "total");
+
+  const vm::ArithCount raw = built->program_unoptimized.count_arith();
+  std::printf("%-44s %10zu %10zu %10zu\n",
+              "none (raw equation generation)", raw.multiplies, raw.add_subs,
+              raw.total());
+
+  // §3.1 only: combined like terms, no DistOpt, no CSE.
+  {
+    vm::Program p = codegen::emit_unoptimized(
+        built->odes.table, built->equation_count(), built->rates.size());
+    const vm::ArithCount c = p.count_arith();
+    std::printf("%-44s %10zu %10zu %10zu\n", "simplification only (§3.1)",
+                c.multiplies, c.add_subs, c.total());
+  }
+
+  struct StageConfig {
+    const char* label;
+    opt::OptimizerOptions options;
+  };
+  opt::OptimizerOptions dist_only;
+  dist_only.cse.enable_temporaries = false;
+  dist_only.cse.enable_prefix_sharing = false;
+  opt::OptimizerOptions cse_only;
+  cse_only.distributive = false;
+  opt::OptimizerOptions no_prefix;
+  no_prefix.cse.enable_prefix_sharing = false;
+  const StageConfig stages[] = {
+      {"simplification + DistOpt (§3.2)", dist_only},
+      {"simplification + CSE, no DistOpt (§3.3)", cse_only},
+      {"simplification + DistOpt + CSE, no prefixes", no_prefix},
+      {"full pipeline (§3.1 + §3.2 + §3.3)", opt::OptimizerOptions::full()},
+  };
+  for (const StageConfig& stage : stages) {
+    opt::OptimizationReport report;
+    opt::OptimizedSystem system =
+        opt::optimize(built->odes.table, built->equation_count(),
+                      built->rates.size(), stage.options, &report);
+    vm::Program p = codegen::emit_optimized(system);
+    const vm::ArithCount c = p.count_arith();
+    std::printf("%-44s %10zu %10zu %10zu\n", stage.label, c.multiplies,
+                c.add_subs, c.total());
+  }
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Solver ablation for the paper's §4.1 design choice: "Because chemical
+// reactions proceed to equilibrium ... the differential equations modeling
+// the behavior of such systems are stiff. Therefore we use the Adams-Gear
+// solver."
+//
+// Integrates the vulcanization model with both solvers over increasing
+// horizons and reports steps / RHS evaluations / wall time: the explicit
+// Runge-Kutta-Verner pair pays a stability-bounded step size as the system
+// approaches equilibrium, the BDF solver does not.
+//
+// Flags:
+//   --scale=F      model scale (default 0.005)
+//   --tolerance=R  relative tolerance (default 1e-6)
+//   --stiffness=S  multiplier on the fast crosslinking constants (default
+//                  200: radical/crosslinking steps are orders of magnitude
+//                  faster than the slow cure chemistry, which is what makes
+//                  real vulcanization systems stiff)
+#include <cstdio>
+#include <memory>
+
+#include "bench_util.hpp"
+#include "models/test_cases.hpp"
+#include "solver/adams_gear.hpp"
+#include "solver/rk_verner.hpp"
+#include "support/timer.hpp"
+#include "vm/interpreter.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rms;
+  bench::Flags flags(argc, argv);
+  const double scale = flags.get_double("scale", 0.005);
+  const double rtol = flags.get_double("tolerance", 1e-6);
+  const double stiffness = flags.get_double("stiffness", 200.0);
+
+  auto built = models::build_test_case(models::scaled_config(1, scale));
+  if (!built.is_ok()) {
+    std::fprintf(stderr, "build failed: %s\n",
+                 built.status().to_string().c_str());
+    return 1;
+  }
+  const std::size_t n = built->equation_count();
+  std::printf("Stiff-solver ablation — vulcanization model, %zu equations, "
+              "rtol=%g, stiffness=%g\n\n",
+              n, rtol, stiffness);
+
+  vm::Interpreter interp(built->program_optimized);
+  std::vector<double> rates = built->rates.values();
+  // Speed up the crosslinking routes (k4/k7/k8, slots 3/6/7): the fast
+  // subsystem equilibrates in an early epoch while the cure continues —
+  // the stiffness the paper's §4.1 describes.
+  for (std::uint32_t slot : {3u, 6u, 7u}) {
+    if (slot < rates.size()) rates[slot] *= stiffness;
+  }
+  solver::OdeSystem system{n, [&](double t, const double* y, double* ydot) {
+                             interp.run(t, y, rates.data(), ydot);
+                           }};
+  solver::IntegrationOptions options;
+  options.relative_tolerance = rtol;
+  options.absolute_tolerance = rtol * 1e-3;
+  options.max_steps_per_call = 50'000'000;
+
+  std::printf("%8s | %-18s %10s %12s %10s | %-18s %10s %12s %10s\n", "t_end",
+              "solver", "steps", "rhs evals", "time (s)", "solver", "steps",
+              "rhs evals", "time (s)");
+  for (double t_end : {1.0, 5.0, 20.0, 80.0}) {
+    struct Run {
+      std::string name;
+      std::size_t steps = 0;
+      std::size_t rhs = 0;
+      double seconds = 0.0;
+      bool ok = false;
+    };
+    Run runs[2];
+    for (int which = 0; which < 2; ++which) {
+      std::unique_ptr<solver::OdeSolver> solver;
+      if (which == 0) {
+        solver = std::make_unique<solver::AdamsGear>(system, options);
+      } else {
+        solver = std::make_unique<solver::RungeKuttaVerner>(system, options);
+      }
+      runs[which].name = solver->name();
+      support::WallTimer timer;
+      std::vector<double> y;
+      bool ok = solver->initialize(0.0, built->odes.init_concentrations)
+                    .is_ok();
+      ok = ok && solver->advance_to(t_end, y).is_ok();
+      runs[which].seconds = timer.seconds();
+      runs[which].steps = solver->stats().steps;
+      runs[which].rhs = solver->stats().rhs_evaluations;
+      runs[which].ok = ok;
+    }
+    std::printf("%8.1f | %-18s %10zu %12zu %10.3f | %-18s %10zu %12zu "
+                "%10.3f\n",
+                t_end, runs[0].name.c_str(), runs[0].steps, runs[0].rhs,
+                runs[0].seconds, runs[1].name.c_str(), runs[1].steps,
+                runs[1].rhs, runs[1].seconds);
+  }
+  std::printf("\nExpected shape: the BDF step count stays roughly flat as "
+              "t_end grows (steps track the transient, not the horizon), "
+              "while the explicit pair's stability bound forces steps "
+              "proportional to the horizon.\n");
+  return 0;
+}

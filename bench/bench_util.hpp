@@ -1,0 +1,55 @@
+// Shared helpers for the table/ablation bench binaries: tiny flag parsing
+// and table formatting.
+#pragma once
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "support/strings.hpp"
+
+namespace rms::bench {
+
+/// --flag=value / --flag parsing over argv.
+class Flags {
+ public:
+  Flags(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) args_.emplace_back(argv[i]);
+  }
+
+  [[nodiscard]] bool has(const std::string& name) const {
+    for (const std::string& a : args_) {
+      if (a == "--" + name) return true;
+      if (a.rfind("--" + name + "=", 0) == 0) return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] double get_double(const std::string& name,
+                                  double fallback) const {
+    const std::string prefix = "--" + name + "=";
+    for (const std::string& a : args_) {
+      if (a.rfind(prefix, 0) == 0) {
+        double v = fallback;
+        if (support::parse_double(a.substr(prefix.size()), v)) return v;
+      }
+    }
+    return fallback;
+  }
+
+  [[nodiscard]] long get_int(const std::string& name, long fallback) const {
+    return static_cast<long>(get_double(name, static_cast<double>(fallback)));
+  }
+
+ private:
+  std::vector<std::string> args_;
+};
+
+inline std::string human_count(std::size_t n) {
+  if (n >= 1000000) return support::str_format("%.3gM", n / 1e6);
+  if (n >= 10000) return support::str_format("%.3gk", n / 1e3);
+  return support::str_format("%zu", n);
+}
+
+}  // namespace rms::bench

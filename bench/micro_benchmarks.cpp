@@ -1,0 +1,134 @@
+// Google-benchmark micro benchmarks for the hot components: the
+// distributive optimization, CSE construction, bytecode interpretation,
+// SMILES canonicalization, BDF stepping, and LPT scheduling.
+#include <benchmark/benchmark.h>
+
+#include "chem/canonical.hpp"
+#include "chem/smiles.hpp"
+#include "codegen/bytecode_emitter.hpp"
+#include "models/test_cases.hpp"
+#include "opt/cse.hpp"
+#include "opt/distopt.hpp"
+#include "opt/pipeline.hpp"
+#include "parallel/schedule.hpp"
+#include "solver/adams_gear.hpp"
+#include "support/rng.hpp"
+#include "vm/interpreter.hpp"
+
+namespace {
+
+using namespace rms;
+
+expr::SumOfProducts random_equation(support::Xoshiro256& rng, int terms,
+                                    int species, int rates) {
+  expr::SumOfProducts equation;
+  for (int i = 0; i < terms; ++i) {
+    expr::Product p;
+    p.coeff = 1.0 + static_cast<double>(rng.below(3));
+    p.factors.push_back(expr::VarId::rate_const(
+        static_cast<std::uint32_t>(rng.below(rates))));
+    const int nf = 1 + static_cast<int>(rng.below(3));
+    for (int f = 0; f < nf; ++f) {
+      p.factors.push_back(expr::VarId::species(
+          static_cast<std::uint32_t>(rng.below(species))));
+    }
+    p.normalize();
+    equation.add_combining(std::move(p));
+  }
+  equation.sort_canonical();
+  return equation;
+}
+
+void BM_DistOpt(benchmark::State& state) {
+  support::Xoshiro256 rng(1);
+  expr::SumOfProducts equation =
+      random_equation(rng, static_cast<int>(state.range(0)), 40, 10);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(opt::distributive_optimize(equation));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_DistOpt)->Range(8, 512)->Complexity();
+
+void BM_CseBuild(benchmark::State& state) {
+  // m equations of ~n terms: the paper's CSE bookkeeping is O(mn) space and
+  // our hash-lookup variant runs in ~O(mn) time.
+  support::Xoshiro256 rng(2);
+  const int m = static_cast<int>(state.range(0));
+  std::vector<expr::FactoredSum> equations;
+  for (int e = 0; e < m; ++e) {
+    equations.push_back(
+        opt::distributive_optimize(random_equation(rng, 12, 40, 10)));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        opt::build_optimized_system(equations, 40, 10));
+  }
+  state.SetComplexityN(m);
+}
+BENCHMARK(BM_CseBuild)->Range(16, 1024)->Complexity();
+
+void BM_VmRhsEvaluation(benchmark::State& state) {
+  auto built = models::build_test_case(
+      models::scaled_config(2, 0.01 * static_cast<double>(state.range(0))));
+  if (!built.is_ok()) {
+    state.SkipWithError("model build failed");
+    return;
+  }
+  vm::Interpreter interp(built->program_optimized);
+  std::vector<double> y(built->equation_count(), 0.01);
+  std::vector<double> k = built->rates.values();
+  std::vector<double> dydt(y.size());
+  for (auto _ : state) {
+    interp.run(0.0, y.data(), k.data(), dydt.data());
+    benchmark::DoNotOptimize(dydt.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          built->program_optimized.code.size());
+}
+BENCHMARK(BM_VmRhsEvaluation)->Arg(1)->Arg(4)->Arg(16);
+
+void BM_CanonicalSmiles(benchmark::State& state) {
+  auto mol = chem::parse_smiles("C1=CC=C2C(=C1)N=C(S2)SSSSSS[R]");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(chem::canonical_smiles(*mol));
+  }
+}
+BENCHMARK(BM_CanonicalSmiles);
+
+void BM_GearIntegrationStep(benchmark::State& state) {
+  auto built = models::build_test_case(models::scaled_config(1, 0.02));
+  if (!built.is_ok()) {
+    state.SkipWithError("model build failed");
+    return;
+  }
+  const std::size_t n = built->equation_count();
+  vm::Interpreter interp(built->program_optimized);
+  const std::vector<double> rates = built->rates.values();
+  solver::OdeSystem system{n, [&](double t, const double* y, double* ydot) {
+                             interp.run(t, y, rates.data(), ydot);
+                           }};
+  for (auto _ : state) {
+    solver::AdamsGear solver(system);
+    (void)solver.initialize(0.0, built->odes.init_concentrations);
+    std::vector<double> y;
+    (void)solver.advance_to(0.5, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_GearIntegrationStep);
+
+void BM_LptSchedule(benchmark::State& state) {
+  support::Xoshiro256 rng(3);
+  std::vector<double> costs(state.range(0));
+  for (double& c : costs) c = rng.uniform(0.5, 4.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(parallel::lpt_schedule(costs, 16));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_LptSchedule)->Range(16, 4096)->Complexity();
+
+}  // namespace
+
+BENCHMARK_MAIN();

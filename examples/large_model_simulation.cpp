@@ -1,0 +1,90 @@
+// Large-model simulation: integrating a 10,000-equation vulcanization
+// system on one core.
+//
+// The paper's motivation is that realistic reaction systems have "hundreds
+// of equations and thousands to millions of floating point operations" —
+// its largest test case has 250,000 ODEs. This example shows the pieces
+// that make such systems tractable here:
+//   1. the algebraic optimizer shrinks the RHS to a few percent of its
+//      naive size,
+//   2. the Jacobian-free Newton-Krylov path of the Adams-Gear solver
+//      avoids any O(n^2) Jacobian storage or O(n^3) factorization.
+//
+// Run: ./build/examples/large_model_simulation [--scale=0.04]
+#include <cstdio>
+#include <string>
+
+#include "models/test_cases.hpp"
+#include "solver/adams_gear.hpp"
+#include "support/strings.hpp"
+#include "support/timer.hpp"
+#include "vm/interpreter.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rms;
+  double scale = 0.04;  // TC5 x 0.04 ~ 10,000 equations
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--scale=", 0) == 0) {
+      support::parse_double(arg.substr(8), scale);
+    }
+  }
+
+  support::WallTimer build_timer;
+  auto built = models::build_test_case(models::scaled_config(5, scale));
+  if (!built.is_ok()) {
+    std::fprintf(stderr, "build failed: %s\n",
+                 built.status().to_string().c_str());
+    return 1;
+  }
+  const std::size_t n = built->equation_count();
+  std::printf("Compiled %zu equations in %.2f s: %zu -> %zu arithmetic ops "
+              "(%.1f%% remain, %zu temporaries).\n",
+              n, build_timer.seconds(), built->report.before.total(),
+              built->report.after.total(),
+              100.0 * built->report.total_fraction(),
+              built->optimized.temp_count());
+
+  vm::Interpreter rhs(built->program_optimized);
+  const std::vector<double> rates = built->rates.values();
+  solver::OdeSystem system{n, [&](double t, const double* y, double* ydot) {
+                             rhs.run(t, y, rates.data(), ydot);
+                           }};
+  solver::IntegrationOptions options;
+  options.newton_linear_solver = solver::NewtonLinearSolver::kMatrixFreeGmres;
+  options.relative_tolerance = 1e-6;
+  options.absolute_tolerance = 1e-10;
+  solver::AdamsGear integrator(system, options);
+  auto status = integrator.initialize(0.0, built->odes.init_concentrations);
+  if (!status.is_ok()) {
+    std::fprintf(stderr, "init failed: %s\n", status.to_string().c_str());
+    return 1;
+  }
+
+  std::printf("\nIntegrating the cure with matrix-free Adams-Gear "
+              "(no Jacobian storage at all):\n");
+  std::printf("%8s %16s %16s %12s %10s\n", "t", "crosslinks", "sulfur (S8)",
+              "steps", "wall (s)");
+  support::WallTimer solve_timer;
+  std::vector<double> y;
+  for (double t : {0.5, 1.0, 2.0, 4.0, 8.0}) {
+    if (auto s = integrator.advance_to(t, y); !s.is_ok()) {
+      std::fprintf(stderr, "integration failed at t=%g: %s\n", t,
+                   s.to_string().c_str());
+      return 1;
+    }
+    double crosslinks = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (built->odes.species_names[i].rfind("C_", 0) == 0) {
+        crosslinks += y[i];
+      }
+    }
+    std::printf("%8.1f %16.6f %16.6f %12zu %10.2f\n", t, crosslinks, y[0],
+                integrator.stats().steps, solve_timer.seconds());
+  }
+  std::printf("\nSolver totals: %zu steps, %zu RHS evaluations, "
+              "%zu Newton iterations, 0 Jacobians, 0 factorizations.\n",
+              integrator.stats().steps, integrator.stats().rhs_evaluations,
+              integrator.stats().newton_iterations);
+  return 0;
+}

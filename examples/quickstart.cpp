@@ -1,0 +1,99 @@
+// Quickstart: the whole Reaction Modeling Suite in one file.
+//
+// Compiles a small RDL reaction description through the chemical compiler,
+// prints the reaction network (paper Fig. 3 style), the generated ODEs
+// (Fig. 5 style), the optimized code, and integrates the system with the
+// stiff Adams-Gear solver to print a concentration curve.
+//
+// Build & run:  cmake --build build && ./build/examples/quickstart
+#include <cstdio>
+
+#include "rms/suite.hpp"
+#include "solver/adams_gear.hpp"
+#include "vm/interpreter.hpp"
+
+int main() {
+  using namespace rms;
+
+  // Methanethiol photolysis + recombination: a 3-line reaction model.
+  const char* source = R"rdl(
+    # species (SMILES), with initial concentrations
+    species MeSH = "CS";          # methanethiol
+    init MeSH = 1.0;
+
+    const k_split = 0.8;
+    const k_join  = 5 * k_split;
+
+    # C-S bond homolysis: MeSH -> CH3. + .SH
+    rule split {
+      site c: C;
+      site s: S;
+      bond c s 1;
+      disconnect c s;
+      rate k_split;
+    }
+
+    # radical recombination: CH3. + .SH -> MeSH
+    rule join {
+      site c: C where radical;
+      site s: S where radical;
+      connect c s;
+      rate k_join;
+    }
+  )rdl";
+
+  auto built = Suite::compile(source);
+  if (!built.is_ok()) {
+    std::fprintf(stderr, "compile failed: %s\n",
+                 built.status().to_string().c_str());
+    return 1;
+  }
+
+  std::printf("=== Reaction network (Fig. 3 form) ===\n%s\n",
+              built->network.to_string().c_str());
+  std::printf("=== Generated ODEs (Fig. 5 form, after §3.1) ===\n%s\n",
+              built->odes.to_string().c_str());
+  std::printf("=== Optimized code (after DistOpt + CSE) ===\n%s\n",
+              built->optimized.to_string(&built->odes.species_names).c_str());
+  std::printf("Operations: %zu -> %zu (%.1f%% remain), %zu temporaries\n\n",
+              built->report.before.total(), built->report.after.total(),
+              100.0 * built->report.total_fraction(),
+              built->optimized.temp_count());
+
+  // Integrate to equilibrium with the stiff solver.
+  const std::size_t n = built->equation_count();
+  vm::Interpreter rhs(built->program_optimized);
+  const std::vector<double> k = built->rates.values();
+  solver::OdeSystem system{n, [&](double t, const double* y, double* ydot) {
+                             rhs.run(t, y, k.data(), ydot);
+                           }};
+  solver::AdamsGear integrator(system);
+  auto status = integrator.initialize(0.0, built->odes.init_concentrations);
+  if (!status.is_ok()) {
+    std::fprintf(stderr, "solver init failed: %s\n",
+                 status.to_string().c_str());
+    return 1;
+  }
+
+  std::printf("=== Time evolution ===\n%8s", "t");
+  for (const std::string& name : built->odes.species_names) {
+    std::printf(" %10s", name.c_str());
+  }
+  std::printf("\n");
+  std::vector<double> y;
+  for (double t : {0.0, 0.1, 0.3, 1.0, 3.0, 10.0}) {
+    if (t == 0.0) {
+      y = built->odes.init_concentrations;
+    } else if (auto s = integrator.advance_to(t, y); !s.is_ok()) {
+      std::fprintf(stderr, "integration failed: %s\n", s.to_string().c_str());
+      return 1;
+    }
+    std::printf("%8.2f", t);
+    for (double v : y) std::printf(" %10.6f", v);
+    std::printf("\n");
+  }
+  std::printf("\nSolver: %zu steps, %zu RHS evaluations, %zu Jacobians.\n",
+              integrator.stats().steps, integrator.stats().rhs_evaluations,
+              integrator.stats().jacobian_evaluations);
+  return 0;
+}

@@ -1,0 +1,138 @@
+#include "chem/canonical.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+#include "chem/smiles.hpp"
+#include "support/assert.hpp"
+
+namespace rms::chem {
+
+namespace {
+
+using Ranks = std::vector<std::uint32_t>;
+
+/// Exact (sort-based, hash-free) refinement of an initial ranking: each
+/// atom's key is (own rank, sorted multiset of (bond order, neighbour
+/// rank)); iterate until the partition stops splitting.
+Ranks refine(const Molecule& mol, Ranks ranks) {
+  const std::size_t n = mol.atom_count();
+  if (n == 0) return ranks;
+
+  using NeighborKey = std::vector<std::pair<std::uint32_t, std::uint32_t>>;
+  using Key = std::pair<std::uint32_t, NeighborKey>;
+
+  std::size_t distinct = 0;
+  for (;;) {
+    std::vector<Key> keys(n);
+    for (AtomIndex i = 0; i < n; ++i) {
+      NeighborKey nk;
+      nk.reserve(mol.degree(i));
+      for (BondIndex bi : mol.bonds_of(i)) {
+        const Bond& b = mol.bond(bi);
+        nk.emplace_back(b.order, ranks[b.other(i)]);
+      }
+      std::sort(nk.begin(), nk.end());
+      keys[i] = Key{ranks[i], std::move(nk)};
+    }
+    std::vector<AtomIndex> order(n);
+    for (AtomIndex i = 0; i < n; ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&keys](AtomIndex a, AtomIndex b) {
+      return keys[a] < keys[b];
+    });
+    Ranks next(n);
+    std::uint32_t rank = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i > 0 && keys[order[i]] != keys[order[i - 1]]) ++rank;
+      next[order[i]] = rank;
+    }
+    const std::size_t new_distinct = static_cast<std::size_t>(rank) + 1;
+    if (new_distinct == distinct) return next;
+    distinct = new_distinct;
+    ranks = std::move(next);
+  }
+}
+
+Ranks initial_ranks(const Molecule& mol) {
+  const std::size_t n = mol.atom_count();
+  using Key = std::tuple<std::uint8_t, std::int8_t, std::uint8_t, std::size_t, int>;
+  std::vector<Key> keys(n);
+  for (AtomIndex i = 0; i < n; ++i) {
+    const Atom& a = mol.atom(i);
+    keys[i] = Key{static_cast<std::uint8_t>(a.element), a.charge, a.hydrogens,
+                  mol.degree(i), mol.bond_order_sum(i)};
+  }
+  std::vector<AtomIndex> order(n);
+  for (AtomIndex i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&keys](AtomIndex a, AtomIndex b) { return keys[a] < keys[b]; });
+  Ranks ranks(n);
+  std::uint32_t rank = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i > 0 && keys[order[i]] != keys[order[i - 1]]) ++rank;
+    ranks[order[i]] = rank;
+  }
+  return ranks;
+}
+
+/// True if every atom has a unique rank.
+bool discrete(const Ranks& ranks) {
+  std::vector<bool> seen(ranks.size(), false);
+  for (std::uint32_t r : ranks) {
+    if (seen[r]) return false;
+    seen[r] = true;
+  }
+  return true;
+}
+
+/// Recursive tie-breaking: pick the lowest tied rank class, individually
+/// promote each member, refine, recurse; keep the smallest SMILES.
+void break_ties(const Molecule& mol, const Ranks& ranks, CanonicalResult& best,
+                bool& have_best) {
+  if (discrete(ranks)) {
+    std::string smiles = write_smiles_ranked(mol, ranks);
+    if (!have_best || smiles < best.smiles) {
+      best.smiles = std::move(smiles);
+      best.ranks = ranks;
+      have_best = true;
+    }
+    return;
+  }
+
+  // Find the smallest rank value shared by more than one atom.
+  const std::size_t n = ranks.size();
+  std::vector<std::uint32_t> class_size(n, 0);
+  for (std::uint32_t r : ranks) ++class_size[r];
+  std::uint32_t target = 0;
+  while (class_size[target] <= 1) ++target;
+
+  for (AtomIndex candidate = 0; candidate < n; ++candidate) {
+    if (ranks[candidate] != target) continue;
+    // Double all ranks and give the candidate a strictly smaller one.
+    Ranks tweaked(n);
+    for (AtomIndex i = 0; i < n; ++i) tweaked[i] = ranks[i] * 2 + 1;
+    tweaked[candidate] -= 1;
+    break_ties(mol, refine(mol, std::move(tweaked)), best, have_best);
+  }
+}
+
+}  // namespace
+
+Ranks morgan_ranks(const Molecule& mol) {
+  return refine(mol, initial_ranks(mol));
+}
+
+CanonicalResult canonicalize(const Molecule& mol) {
+  CanonicalResult best;
+  if (mol.atom_count() == 0) return best;
+  bool have_best = false;
+  break_ties(mol, morgan_ranks(mol), best, have_best);
+  RMS_CHECK(have_best);
+  return best;
+}
+
+std::string canonical_smiles(const Molecule& mol) {
+  return canonicalize(mol).smiles;
+}
+
+}  // namespace rms::chem

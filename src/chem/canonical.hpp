@@ -1,0 +1,34 @@
+// Canonical atom ranking and canonical SMILES.
+//
+// A Morgan-style iterative refinement assigns permutation-invariant ranks;
+// remaining symmetry ties are broken by trying each candidate atom and
+// keeping the lexicographically smallest SMILES (exact, exponential only in
+// the automorphism group size — reaction species are small molecules).
+// Canonical SMILES is the species identity used to deduplicate molecules
+// during reaction network generation (the role CDK played in the paper).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "chem/molecule.hpp"
+
+namespace rms::chem {
+
+struct CanonicalResult {
+  std::string smiles;                ///< canonical SMILES string
+  std::vector<std::uint32_t> ranks;  ///< winning atom ranks (a permutation)
+};
+
+/// Computes canonical ranks and the canonical SMILES string.
+CanonicalResult canonicalize(const Molecule& mol);
+
+/// Convenience: canonical SMILES only.
+std::string canonical_smiles(const Molecule& mol);
+
+/// Morgan refinement without tie breaking: atoms in the same orbit share a
+/// rank. Exposed for tests and for symmetry queries.
+std::vector<std::uint32_t> morgan_ranks(const Molecule& mol);
+
+}  // namespace rms::chem

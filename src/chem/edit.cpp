@@ -1,0 +1,84 @@
+#include "chem/edit.hpp"
+
+#include "support/strings.hpp"
+
+namespace rms::chem {
+
+using support::invalid_argument;
+using support::Status;
+
+Status disconnect(Molecule& mol, AtomIndex a, AtomIndex b) {
+  const BondIndex bi = mol.bond_between(a, b);
+  if (bi == kNoBond) {
+    return invalid_argument(
+        support::str_format("disconnect: no bond between atoms %u and %u", a, b));
+  }
+  mol.remove_bond(bi);
+  return Status::ok();
+}
+
+Status connect(Molecule& mol, AtomIndex a, AtomIndex b, std::uint8_t order) {
+  if (a == b) return invalid_argument("connect: cannot bond an atom to itself");
+  if (mol.bond_between(a, b) != kNoBond) {
+    return invalid_argument(support::str_format(
+        "connect: atoms %u and %u are already bonded", a, b));
+  }
+  if (mol.free_valence(a) < order || mol.free_valence(b) < order) {
+    return invalid_argument(support::str_format(
+        "connect: insufficient free valence (%d, %d) for order-%d bond",
+        mol.free_valence(a), mol.free_valence(b), order));
+  }
+  mol.add_bond(a, b, order);
+  return Status::ok();
+}
+
+Status decrease_bond_order(Molecule& mol, AtomIndex a, AtomIndex b) {
+  const BondIndex bi = mol.bond_between(a, b);
+  if (bi == kNoBond) {
+    return invalid_argument("decrease_bond_order: atoms are not bonded");
+  }
+  if (mol.bond(bi).order == 1) {
+    mol.remove_bond(bi);
+  } else {
+    --mol.bond(bi).order;
+  }
+  return Status::ok();
+}
+
+Status increase_bond_order(Molecule& mol, AtomIndex a, AtomIndex b) {
+  const BondIndex bi = mol.bond_between(a, b);
+  if (bi == kNoBond) {
+    return invalid_argument("increase_bond_order: atoms are not bonded");
+  }
+  if (mol.bond(bi).order >= 3) {
+    return invalid_argument("increase_bond_order: bond is already triple");
+  }
+  if (mol.free_valence(a) < 1 || mol.free_valence(b) < 1) {
+    return invalid_argument(
+        "increase_bond_order: an endpoint has no free valence");
+  }
+  ++mol.bond(bi).order;
+  return Status::ok();
+}
+
+Status remove_hydrogen(Molecule& mol, AtomIndex a) {
+  if (mol.atom(a).hydrogens == 0) {
+    return invalid_argument(
+        support::str_format("remove_hydrogen: atom %u has no hydrogens", a));
+  }
+  --mol.atom(a).hydrogens;
+  return Status::ok();
+}
+
+Status add_hydrogen(Molecule& mol, AtomIndex a, int count) {
+  if (count < 1) return invalid_argument("add_hydrogen: count must be >= 1");
+  if (mol.free_valence(a) < count) {
+    return invalid_argument(support::str_format(
+        "add_hydrogen: atom %u has free valence %d < %d", a,
+        mol.free_valence(a), count));
+  }
+  mol.atom(a).hydrogens = static_cast<std::uint8_t>(mol.atom(a).hydrogens + count);
+  return Status::ok();
+}
+
+}  // namespace rms::chem

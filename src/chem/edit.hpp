@@ -1,0 +1,37 @@
+// The six molecular edit operations reaction rules are built from
+// (paper §2): (1) disconnect two atoms; (2) connect two atoms; (3) decrease
+// the bond order; (4) increase the bond order; (5) remove a hydrogen atom;
+// (6) add hydrogen atoms.
+//
+// Each operation validates valence feasibility and returns a Status rather
+// than silently producing impossible chemistry. Bond homolysis (disconnect,
+// decrease order, remove hydrogen) leaves radical sites — free valence that
+// later connect/add-hydrogen operations consume.
+#pragma once
+
+#include "chem/molecule.hpp"
+#include "support/status.hpp"
+
+namespace rms::chem {
+
+/// (1) Breaks the bond between a and b (homolytic: both ends gain free
+/// valence equal to the former bond order).
+support::Status disconnect(Molecule& mol, AtomIndex a, AtomIndex b);
+
+/// (2) Forms a bond of the given order; both atoms need `order` free valence.
+support::Status connect(Molecule& mol, AtomIndex a, AtomIndex b,
+                        std::uint8_t order = 1);
+
+/// (3) Decreases the a-b bond order by one (order-1 bonds are removed).
+support::Status decrease_bond_order(Molecule& mol, AtomIndex a, AtomIndex b);
+
+/// (4) Increases the a-b bond order by one; both atoms need a free valence.
+support::Status increase_bond_order(Molecule& mol, AtomIndex a, AtomIndex b);
+
+/// (5) Removes one hydrogen from the atom (homolytic: leaves free valence).
+support::Status remove_hydrogen(Molecule& mol, AtomIndex a);
+
+/// (6) Adds `count` hydrogens to the atom (consumes free valence).
+support::Status add_hydrogen(Molecule& mol, AtomIndex a, int count = 1);
+
+}  // namespace rms::chem

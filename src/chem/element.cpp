@@ -1,0 +1,78 @@
+#include "chem/element.hpp"
+
+#include "support/assert.hpp"
+
+namespace rms::chem {
+
+int default_valence(Element e) {
+  switch (e) {
+    case Element::kH: return 1;
+    case Element::kC: return 4;
+    case Element::kN: return 3;
+    case Element::kO: return 2;
+    case Element::kS: return 2;
+    case Element::kP: return 3;
+    case Element::kF: return 1;
+    case Element::kCl: return 1;
+    case Element::kBr: return 1;
+    case Element::kI: return 1;
+    case Element::kZn: return 2;
+    case Element::kR: return 4;  // behaves like a backbone carbon
+    case Element::kCount: break;
+  }
+  RMS_UNREACHABLE();
+}
+
+std::string_view element_symbol(Element e) {
+  switch (e) {
+    case Element::kH: return "H";
+    case Element::kC: return "C";
+    case Element::kN: return "N";
+    case Element::kO: return "O";
+    case Element::kS: return "S";
+    case Element::kP: return "P";
+    case Element::kF: return "F";
+    case Element::kCl: return "Cl";
+    case Element::kBr: return "Br";
+    case Element::kI: return "I";
+    case Element::kZn: return "Zn";
+    case Element::kR: return "R";
+    case Element::kCount: break;
+  }
+  RMS_UNREACHABLE();
+}
+
+std::optional<Element> parse_element(std::string_view symbol) {
+  if (symbol == "H") return Element::kH;
+  if (symbol == "C") return Element::kC;
+  if (symbol == "N") return Element::kN;
+  if (symbol == "O") return Element::kO;
+  if (symbol == "S") return Element::kS;
+  if (symbol == "P") return Element::kP;
+  if (symbol == "F") return Element::kF;
+  if (symbol == "Cl") return Element::kCl;
+  if (symbol == "Br") return Element::kBr;
+  if (symbol == "I") return Element::kI;
+  if (symbol == "Zn") return Element::kZn;
+  if (symbol == "R") return Element::kR;
+  return std::nullopt;
+}
+
+bool in_organic_subset(Element e) {
+  switch (e) {
+    case Element::kC:
+    case Element::kN:
+    case Element::kO:
+    case Element::kS:
+    case Element::kP:
+    case Element::kF:
+    case Element::kCl:
+    case Element::kBr:
+    case Element::kI:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace rms::chem

@@ -1,0 +1,45 @@
+// Chemical elements and valence bookkeeping.
+//
+// The subset needed for rubber vulcanization chemistry: the organic set plus
+// sulfur and zinc (accelerator complexes), and a pseudo-element R standing
+// for a polymer-backbone site (the rubber chain carbon a crosslink attaches
+// to). R lets models abbreviate the polyisoprene backbone the way the
+// chemists' RDL inputs do.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace rms::chem {
+
+enum class Element : std::uint8_t {
+  kH = 0,
+  kC,
+  kN,
+  kO,
+  kS,
+  kP,
+  kF,
+  kCl,
+  kBr,
+  kI,
+  kZn,
+  kR,  // pseudo-element: polymer backbone site
+  kCount,
+};
+
+/// Standard (lowest common) valence used to fill implicit hydrogens.
+int default_valence(Element e);
+
+/// Chemical symbol, e.g. "Cl". R renders as "R".
+std::string_view element_symbol(Element e);
+
+/// Parses a symbol (longest match first, so "Cl" beats "C").
+/// Returns nullopt for unknown symbols.
+std::optional<Element> parse_element(std::string_view symbol);
+
+/// True for elements written bare (no brackets) in our SMILES subset.
+bool in_organic_subset(Element e);
+
+}  // namespace rms::chem

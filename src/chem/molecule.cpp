@@ -1,0 +1,165 @@
+#include "chem/molecule.hpp"
+
+#include <algorithm>
+#include <array>
+#include <map>
+
+#include "support/assert.hpp"
+#include "support/strings.hpp"
+
+namespace rms::chem {
+
+AtomIndex Molecule::add_atom(Element e, std::uint8_t hydrogens,
+                             std::int8_t charge) {
+  atoms_.push_back(Atom{e, charge, hydrogens});
+  adjacency_.emplace_back();
+  return static_cast<AtomIndex>(atoms_.size() - 1);
+}
+
+BondIndex Molecule::add_bond(AtomIndex a, AtomIndex b, std::uint8_t order) {
+  RMS_CHECK(a < atoms_.size() && b < atoms_.size() && a != b);
+  RMS_CHECK_MSG(bond_between(a, b) == kNoBond, "duplicate bond");
+  RMS_CHECK(order >= 1 && order <= 3);
+  bonds_.push_back(Bond{a, b, order});
+  const BondIndex bi = static_cast<BondIndex>(bonds_.size() - 1);
+  adjacency_[a].push_back(bi);
+  adjacency_[b].push_back(bi);
+  return bi;
+}
+
+void Molecule::remove_bond(BondIndex bi) {
+  RMS_CHECK(bi < bonds_.size());
+  auto drop = [this](AtomIndex atom, BondIndex bond_idx) {
+    auto& adj = adjacency_[atom];
+    auto it = std::find(adj.begin(), adj.end(), bond_idx);
+    RMS_CHECK(it != adj.end());
+    adj.erase(it);
+  };
+  drop(bonds_[bi].a, bi);
+  drop(bonds_[bi].b, bi);
+  bonds_.erase(bonds_.begin() + bi);
+  // Bond indices after bi shift down; fix adjacency lists.
+  for (auto& adj : adjacency_) {
+    for (BondIndex& idx : adj) {
+      if (idx > bi) --idx;
+    }
+  }
+}
+
+BondIndex Molecule::bond_between(AtomIndex a, AtomIndex b) const {
+  RMS_CHECK(a < atoms_.size() && b < atoms_.size());
+  for (BondIndex bi : adjacency_[a]) {
+    if (bonds_[bi].other(a) == b) return bi;
+  }
+  return kNoBond;
+}
+
+int Molecule::bond_order_sum(AtomIndex i) const {
+  int sum = 0;
+  for (BondIndex bi : adjacency_[i]) sum += bonds_[bi].order;
+  return sum;
+}
+
+int Molecule::free_valence(AtomIndex i) const {
+  const Atom& a = atoms_[i];
+  // Positive charge removes an electron (one less bond possible for anions,
+  // one more for cations of N etc.); the simple model used here treats the
+  // charge as directly extending/shrinking the valence, which is adequate
+  // for the closed-shell + radical species vulcanization models use.
+  return default_valence(a.element) + a.charge - bond_order_sum(i) -
+         static_cast<int>(a.hydrogens);
+}
+
+bool Molecule::is_radical() const {
+  for (AtomIndex i = 0; i < atoms_.size(); ++i) {
+    if (free_valence(i) > 0) return true;
+  }
+  return false;
+}
+
+void Molecule::saturate_with_hydrogens() {
+  for (AtomIndex i = 0; i < atoms_.size(); ++i) {
+    const int fv = free_valence(i);
+    if (fv > 0) {
+      atoms_[i].hydrogens = static_cast<std::uint8_t>(atoms_[i].hydrogens + fv);
+    }
+  }
+}
+
+int Molecule::total_hydrogens() const {
+  int total = 0;
+  for (const Atom& a : atoms_) total += a.hydrogens;
+  return total;
+}
+
+std::string Molecule::formula() const {
+  std::array<int, static_cast<std::size_t>(Element::kCount)> counts{};
+  int hydrogens = 0;
+  for (const Atom& a : atoms_) {
+    ++counts[static_cast<std::size_t>(a.element)];
+    hydrogens += a.hydrogens;
+  }
+  hydrogens += counts[static_cast<std::size_t>(Element::kH)];
+  counts[static_cast<std::size_t>(Element::kH)] = 0;
+
+  // Hill order: C first, H second, then remaining symbols alphabetically.
+  std::map<std::string, int> rest;
+  for (std::size_t e = 0; e < counts.size(); ++e) {
+    const Element el = static_cast<Element>(e);
+    if (el == Element::kC || el == Element::kH || counts[e] == 0) continue;
+    rest[std::string(element_symbol(el))] = counts[e];
+  }
+
+  std::string out;
+  auto append = [&out](std::string_view sym, int n) {
+    out += sym;
+    if (n > 1) out += support::str_format("%d", n);
+  };
+  const int carbons = counts[static_cast<std::size_t>(Element::kC)];
+  if (carbons > 0) append("C", carbons);
+  if (hydrogens > 0) append("H", hydrogens);
+  for (const auto& [sym, n] : rest) append(sym, n);
+  return out;
+}
+
+std::size_t Molecule::connected_components(
+    std::vector<std::uint32_t>& labels) const {
+  labels.assign(atoms_.size(), ~std::uint32_t{0});
+  std::size_t count = 0;
+  std::vector<AtomIndex> stack;
+  for (AtomIndex start = 0; start < atoms_.size(); ++start) {
+    if (labels[start] != ~std::uint32_t{0}) continue;
+    const auto label = static_cast<std::uint32_t>(count++);
+    stack.push_back(start);
+    labels[start] = label;
+    while (!stack.empty()) {
+      const AtomIndex cur = stack.back();
+      stack.pop_back();
+      for (BondIndex bi : adjacency_[cur]) {
+        const AtomIndex next = bonds_[bi].other(cur);
+        if (labels[next] == ~std::uint32_t{0}) {
+          labels[next] = label;
+          stack.push_back(next);
+        }
+      }
+    }
+  }
+  return count;
+}
+
+std::vector<Molecule> Molecule::split_fragments() const {
+  std::vector<std::uint32_t> labels;
+  const std::size_t n = connected_components(labels);
+  std::vector<Molecule> fragments(n);
+  std::vector<AtomIndex> remap(atoms_.size());
+  for (AtomIndex i = 0; i < atoms_.size(); ++i) {
+    const Atom& a = atoms_[i];
+    remap[i] = fragments[labels[i]].add_atom(a.element, a.hydrogens, a.charge);
+  }
+  for (const Bond& b : bonds_) {
+    fragments[labels[b.a]].add_bond(remap[b.a], remap[b.b], b.order);
+  }
+  return fragments;
+}
+
+}  // namespace rms::chem

@@ -1,0 +1,108 @@
+// Molecular graph: atoms, bonds, and valence accounting.
+//
+// Hydrogens are stored as per-atom counts, not graph vertices — the reaction
+// rules that add/remove hydrogens (paper §2, rules 5 and 6) just adjust the
+// count. An atom whose valence is not saturated by bonds + hydrogens is a
+// radical site; vulcanization chemistry is driven by such sites.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "chem/element.hpp"
+#include "support/small_vector.hpp"
+
+namespace rms::chem {
+
+using AtomIndex = std::uint32_t;
+using BondIndex = std::uint32_t;
+
+inline constexpr BondIndex kNoBond = ~BondIndex{0};
+
+struct Atom {
+  Element element = Element::kC;
+  std::int8_t charge = 0;
+  std::uint8_t hydrogens = 0;  ///< attached hydrogen count
+};
+
+struct Bond {
+  AtomIndex a = 0;
+  AtomIndex b = 0;
+  std::uint8_t order = 1;  ///< 1 = single, 2 = double, 3 = triple
+
+  /// The endpoint that is not `from`.
+  [[nodiscard]] AtomIndex other(AtomIndex from) const {
+    return from == a ? b : a;
+  }
+};
+
+class Molecule {
+ public:
+  Molecule() = default;
+
+  /// Adds an atom with the given explicit hydrogen count.
+  AtomIndex add_atom(Element e, std::uint8_t hydrogens = 0,
+                     std::int8_t charge = 0);
+
+  /// Adds a bond; endpoints must be distinct existing atoms with no bond yet.
+  BondIndex add_bond(AtomIndex a, AtomIndex b, std::uint8_t order = 1);
+
+  /// Removes the bond (bond indices above `bi` shift down by one).
+  void remove_bond(BondIndex bi);
+
+  /// Index of the bond between a and b, or kNoBond.
+  [[nodiscard]] BondIndex bond_between(AtomIndex a, AtomIndex b) const;
+
+  [[nodiscard]] std::size_t atom_count() const { return atoms_.size(); }
+  [[nodiscard]] std::size_t bond_count() const { return bonds_.size(); }
+
+  [[nodiscard]] const Atom& atom(AtomIndex i) const { return atoms_[i]; }
+  [[nodiscard]] Atom& atom(AtomIndex i) { return atoms_[i]; }
+  [[nodiscard]] const Bond& bond(BondIndex i) const { return bonds_[i]; }
+  [[nodiscard]] Bond& bond(BondIndex i) { return bonds_[i]; }
+
+  /// Bond indices incident to atom i.
+  [[nodiscard]] const support::SmallVector<BondIndex, 4>& bonds_of(
+      AtomIndex i) const {
+    return adjacency_[i];
+  }
+
+  /// Number of heavy-atom neighbours.
+  [[nodiscard]] std::size_t degree(AtomIndex i) const {
+    return adjacency_[i].size();
+  }
+
+  /// Sum of bond orders at atom i (excludes hydrogens).
+  [[nodiscard]] int bond_order_sum(AtomIndex i) const;
+
+  /// Unused valence: default_valence - bond orders - hydrogens + charge
+  /// adjustment. Positive means a radical/open site.
+  [[nodiscard]] int free_valence(AtomIndex i) const;
+
+  /// True if any atom has positive free valence.
+  [[nodiscard]] bool is_radical() const;
+
+  /// Fills every atom's hydrogen count so free valence becomes zero
+  /// (skips atoms already over-saturated). SMILES organic-subset semantics.
+  void saturate_with_hydrogens();
+
+  /// Sum of atomic hydrogen counts.
+  [[nodiscard]] int total_hydrogens() const;
+
+  /// Molecular formula like "C6H12O" (Hill order: C, H, then alphabetical).
+  [[nodiscard]] std::string formula() const;
+
+  /// Connected-component label per atom; returns component count.
+  std::size_t connected_components(std::vector<std::uint32_t>& labels) const;
+
+  /// Splits a (possibly disconnected) molecule into connected fragments.
+  [[nodiscard]] std::vector<Molecule> split_fragments() const;
+
+ private:
+  std::vector<Atom> atoms_;
+  std::vector<Bond> bonds_;
+  std::vector<support::SmallVector<BondIndex, 4>> adjacency_;
+};
+
+}  // namespace rms::chem

@@ -1,0 +1,165 @@
+#include "chem/pattern.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "support/assert.hpp"
+
+namespace rms::chem {
+
+namespace {
+
+class Matcher {
+ public:
+  Matcher(const Pattern& pattern, const Molecule& mol, std::size_t limit)
+      : pattern_(pattern), mol_(mol), limit_(limit) {}
+
+  std::vector<Embedding> run() {
+    const std::size_t np = pattern_.atom_count();
+    assignment_.assign(np, kUnassigned);
+    used_.assign(mol_.atom_count(), false);
+    // Pre-index pattern bonds by the later endpoint so constraints are
+    // checked as soon as both endpoints are assigned.
+    bonds_by_later_.assign(np, {});
+    for (const BondConstraint& bc : pattern_.bonds()) {
+      bonds_by_later_[std::max(bc.a, bc.b)].push_back(bc);
+    }
+    extend(0);
+    return std::move(results_);
+  }
+
+ private:
+  static constexpr AtomIndex kUnassigned = ~AtomIndex{0};
+
+  void extend(std::uint32_t pattern_atom) {
+    if (results_.size() >= limit_) return;
+    if (pattern_atom == pattern_.atom_count()) {
+      results_.push_back(assignment_);
+      return;
+    }
+    for (AtomIndex candidate = 0; candidate < mol_.atom_count(); ++candidate) {
+      if (used_[candidate]) continue;
+      if (!atom_matches(pattern_atom, candidate)) continue;
+      if (!bonds_match(pattern_atom, candidate)) continue;
+      assignment_[pattern_atom] = candidate;
+      used_[candidate] = true;
+      extend(pattern_atom + 1);
+      used_[candidate] = false;
+      assignment_[pattern_atom] = kUnassigned;
+      if (results_.size() >= limit_) return;
+    }
+  }
+
+  bool atom_matches(std::uint32_t p, AtomIndex m) const {
+    const AtomConstraint& c = pattern_.atom(p);
+    const Atom& a = mol_.atom(m);
+    if (c.element.has_value() && a.element != *c.element) return false;
+    if (c.min_free_valence.has_value() &&
+        mol_.free_valence(m) < *c.min_free_valence) {
+      return false;
+    }
+    if (c.exact_free_valence.has_value() &&
+        mol_.free_valence(m) != *c.exact_free_valence) {
+      return false;
+    }
+    if (c.min_hydrogens.has_value() && a.hydrogens < *c.min_hydrogens) {
+      return false;
+    }
+    if (c.exact_degree.has_value() &&
+        static_cast<int>(mol_.degree(m)) != *c.exact_degree) {
+      return false;
+    }
+    if (c.min_chain_depth.has_value() &&
+        chain_depth(mol_, m) < *c.min_chain_depth) {
+      return false;
+    }
+    return true;
+  }
+
+  bool bonds_match(std::uint32_t p, AtomIndex m) const {
+    for (const BondConstraint& bc : bonds_by_later_[p]) {
+      const std::uint32_t other_p = bc.a == p ? bc.b : bc.a;
+      const AtomIndex other_m = assignment_[other_p];
+      RMS_DCHECK(other_m != kUnassigned);
+      const BondIndex bi = mol_.bond_between(m, other_m);
+      if (bi == kNoBond) return false;
+      if (bc.order != 0 && mol_.bond(bi).order != bc.order) return false;
+    }
+    return true;
+  }
+
+  const Pattern& pattern_;
+  const Molecule& mol_;
+  std::size_t limit_;
+  Embedding assignment_;
+  std::vector<bool> used_;
+  std::vector<std::vector<BondConstraint>> bonds_by_later_;
+  std::vector<Embedding> results_;
+};
+
+}  // namespace
+
+std::uint32_t Pattern::add_atom(AtomConstraint constraint) {
+  atoms_.push_back(std::move(constraint));
+  return static_cast<std::uint32_t>(atoms_.size() - 1);
+}
+
+void Pattern::add_bond(std::uint32_t a, std::uint32_t b, std::uint8_t order) {
+  RMS_CHECK(a < atoms_.size() && b < atoms_.size() && a != b);
+  bonds_.push_back(BondConstraint{a, b, order});
+}
+
+std::vector<Embedding> Pattern::match(const Molecule& mol) const {
+  return Matcher(*this, mol, ~std::size_t{0}).run();
+}
+
+std::vector<Embedding> Pattern::match_limited(const Molecule& mol,
+                                              std::size_t limit) const {
+  return Matcher(*this, mol, limit).run();
+}
+
+Pattern substructure_pattern(const Molecule& mol) {
+  Pattern pattern;
+  for (AtomIndex i = 0; i < mol.atom_count(); ++i) {
+    AtomConstraint constraint;
+    constraint.element = mol.atom(i).element;
+    pattern.add_atom(constraint);
+  }
+  for (BondIndex b = 0; b < mol.bond_count(); ++b) {
+    const Bond& bond = mol.bond(b);
+    pattern.add_bond(bond.a, bond.b, bond.order);
+  }
+  return pattern;
+}
+
+int chain_depth(const Molecule& mol, AtomIndex atom) {
+  const Element element = mol.atom(atom).element;
+  // BFS within the same-element induced subgraph; a chain end is an atom
+  // with at most one same-element neighbour.
+  std::vector<int> dist(mol.atom_count(), -1);
+  std::deque<AtomIndex> queue;
+  dist[atom] = 0;
+  queue.push_back(atom);
+  while (!queue.empty()) {
+    const AtomIndex cur = queue.front();
+    queue.pop_front();
+    int same_element_neighbors = 0;
+    for (BondIndex bi : mol.bonds_of(cur)) {
+      const AtomIndex next = mol.bond(bi).other(cur);
+      if (mol.atom(next).element == element) ++same_element_neighbors;
+    }
+    if (same_element_neighbors <= 1) return dist[cur];  // reached a chain end
+    for (BondIndex bi : mol.bonds_of(cur)) {
+      const AtomIndex next = mol.bond(bi).other(cur);
+      if (mol.atom(next).element == element && dist[next] < 0) {
+        dist[next] = dist[cur] + 1;
+        queue.push_back(next);
+      }
+    }
+  }
+  // Same-element cycle (e.g. S8 ring): no end is reachable; treat as
+  // infinitely deep.
+  return static_cast<int>(mol.atom_count());
+}
+
+}  // namespace rms::chem

@@ -1,0 +1,86 @@
+// Substructure patterns with context-sensitive constraints.
+//
+// Reaction rules locate their reaction site with a pattern (paper §2: rules
+// are "applied with context sensitive knowledge, e.g. to only break sulfur
+// to sulfur bonds when the bonds are between sulfur atoms at least three
+// atoms from the end of a chain of sulfurs"). A Pattern is a small graph of
+// atom constraints; match() enumerates embeddings by backtracking.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "chem/molecule.hpp"
+
+namespace rms::chem {
+
+struct AtomConstraint {
+  /// Required element; nullopt matches any element.
+  std::optional<Element> element;
+  /// Minimum free valence (radical/open sites). nullopt = no requirement.
+  std::optional<int> min_free_valence;
+  /// Exact free valence requirement (0 = saturated atom).
+  std::optional<int> exact_free_valence;
+  /// Minimum hydrogen count (for hydrogen-abstraction sites).
+  std::optional<int> min_hydrogens;
+  /// Exact heavy-atom degree requirement.
+  std::optional<int> exact_degree;
+  /// Minimum distance (in atoms) from the end of a maximal same-element
+  /// chain run. The vulcanization "three atoms from the chain end" context
+  /// condition uses this; see chain_depth().
+  std::optional<int> min_chain_depth;
+};
+
+struct BondConstraint {
+  std::uint32_t a = 0;  ///< pattern atom index
+  std::uint32_t b = 0;  ///< pattern atom index
+  /// Required bond order; 0 matches any order.
+  std::uint8_t order = 1;
+};
+
+/// One embedding: pattern atom i is matched to atoms[i] in the target.
+using Embedding = std::vector<AtomIndex>;
+
+class Pattern {
+ public:
+  std::uint32_t add_atom(AtomConstraint constraint);
+  void add_bond(std::uint32_t a, std::uint32_t b, std::uint8_t order = 1);
+
+  [[nodiscard]] std::size_t atom_count() const { return atoms_.size(); }
+  [[nodiscard]] const AtomConstraint& atom(std::uint32_t i) const {
+    return atoms_[i];
+  }
+  [[nodiscard]] const std::vector<BondConstraint>& bonds() const {
+    return bonds_;
+  }
+
+  /// Enumerates all embeddings of this pattern into `mol` (injective on
+  /// atoms). Distinct embeddings may map the same site with swapped
+  /// symmetric pattern atoms; callers deduplicate at the reaction level.
+  [[nodiscard]] std::vector<Embedding> match(const Molecule& mol) const;
+
+  /// As match(), but stops after `limit` embeddings.
+  [[nodiscard]] std::vector<Embedding> match_limited(const Molecule& mol,
+                                                     std::size_t limit) const;
+
+ private:
+  std::vector<AtomConstraint> atoms_;
+  std::vector<BondConstraint> bonds_;
+};
+
+/// Builds the substructure pattern of a molecule: one constraint per atom
+/// (exact element, no hydrogen/valence requirements) and one bond
+/// constraint per bond (exact order). match() on the result finds every
+/// embedding of the molecule as a subgraph — used by `forbid substructure`
+/// declarations.
+Pattern substructure_pattern(const Molecule& mol);
+
+/// Distance (in atoms, 0-based) from `atom` to the nearest end of the
+/// maximal same-element chain run containing it. An atom whose element
+/// differs from all neighbours has depth 0. For a sulfur in S-S-S-S-S the
+/// middle atom has depth 2.
+int chain_depth(const Molecule& mol, AtomIndex atom);
+
+}  // namespace rms::chem

@@ -1,0 +1,414 @@
+#include "chem/smiles.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+
+#include "support/assert.hpp"
+#include "support/strings.hpp"
+
+namespace rms::chem {
+
+namespace {
+
+using support::Expected;
+using support::parse_error;
+using support::Status;
+
+class SmilesParser {
+ public:
+  explicit SmilesParser(std::string_view text) : text_(text) {}
+
+  Expected<Molecule> parse() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+        continue;
+      }
+      Status s = step(c);
+      if (!s.is_ok()) return s;
+    }
+    if (!branch_stack_.empty()) {
+      return parse_error(context("unclosed '(' branch"));
+    }
+    for (const auto& [digit, open] : ring_bonds_) {
+      (void)open;
+      return parse_error(
+          support::str_format("unmatched ring closure %%%d", digit));
+    }
+    // Fill implicit hydrogens for bare (non-bracket) atoms only.
+    for (AtomIndex i = 0; i < mol_.atom_count(); ++i) {
+      if (bracket_atom_[i]) continue;
+      const int fv = mol_.free_valence(i);
+      if (fv > 0) {
+        mol_.atom(i).hydrogens =
+            static_cast<std::uint8_t>(mol_.atom(i).hydrogens + fv);
+      }
+    }
+    return mol_;
+  }
+
+ private:
+  struct RingOpen {
+    AtomIndex atom;
+    std::uint8_t order;  // 0 = unspecified at open site
+  };
+
+  Status step(char c) {
+    switch (c) {
+      case '-': return set_pending_bond(1);
+      case '=': return set_pending_bond(2);
+      case '#': return set_pending_bond(3);
+      case '(': {
+        if (prev_atom_ == kNoAtom) {
+          return parse_error(context("branch '(' before any atom"));
+        }
+        branch_stack_.push_back(prev_atom_);
+        ++pos_;
+        return Status::ok();
+      }
+      case ')': {
+        if (branch_stack_.empty()) {
+          return parse_error(context("')' without matching '('"));
+        }
+        prev_atom_ = branch_stack_.back();
+        branch_stack_.pop_back();
+        ++pos_;
+        return Status::ok();
+      }
+      case '.': {
+        prev_atom_ = kNoAtom;
+        pending_order_ = 0;
+        ++pos_;
+        return Status::ok();
+      }
+      case '[': return parse_bracket_atom();
+      case '%': {
+        if (pos_ + 2 >= text_.size() ||
+            !std::isdigit(static_cast<unsigned char>(text_[pos_ + 1])) ||
+            !std::isdigit(static_cast<unsigned char>(text_[pos_ + 2]))) {
+          return parse_error(context("'%' must be followed by two digits"));
+        }
+        const int digit = (text_[pos_ + 1] - '0') * 10 + (text_[pos_ + 2] - '0');
+        pos_ += 3;
+        return ring_closure(digit);
+      }
+      default:
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+          ++pos_;
+          return ring_closure(c - '0');
+        }
+        if (std::islower(static_cast<unsigned char>(c))) {
+          return parse_error(context(
+              "aromatic (lowercase) atoms are not supported; use Kekulé form"));
+        }
+        return parse_bare_atom();
+    }
+  }
+
+  Status set_pending_bond(std::uint8_t order) {
+    if (pending_order_ != 0) {
+      return parse_error(context("two bond symbols in a row"));
+    }
+    pending_order_ = order;
+    ++pos_;
+    return Status::ok();
+  }
+
+  Status parse_bare_atom() {
+    // Longest symbol match: two-letter organic-subset symbols first.
+    std::string_view rest = text_.substr(pos_);
+    Element element;
+    std::size_t advance = 0;
+    if (support::starts_with(rest, "Cl")) {
+      element = Element::kCl;
+      advance = 2;
+    } else if (support::starts_with(rest, "Br")) {
+      element = Element::kBr;
+      advance = 2;
+    } else {
+      const auto parsed = parse_element(rest.substr(0, 1));
+      if (!parsed.has_value() || !in_organic_subset(*parsed)) {
+        return parse_error(context("unknown atom symbol (bare atoms must be "
+                                   "in the organic subset)"));
+      }
+      element = *parsed;
+      advance = 1;
+    }
+    pos_ += advance;
+    return attach_atom(element, /*hydrogens=*/0, /*charge=*/0,
+                       /*bracket=*/false);
+  }
+
+  Status parse_bracket_atom() {
+    const std::size_t close = text_.find(']', pos_);
+    if (close == std::string_view::npos) {
+      return parse_error(context("unterminated '['"));
+    }
+    std::string_view body = text_.substr(pos_ + 1, close - pos_ - 1);
+    pos_ = close + 1;
+
+    // Grammar: SYMBOL [H [count]] [(+|-)[count]]
+    std::size_t i = 0;
+    auto symbol_len = [&]() -> std::size_t {
+      if (i + 1 < body.size() &&
+          std::islower(static_cast<unsigned char>(body[i + 1]))) {
+        return 2;
+      }
+      return 1;
+    };
+    if (body.empty()) return parse_error(context("empty bracket atom"));
+    const std::size_t sl = symbol_len();
+    const auto element = parse_element(body.substr(i, sl));
+    if (!element.has_value()) {
+      return parse_error(context("unknown element in bracket atom"));
+    }
+    i += sl;
+
+    int hydrogens = 0;
+    if (i < body.size() && body[i] == 'H') {
+      ++i;
+      hydrogens = 1;
+      if (i < body.size() && std::isdigit(static_cast<unsigned char>(body[i]))) {
+        hydrogens = body[i] - '0';
+        ++i;
+      }
+    }
+    int charge = 0;
+    if (i < body.size() && (body[i] == '+' || body[i] == '-')) {
+      const int sign = body[i] == '+' ? 1 : -1;
+      ++i;
+      int magnitude = 1;
+      if (i < body.size() && std::isdigit(static_cast<unsigned char>(body[i]))) {
+        magnitude = body[i] - '0';
+        ++i;
+      }
+      charge = sign * magnitude;
+    }
+    if (i != body.size()) {
+      return parse_error(context("trailing characters in bracket atom"));
+    }
+    return attach_atom(*element, static_cast<std::uint8_t>(hydrogens),
+                       static_cast<std::int8_t>(charge), /*bracket=*/true);
+  }
+
+  Status attach_atom(Element element, std::uint8_t hydrogens,
+                     std::int8_t charge, bool bracket) {
+    const AtomIndex idx = mol_.add_atom(element, hydrogens, charge);
+    bracket_atom_.push_back(bracket);
+    if (prev_atom_ != kNoAtom) {
+      const std::uint8_t order = pending_order_ == 0 ? 1 : pending_order_;
+      mol_.add_bond(prev_atom_, idx, order);
+    }
+    pending_order_ = 0;
+    prev_atom_ = idx;
+    return Status::ok();
+  }
+
+  Status ring_closure(int digit) {
+    if (prev_atom_ == kNoAtom) {
+      return parse_error(context("ring closure digit before any atom"));
+    }
+    auto it = ring_bonds_.find(digit);
+    if (it == ring_bonds_.end()) {
+      ring_bonds_.emplace(digit, RingOpen{prev_atom_, pending_order_});
+      pending_order_ = 0;
+      return Status::ok();
+    }
+    const RingOpen open = it->second;
+    ring_bonds_.erase(it);
+    std::uint8_t order = 1;
+    if (open.order != 0 && pending_order_ != 0 && open.order != pending_order_) {
+      return parse_error(context("conflicting ring bond orders"));
+    }
+    if (open.order != 0) order = open.order;
+    if (pending_order_ != 0) order = pending_order_;
+    pending_order_ = 0;
+    if (open.atom == prev_atom_) {
+      return parse_error(context("ring closure to the same atom"));
+    }
+    if (mol_.bond_between(open.atom, prev_atom_) != kNoBond) {
+      return parse_error(
+          context("ring closure duplicates an existing bond"));
+    }
+    mol_.add_bond(open.atom, prev_atom_, order);
+    return Status::ok();
+  }
+
+  std::string context(const char* msg) const {
+    return support::str_format("%s at position %zu in \"%.*s\"", msg, pos_,
+                               static_cast<int>(text_.size()), text_.data());
+  }
+
+  static constexpr AtomIndex kNoAtom = ~AtomIndex{0};
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  Molecule mol_;
+  std::vector<bool> bracket_atom_;
+  AtomIndex prev_atom_ = kNoAtom;
+  std::uint8_t pending_order_ = 0;
+  std::vector<AtomIndex> branch_stack_;
+  std::map<int, RingOpen> ring_bonds_;
+};
+
+class SmilesWriter {
+ public:
+  SmilesWriter(const Molecule& mol, const std::vector<std::uint32_t>* ranks)
+      : mol_(mol), ranks_(ranks) {}
+
+  std::string write() {
+    const std::size_t n = mol_.atom_count();
+    visited_.assign(n, false);
+    ring_digit_of_bond_.clear();
+    next_ring_digit_ = 1;
+
+    // Visit roots in rank order (or index order without ranks).
+    std::vector<AtomIndex> order(n);
+    for (AtomIndex i = 0; i < n; ++i) order[i] = i;
+    if (ranks_ != nullptr) {
+      std::sort(order.begin(), order.end(), [this](AtomIndex a, AtomIndex b) {
+        return (*ranks_)[a] < (*ranks_)[b];
+      });
+    }
+
+    std::string out;
+    bool first_fragment = true;
+    for (AtomIndex root : order) {
+      if (visited_[root]) continue;
+      find_ring_bonds(root);
+      if (!first_fragment) out += ".";
+      first_fragment = false;
+      emit_atom(root, kNoBond, out);
+    }
+    return out;
+  }
+
+ private:
+  /// DFS to classify back edges (ring closures) before emission.
+  void find_ring_bonds(AtomIndex root) {
+    std::vector<bool> seen(mol_.atom_count(), false);
+    // (atom, incoming bond) DFS replicating emit order.
+    dfs_rings(root, kNoBond, seen);
+  }
+
+  void dfs_rings(AtomIndex atom, BondIndex incoming, std::vector<bool>& seen) {
+    seen[atom] = true;
+    for (BondIndex bi : sorted_bonds(atom)) {
+      if (bi == incoming) continue;
+      const AtomIndex next = mol_.bond(bi).other(atom);
+      if (seen[next]) {
+        if (ring_digit_of_bond_.find(bi) == ring_digit_of_bond_.end()) {
+          ring_digit_of_bond_[bi] = next_ring_digit_++;
+        }
+      } else {
+        dfs_rings(next, bi, seen);
+      }
+    }
+  }
+
+  std::vector<BondIndex> sorted_bonds(AtomIndex atom) const {
+    std::vector<BondIndex> out(mol_.bonds_of(atom).begin(),
+                               mol_.bonds_of(atom).end());
+    if (ranks_ != nullptr) {
+      std::sort(out.begin(), out.end(), [this, atom](BondIndex x, BondIndex y) {
+        return (*ranks_)[mol_.bond(x).other(atom)] <
+               (*ranks_)[mol_.bond(y).other(atom)];
+      });
+    }
+    return out;
+  }
+
+  void emit_atom(AtomIndex atom, BondIndex incoming, std::string& out) {
+    visited_[atom] = true;
+    out += atom_text(atom);
+
+    // Ring closure digits at this atom.
+    for (BondIndex bi : sorted_bonds(atom)) {
+      auto it = ring_digit_of_bond_.find(bi);
+      if (it == ring_digit_of_bond_.end()) continue;
+      out += bond_text(mol_.bond(bi).order);
+      out += ring_digit_text(it->second);
+    }
+
+    // Children in rank order; all but the last go in branches.
+    std::vector<BondIndex> children;
+    for (BondIndex bi : sorted_bonds(atom)) {
+      if (bi == incoming) continue;
+      if (ring_digit_of_bond_.find(bi) != ring_digit_of_bond_.end()) continue;
+      const AtomIndex next = mol_.bond(bi).other(atom);
+      if (!visited_[next]) children.push_back(bi);
+    }
+    for (std::size_t c = 0; c < children.size(); ++c) {
+      const BondIndex bi = children[c];
+      const AtomIndex next = mol_.bond(bi).other(atom);
+      if (visited_[next]) continue;  // reached via an earlier child
+      const bool branch = c + 1 < children.size();
+      if (branch) out += "(";
+      out += bond_text(mol_.bond(bi).order);
+      emit_atom(next, bi, out);
+      if (branch) out += ")";
+    }
+  }
+
+  std::string atom_text(AtomIndex i) const {
+    const Atom& a = mol_.atom(i);
+    const bool needs_bracket =
+        !in_organic_subset(a.element) || a.charge != 0 ||
+        mol_.free_valence(i) != 0;
+    if (!needs_bracket) return std::string(element_symbol(a.element));
+    std::string out = "[";
+    out += element_symbol(a.element);
+    if (a.hydrogens == 1) {
+      out += "H";
+    } else if (a.hydrogens > 1) {
+      out += support::str_format("H%d", a.hydrogens);
+    }
+    if (a.charge > 0) {
+      out += a.charge == 1 ? "+" : support::str_format("+%d", a.charge);
+    } else if (a.charge < 0) {
+      out += a.charge == -1 ? "-" : support::str_format("-%d", -a.charge);
+    }
+    out += "]";
+    return out;
+  }
+
+  static std::string bond_text(std::uint8_t order) {
+    switch (order) {
+      case 1: return "";
+      case 2: return "=";
+      case 3: return "#";
+      default: RMS_UNREACHABLE();
+    }
+  }
+
+  static std::string ring_digit_text(int digit) {
+    if (digit < 10) return support::str_format("%d", digit);
+    return support::str_format("%%%02d", digit);
+  }
+
+  const Molecule& mol_;
+  const std::vector<std::uint32_t>* ranks_;
+  std::vector<bool> visited_;
+  std::map<BondIndex, int> ring_digit_of_bond_;
+  int next_ring_digit_ = 1;
+};
+
+}  // namespace
+
+Expected<Molecule> parse_smiles(std::string_view smiles) {
+  return SmilesParser(smiles).parse();
+}
+
+std::string write_smiles(const Molecule& mol) {
+  return SmilesWriter(mol, nullptr).write();
+}
+
+std::string write_smiles_ranked(const Molecule& mol,
+                                const std::vector<std::uint32_t>& ranks) {
+  RMS_CHECK(ranks.size() == mol.atom_count());
+  return SmilesWriter(mol, &ranks).write();
+}
+
+}  // namespace rms::chem

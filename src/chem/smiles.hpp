@@ -1,0 +1,35 @@
+// SMILES subset reader and writer.
+//
+// Supported: the organic subset written bare (C N O S P F Cl Br I) with
+// implicit hydrogens, bracket atoms with explicit hydrogen counts and
+// charges ([SH], [CH3], [S-], [Zn], [R]), bond symbols - = #, branches,
+// ring closures (1-9 and %nn), and '.' separated fragments. Aromatic
+// (lowercase) notation is intentionally rejected: vulcanization models are
+// written in Kekulé form so no aromaticity perception is needed.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "chem/molecule.hpp"
+#include "support/status.hpp"
+
+namespace rms::chem {
+
+/// Parses a SMILES string into a molecule. Bare organic-subset atoms are
+/// saturated with implicit hydrogens; bracket atoms keep exactly their
+/// written hydrogen count (so "[S]" is a diradical sulfur).
+support::Expected<Molecule> parse_smiles(std::string_view smiles);
+
+/// Writes SMILES using atom input order (not canonical). Ring bonds get
+/// closure digits; fragments are joined with '.'.
+std::string write_smiles(const Molecule& mol);
+
+/// Writes SMILES visiting atoms in the order induced by `ranks` (lower rank
+/// first, both for the DFS roots and neighbour ordering). Used by the
+/// canonicalizer. `ranks` must be a permutation-invariant ranking.
+std::string write_smiles_ranked(const Molecule& mol,
+                                const std::vector<std::uint32_t>& ranks);
+
+}  // namespace rms::chem

@@ -1,0 +1,248 @@
+#include "codegen/bytecode_emitter.hpp"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "support/assert.hpp"
+
+namespace rms::codegen {
+
+namespace {
+
+using expr::VarId;
+using expr::VarKind;
+using opt::kNoExpr;
+using opt::OptimizedSystem;
+using opt::ProductAtom;
+using opt::ProductEntry;
+using opt::SumEntry;
+using vm::Instr;
+using vm::Op;
+using vm::Program;
+
+class Emitter {
+ public:
+  Program take() {
+    program_.register_count = next_reg_;
+    return std::move(program_);
+  }
+
+  std::uint32_t fresh_reg() { return next_reg_++; }
+
+  std::uint32_t emit(Op op, std::uint32_t a = 0, std::uint32_t b = 0) {
+    const std::uint32_t dst = fresh_reg();
+    program_.code.push_back(Instr{op, dst, a, b});
+    return dst;
+  }
+
+  std::uint32_t const_reg(double value) {
+    auto it = const_regs_.find(value);
+    if (it != const_regs_.end()) return it->second;
+    auto pool = const_pool_.find(value);
+    std::uint32_t pool_index;
+    if (pool == const_pool_.end()) {
+      pool_index = static_cast<std::uint32_t>(program_.consts.size());
+      program_.consts.push_back(value);
+      const_pool_.emplace(value, pool_index);
+    } else {
+      pool_index = pool->second;
+    }
+    const std::uint32_t reg = emit(Op::kLoadConst, pool_index);
+    const_regs_.emplace(value, reg);
+    return reg;
+  }
+
+  std::uint32_t var_reg(VarId v) {
+    switch (v.kind) {
+      case VarKind::kSpecies: return emit(Op::kLoadY, v.index);
+      case VarKind::kRateConst: return emit(Op::kLoadK, v.index);
+      case VarKind::kTime: return emit(Op::kLoadT);
+      case VarKind::kTemp: RMS_CHECK_MSG(false, "unexpected temp VarId");
+    }
+    RMS_UNREACHABLE();
+  }
+
+  void store(std::uint32_t output, std::uint32_t reg) {
+    program_.code.push_back(Instr{Op::kStoreOut, 0, output, reg});
+  }
+
+  Program program_;
+  std::uint32_t next_reg_ = 0;
+  std::unordered_map<double, std::uint32_t> const_regs_;
+  std::unordered_map<double, std::uint32_t> const_pool_;
+};
+
+/// Accumulates "sum of signed operand registers" with the standard op-count
+/// conventions: first operand seeds the accumulator (negated if negative),
+/// later operands fold with Add/Sub.
+class SumAccumulator {
+ public:
+  explicit SumAccumulator(Emitter& emitter) : emitter_(emitter) {}
+
+  void push(std::uint32_t reg, bool negative) {
+    if (!have_acc_) {
+      acc_ = negative ? emitter_.emit(Op::kNeg, reg) : reg;
+      have_acc_ = true;
+      return;
+    }
+    acc_ = emitter_.emit(negative ? Op::kSub : Op::kAdd, acc_, reg);
+  }
+
+  [[nodiscard]] bool empty() const { return !have_acc_; }
+  [[nodiscard]] std::uint32_t result() const {
+    RMS_CHECK(have_acc_);
+    return acc_;
+  }
+
+ private:
+  Emitter& emitter_;
+  std::uint32_t acc_ = 0;
+  bool have_acc_ = false;
+};
+
+}  // namespace
+
+Program emit_unoptimized(const odegen::EquationTable& table,
+                         std::size_t species_count, std::size_t rate_count) {
+  Emitter emitter;
+  emitter.program_.species_count = species_count;
+  emitter.program_.rate_count = rate_count;
+  emitter.program_.output_count = table.size();
+
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    const expr::SumOfProducts& equation = table.equation(i);
+    SumAccumulator acc(emitter);
+    for (const expr::Product& p : equation.terms()) {
+      if (p.coeff == 0.0) continue;
+      // Product value: |coeff| (if != 1) * factors...
+      std::uint32_t reg = vm::kNoReg;
+      const double magnitude = std::fabs(p.coeff);
+      if (magnitude != 1.0 || p.factors.empty()) {
+        reg = emitter.const_reg(magnitude);
+      }
+      for (VarId v : p.factors) {
+        const std::uint32_t vreg = emitter.var_reg(v);
+        reg = reg == vm::kNoReg ? vreg : emitter.emit(Op::kMul, reg, vreg);
+      }
+      acc.push(reg, p.coeff < 0.0);
+    }
+    if (acc.empty()) {
+      emitter.store(static_cast<std::uint32_t>(i), vm::kNoReg);
+    } else {
+      emitter.store(static_cast<std::uint32_t>(i), acc.result());
+    }
+  }
+  return emitter.take();
+}
+
+namespace {
+
+class OptimizedEmitter {
+ public:
+  explicit OptimizedEmitter(const OptimizedSystem& system) : system_(system) {
+    temp_regs_.assign(system.temp_order.size(), vm::kNoReg);
+  }
+
+  Program run() {
+    emitter_.program_.species_count = system_.species_count;
+    emitter_.program_.rate_count = system_.rate_count;
+    emitter_.program_.output_count = system_.equations.size();
+    for (const opt::TempDef& def : system_.temp_order) {
+      if (def.kind == opt::TempDef::Kind::kProduct) {
+        const ProductEntry& p = system_.products[def.entry];
+        temp_regs_[p.temp_index] = product_definition(p);
+      } else {
+        const SumEntry& s = system_.sums[def.entry];
+        temp_regs_[s.temp_index] = sum_definition(s);
+      }
+    }
+    for (std::size_t i = 0; i < system_.equations.size(); ++i) {
+      const std::int32_t eq = system_.equations[i];
+      if (eq == kNoExpr) {
+        emitter_.store(static_cast<std::uint32_t>(i), vm::kNoReg);
+      } else {
+        emitter_.store(static_cast<std::uint32_t>(i),
+                       sum_value(static_cast<std::uint32_t>(eq)));
+      }
+    }
+    return emitter_.take();
+  }
+
+ private:
+  std::uint32_t sum_value(std::uint32_t id) {
+    const SumEntry& s = system_.sums[id];
+    if (s.temp_index >= 0) {
+      RMS_CHECK(temp_regs_[s.temp_index] != vm::kNoReg);
+      return temp_regs_[s.temp_index];
+    }
+    return sum_definition(s);
+  }
+
+  std::uint32_t product_value(std::uint32_t id) {
+    const ProductEntry& p = system_.products[id];
+    if (p.temp_index >= 0) {
+      RMS_CHECK(temp_regs_[p.temp_index] != vm::kNoReg);
+      return temp_regs_[p.temp_index];
+    }
+    return product_definition(p);
+  }
+
+  std::uint32_t product_definition(const ProductEntry& p) {
+    std::uint32_t reg = vm::kNoReg;
+    if (p.prefix_len > 0) {
+      const ProductEntry& donor = system_.products[p.prefix_product];
+      RMS_CHECK(donor.temp_index >= 0);
+      reg = temp_regs_[donor.temp_index];
+    }
+    for (std::size_t i = p.prefix_len; i < p.atoms.size(); ++i) {
+      const ProductAtom& atom = p.atoms[i];
+      const std::uint32_t operand =
+          atom.kind == ProductAtom::Kind::kVar
+              ? emitter_.var_reg(atom.var)
+              : sum_value(static_cast<std::uint32_t>(atom.sum));
+      reg = reg == vm::kNoReg ? operand
+                              : emitter_.emit(Op::kMul, reg, operand);
+    }
+    if (reg == vm::kNoReg) reg = emitter_.const_reg(1.0);
+    return reg;
+  }
+
+  std::uint32_t sum_definition(const SumEntry& s) {
+    SumAccumulator acc(emitter_);
+    if (s.prefix_len > 0) {
+      const SumEntry& donor = system_.sums[s.prefix_sum];
+      RMS_CHECK(donor.temp_index >= 0);
+      acc.push(temp_regs_[donor.temp_index], /*negative=*/false);
+    }
+    for (std::size_t i = s.prefix_len; i < s.operands.size(); ++i) {
+      const opt::SumOperand& op = s.operands[i];
+      const ProductEntry& p = system_.products[op.product];
+      const bool product_is_one = p.atoms.empty() && p.prefix_len == 0;
+      const double magnitude = std::fabs(op.coeff);
+      std::uint32_t reg;
+      if (product_is_one) {
+        reg = emitter_.const_reg(magnitude);
+      } else if (magnitude == 1.0) {
+        reg = product_value(op.product);
+      } else {
+        reg = emitter_.emit(Op::kMul, emitter_.const_reg(magnitude),
+                            product_value(op.product));
+      }
+      acc.push(reg, op.coeff < 0.0);
+    }
+    RMS_CHECK(!acc.empty());
+    return acc.result();
+  }
+
+  const OptimizedSystem& system_;
+  Emitter emitter_;
+  std::vector<std::uint32_t> temp_regs_;
+};
+
+}  // namespace
+
+Program emit_optimized(const OptimizedSystem& system) {
+  return OptimizedEmitter(system).run();
+}
+
+}  // namespace rms::codegen

@@ -1,0 +1,27 @@
+// Bytecode emission from the symbolic ODE forms.
+//
+// emit_unoptimized()  — straight-line code from the flat equation table,
+//                       recomputing every product at every use: the
+//                       "without algebraic/CSE optimizations" baseline of
+//                       Table 1.
+// emit_optimized()    — code from the OptimizedSystem: temporaries are
+//                       evaluated once, in dependency order, then equations.
+//
+// Both emitters preserve the operation-count conventions of the symbolic
+// layer: the emitted program's count_arith() equals the corresponding
+// multiply_count()/add_sub_count() / count_operations() exactly (tested).
+#pragma once
+
+#include "odegen/equation_table.hpp"
+#include "opt/optimized_system.hpp"
+#include "vm/program.hpp"
+
+namespace rms::codegen {
+
+vm::Program emit_unoptimized(const odegen::EquationTable& table,
+                             std::size_t species_count,
+                             std::size_t rate_count);
+
+vm::Program emit_optimized(const opt::OptimizedSystem& system);
+
+}  // namespace rms::codegen

@@ -1,0 +1,31 @@
+// C source emission: the paper's actual compiler output format ("The output
+// from the Equation Generator is a C code function that evaluates the
+// ODEs"). The emitted translation unit is self-contained:
+//
+//   void rms_ode_rhs(double t, const double* y, const double* k,
+//                    double* ydot);
+//
+// emit_c_unoptimized produces the naive form (one giant expression per
+// equation — the machine-generated code that "stresses commercial compilers
+// to the point of failure"); emit_c_optimized produces the temp-structured
+// form after DistOpt + CSE.
+#pragma once
+
+#include <string>
+
+#include "odegen/equation_table.hpp"
+#include "opt/optimized_system.hpp"
+
+namespace rms::codegen {
+
+struct CEmitOptions {
+  std::string function_name = "rms_ode_rhs";
+};
+
+std::string emit_c_unoptimized(const odegen::EquationTable& table,
+                               const CEmitOptions& options = {});
+
+std::string emit_c_optimized(const opt::OptimizedSystem& system,
+                             const CEmitOptions& options = {});
+
+}  // namespace rms::codegen

@@ -1,0 +1,128 @@
+#include "codegen/jacobian.hpp"
+
+#include <map>
+
+#include "codegen/bytecode_emitter.hpp"
+#include "support/assert.hpp"
+#include "vm/interpreter.hpp"
+
+namespace rms::codegen {
+
+SymbolicJacobian differentiate(const odegen::EquationTable& equations,
+                               std::size_t species_count) {
+  SymbolicJacobian jacobian;
+  jacobian.dimension = equations.size();
+  jacobian.row_offsets.reserve(equations.size() + 1);
+  jacobian.row_offsets.push_back(0);
+
+  std::vector<expr::SumOfProducts> entry_list;
+  for (std::size_t row = 0; row < equations.size(); ++row) {
+    // Column -> d(eq_row)/dy_col, ordered for deterministic CSR layout.
+    std::map<std::uint32_t, expr::SumOfProducts> row_entries;
+    for (const expr::Product& p : equations.equation(row).terms()) {
+      if (p.coeff == 0.0) continue;
+      // Each distinct species factor contributes one derivative product.
+      for (std::size_t f = 0; f < p.factors.size(); ++f) {
+        const expr::VarId v = p.factors[f];
+        if (v.kind != expr::VarKind::kSpecies) continue;
+        if (f > 0 && p.factors[f - 1] == v) continue;  // count each once
+        RMS_CHECK(v.index < species_count);
+        // Multiplicity of y_v in the product.
+        std::size_t multiplicity = 0;
+        for (expr::VarId w : p.factors) multiplicity += w == v ? 1 : 0;
+        expr::Product derivative = p;
+        derivative.coeff *= static_cast<double>(multiplicity);
+        derivative.divide_by(v);
+        row_entries[v.index].add_combining(std::move(derivative));
+      }
+    }
+    for (auto& [col, sum] : row_entries) {
+      sum.sort_canonical();
+      if (sum.empty()) continue;  // exact cancellation
+      jacobian.col_indices.push_back(col);
+      entry_list.push_back(std::move(sum));
+    }
+    jacobian.row_offsets.push_back(
+        static_cast<std::uint32_t>(jacobian.col_indices.size()));
+  }
+
+  jacobian.entries = odegen::EquationTable(entry_list.size());
+  for (std::size_t e = 0; e < entry_list.size(); ++e) {
+    jacobian.entries.equation(e) = std::move(entry_list[e]);
+  }
+  return jacobian;
+}
+
+void CompiledJacobian::scatter_dense(const std::vector<double>& values,
+                                     linalg::Matrix& jacobian) const {
+  RMS_CHECK(values.size() == col_indices.size());
+  if (jacobian.rows() != dimension || jacobian.cols() != dimension) {
+    jacobian = linalg::Matrix(dimension, dimension);
+  } else {
+    for (std::size_t r = 0; r < dimension; ++r) {
+      double* row = jacobian.row(r);
+      for (std::size_t c = 0; c < dimension; ++c) row[c] = 0.0;
+    }
+  }
+  for (std::size_t r = 0; r < dimension; ++r) {
+    double* row = jacobian.row(r);
+    for (std::uint32_t e = row_offsets[r]; e < row_offsets[r + 1]; ++e) {
+      row[col_indices[e]] = values[e];
+    }
+  }
+}
+
+DenseJacobianEvaluator::DenseJacobianEvaluator(
+    const CompiledJacobian* jacobian, const std::vector<double>* rates)
+    : jacobian_(jacobian), rates_(rates) {
+  values_.resize(jacobian_->col_indices.size());
+}
+
+void DenseJacobianEvaluator::operator()(double t, const double* y,
+                                        double* dense_row_major) {
+  // The interpreter is constructed per call so the evaluator stays
+  // trivially copyable; register-file allocation is tiny next to the
+  // factorization the Newton iteration does with the result.
+  vm::Interpreter interpreter(jacobian_->program);
+  interpreter.run(t, y, rates_->data(), values_.data());
+  const std::size_t n = jacobian_->dimension;
+  for (std::size_t i = 0; i < n * n; ++i) dense_row_major[i] = 0.0;
+  for (std::size_t r = 0; r < n; ++r) {
+    double* row = dense_row_major + r * n;
+    for (std::uint32_t e = jacobian_->row_offsets[r];
+         e < jacobian_->row_offsets[r + 1]; ++e) {
+      row[jacobian_->col_indices[e]] = values_[e];
+    }
+  }
+}
+
+SparseJacobianEvaluator::SparseJacobianEvaluator(
+    const CompiledJacobian* jacobian, const std::vector<double>* rates)
+    : jacobian_(jacobian), rates_(rates) {}
+
+void SparseJacobianEvaluator::operator()(double t, const double* y,
+                                         linalg::CsrMatrix& out) {
+  out.rows = out.cols = jacobian_->dimension;
+  out.row_offsets = jacobian_->row_offsets;
+  out.col_indices = jacobian_->col_indices;
+  out.values.resize(jacobian_->col_indices.size());
+  vm::Interpreter interpreter(jacobian_->program);
+  interpreter.run(t, y, rates_->data(), out.values.data());
+}
+
+CompiledJacobian compile_jacobian(const odegen::EquationTable& equations,
+                                  std::size_t species_count,
+                                  std::size_t rate_count,
+                                  const opt::OptimizerOptions& options) {
+  SymbolicJacobian symbolic = differentiate(equations, species_count);
+  CompiledJacobian compiled;
+  compiled.dimension = symbolic.dimension;
+  compiled.row_offsets = std::move(symbolic.row_offsets);
+  compiled.col_indices = std::move(symbolic.col_indices);
+  opt::OptimizedSystem system =
+      opt::optimize(symbolic.entries, species_count, rate_count, options);
+  compiled.program = emit_optimized(system);
+  return compiled;
+}
+
+}  // namespace rms::codegen

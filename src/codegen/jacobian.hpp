@@ -1,0 +1,102 @@
+// Analytic Jacobian generation.
+//
+// The compiler knows the mass-action structure of every right-hand side, so
+// instead of the n extra RHS sweeps a finite-difference Jacobian costs per
+// Newton refresh, it can differentiate the equations symbolically:
+//   d/dy_j (c * y_a * y_b * ... ) = c * m_j * (product with one y_j removed)
+// where m_j is y_j's multiplicity in the product. The per-entry sums run
+// through the same DistOpt + CSE pipeline as the equations themselves (the
+// entries share almost all of their products with each other and with the
+// RHS), and a single bytecode program fills all nonzero entries.
+//
+// This is the "efficient node code" extension a chemistry compiler is in a
+// unique position to provide: the sparsity pattern is exact (chemistry
+// Jacobians are very sparse — each species touches only its reaction
+// partners) and no differencing noise enters the Newton iteration.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "linalg/sparse.hpp"
+#include "odegen/equation_table.hpp"
+#include "opt/pipeline.hpp"
+#include "vm/program.hpp"
+
+namespace rms::codegen {
+
+/// Sparse (CSR) symbolic Jacobian: entry e covers matrix position
+/// (row r : row_offsets[r] <= e < row_offsets[r+1], col_indices[e]) and its
+/// expression is entries.equation(e).
+struct SymbolicJacobian {
+  std::size_t dimension = 0;
+  std::vector<std::uint32_t> row_offsets;  ///< size dimension + 1
+  std::vector<std::uint32_t> col_indices;  ///< size nnz
+  odegen::EquationTable entries;           ///< one sum-of-products per nnz
+
+  [[nodiscard]] std::size_t nonzero_count() const {
+    return col_indices.size();
+  }
+};
+
+/// Differentiates every equation with respect to every species it
+/// references. Temps are not allowed in the input (differentiate the
+/// pre-CSE equation table, not the optimized system).
+SymbolicJacobian differentiate(const odegen::EquationTable& equations,
+                               std::size_t species_count);
+
+/// A compiled Jacobian: the program writes nnz outputs (the entry values in
+/// CSR order) given (t, y, k).
+struct CompiledJacobian {
+  std::size_t dimension = 0;
+  std::vector<std::uint32_t> row_offsets;
+  std::vector<std::uint32_t> col_indices;
+  vm::Program program;
+
+  /// Scatters a program output vector into a dense row-major matrix.
+  void scatter_dense(const std::vector<double>& values,
+                     linalg::Matrix& jacobian) const;
+};
+
+/// Differentiates, optimizes (same pipeline as the equations) and emits.
+CompiledJacobian compile_jacobian(
+    const odegen::EquationTable& equations, std::size_t species_count,
+    std::size_t rate_count,
+    const opt::OptimizerOptions& options = opt::OptimizerOptions::full());
+
+/// Callable adapter for solver::OdeSystem::jacobian: evaluates the compiled
+/// program and scatters into a dense row-major n x n buffer. The
+/// CompiledJacobian and the rate vector are captured by pointer and must
+/// outlive the evaluator; the rate values may change between calls (the
+/// parameter estimator does exactly that). Copyable, so it can live inside
+/// a std::function.
+class DenseJacobianEvaluator {
+ public:
+  DenseJacobianEvaluator(const CompiledJacobian* jacobian,
+                         const std::vector<double>* rates);
+
+  void operator()(double t, const double* y, double* dense_row_major);
+
+ private:
+  const CompiledJacobian* jacobian_;
+  const std::vector<double>* rates_;
+  std::vector<double> values_;
+};
+
+/// Callable adapter for solver::OdeSystem::sparse_jacobian: the compiled
+/// CSR structure maps straight onto linalg::CsrMatrix, so evaluation is one
+/// program run plus a value copy. Lifetime contract as above.
+class SparseJacobianEvaluator {
+ public:
+  SparseJacobianEvaluator(const CompiledJacobian* jacobian,
+                          const std::vector<double>* rates);
+
+  void operator()(double t, const double* y, linalg::CsrMatrix& out);
+
+ private:
+  const CompiledJacobian* jacobian_;
+  const std::vector<double>* rates_;
+};
+
+}  // namespace rms::codegen

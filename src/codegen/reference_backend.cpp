@@ -1,0 +1,135 @@
+#include "codegen/reference_backend.hpp"
+
+#include <unordered_map>
+
+#include "support/assert.hpp"
+#include "support/strings.hpp"
+
+namespace rms::codegen {
+
+namespace {
+
+using vm::Instr;
+using vm::Op;
+using vm::Program;
+
+std::uint64_t key_of(Op op, std::uint64_t a, std::uint64_t b) {
+  // Commutative ops are normalized so a*b and b*a share a value number.
+  if ((op == Op::kAdd || op == Op::kMul) && b < a) std::swap(a, b);
+  return (static_cast<std::uint64_t>(op) << 58) ^ (a * 0x9E3779B97F4A7C15ull) ^
+         (b + 0xD1B54A32D192ED03ull + (a << 21));
+}
+
+}  // namespace
+
+std::size_t required_ir_bytes(const Program& input,
+                              const BackendOptions& options) {
+  const std::size_t per_node =
+      options.bytes_per_node +
+      (options.window > 0 ? options.opt_bytes_per_node : 0);
+  return input.code.size() * per_node;
+}
+
+support::Expected<BackendResult> reference_compile(
+    const Program& input, const BackendOptions& options) {
+  BackendResult result;
+  result.input_ops = input.count_arith();
+  result.peak_ir_bytes = required_ir_bytes(input, options);
+  if (result.peak_ir_bytes > options.memory_budget_bytes) {
+    return support::resource_exhausted(support::str_format(
+        "compilation ended due to lack of space: IR requires %zu MB, budget "
+        "is %zu MB",
+        result.peak_ir_bytes >> 20, options.memory_budget_bytes >> 20));
+  }
+
+  Program& out = result.program;
+  out.consts = input.consts;
+  out.species_count = input.species_count;
+  out.rate_count = input.rate_count;
+  out.output_count = input.output_count;
+  out.code.reserve(input.code.size());
+
+  // in_to_out[r]: output register currently holding input register r's value.
+  std::vector<std::uint32_t> in_to_out(input.register_count, vm::kNoReg);
+  std::unordered_map<std::uint64_t, std::uint32_t> value_table;
+  std::uint32_t next_reg = 0;
+  std::size_t since_flush = 0;
+
+  auto emit = [&](Op op, std::uint32_t a, std::uint32_t b) {
+    const std::uint32_t dst = next_reg++;
+    out.code.push_back(Instr{op, dst, a, b});
+    return dst;
+  };
+
+  for (const Instr& instr : input.code) {
+    if (options.window > 0 && ++since_flush > options.window) {
+      // Window flush: the general optimizer's redundancy scope ends here.
+      value_table.clear();
+      since_flush = 0;
+    }
+    switch (instr.op) {
+      case Op::kLoadY:
+      case Op::kLoadK:
+      case Op::kLoadT:
+      case Op::kLoadConst: {
+        const std::uint64_t key = key_of(instr.op, instr.a, ~std::uint64_t{0});
+        if (options.window > 0) {
+          auto it = value_table.find(key);
+          if (it != value_table.end()) {
+            in_to_out[instr.dst] = it->second;
+            continue;
+          }
+        }
+        const std::uint32_t dst = emit(instr.op, instr.a, 0);
+        in_to_out[instr.dst] = dst;
+        if (options.window > 0) value_table.emplace(key, dst);
+        break;
+      }
+      case Op::kAdd:
+      case Op::kSub:
+      case Op::kMul: {
+        const std::uint32_t a = in_to_out[instr.a];
+        const std::uint32_t b = in_to_out[instr.b];
+        RMS_DCHECK(a != vm::kNoReg && b != vm::kNoReg);
+        const std::uint64_t key = key_of(instr.op, a, b);
+        if (options.window > 0) {
+          auto it = value_table.find(key);
+          if (it != value_table.end()) {
+            in_to_out[instr.dst] = it->second;
+            continue;
+          }
+        }
+        const std::uint32_t dst = emit(instr.op, a, b);
+        in_to_out[instr.dst] = dst;
+        if (options.window > 0) value_table.emplace(key, dst);
+        break;
+      }
+      case Op::kNeg: {
+        const std::uint32_t a = in_to_out[instr.a];
+        const std::uint64_t key = key_of(instr.op, a, ~std::uint64_t{0});
+        if (options.window > 0) {
+          auto it = value_table.find(key);
+          if (it != value_table.end()) {
+            in_to_out[instr.dst] = it->second;
+            continue;
+          }
+        }
+        const std::uint32_t dst = emit(instr.op, a, 0);
+        in_to_out[instr.dst] = dst;
+        if (options.window > 0) value_table.emplace(key, dst);
+        break;
+      }
+      case Op::kStoreOut: {
+        const std::uint32_t value =
+            instr.b == vm::kNoReg ? vm::kNoReg : in_to_out[instr.b];
+        out.code.push_back(Instr{Op::kStoreOut, 0, instr.a, value});
+        break;
+      }
+    }
+  }
+  out.register_count = next_reg;
+  result.output_ops = out.count_arith();
+  return result;
+}
+
+}  // namespace rms::codegen

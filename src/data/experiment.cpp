@@ -1,0 +1,95 @@
+#include "data/experiment.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "support/strings.hpp"
+
+namespace rms::data {
+
+using support::Status;
+
+support::Expected<ExperimentData> parse_experiment(const std::string& text) {
+  ExperimentData data;
+  std::size_t line_number = 0;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    std::string_view line = support::trim(
+        std::string_view(text).substr(start, end - start));
+    start = end + 1;
+    ++line_number;
+    if (line.empty()) {
+      if (start > text.size()) break;
+      continue;
+    }
+    if (line[0] == '#') {
+      std::string_view body = support::trim(line.substr(1));
+      if (support::starts_with(body, "name:")) {
+        data.name = std::string(support::trim(body.substr(5)));
+      } else if (support::starts_with(body, "property:")) {
+        data.property = std::string(support::trim(body.substr(9)));
+      }
+      continue;
+    }
+    auto fields = support::split_whitespace(line);
+    if (fields.size() != 2) {
+      return support::parse_error(support::str_format(
+          "experiment line %zu: expected '<t> <value>'", line_number));
+    }
+    double t = 0.0;
+    double v = 0.0;
+    if (!support::parse_double(fields[0], t) ||
+        !support::parse_double(fields[1], v)) {
+      return support::parse_error(support::str_format(
+          "experiment line %zu: malformed number", line_number));
+    }
+    if (!data.times.empty() && t <= data.times.back()) {
+      return support::parse_error(support::str_format(
+          "experiment line %zu: times must be strictly increasing",
+          line_number));
+    }
+    data.times.push_back(t);
+    data.values.push_back(v);
+  }
+  if (data.times.empty()) {
+    return support::parse_error("experiment file contains no records");
+  }
+  return data;
+}
+
+support::Expected<ExperimentData> read_experiment_file(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return support::not_found("cannot open experiment file: " + path);
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return parse_experiment(buffer.str());
+}
+
+std::string format_experiment(const ExperimentData& data) {
+  std::string out = "# rms-experiment v1\n";
+  if (!data.name.empty()) out += "# name: " + data.name + "\n";
+  if (!data.property.empty()) out += "# property: " + data.property + "\n";
+  for (std::size_t i = 0; i < data.times.size(); ++i) {
+    out += support::str_format("%.9g %.9g\n", data.times[i], data.values[i]);
+  }
+  return out;
+}
+
+Status write_experiment_file(const std::string& path,
+                             const ExperimentData& data) {
+  std::ofstream out(path);
+  if (!out) {
+    return support::invalid_argument("cannot open for writing: " + path);
+  }
+  out << format_experiment(data);
+  return out.good() ? Status::ok()
+                    : support::internal_error("write failed: " + path);
+}
+
+}  // namespace rms::data

@@ -1,0 +1,30 @@
+#include "estimator/estimator.hpp"
+
+namespace rms::estimator {
+
+support::Expected<EstimationResult> estimate_parameters(
+    ObjectiveFunction& objective, std::vector<double> x0,
+    const std::vector<double>& lower_bounds,
+    const std::vector<double>& upper_bounds,
+    const EstimatorOptions& options) {
+  auto residual_fn = [&objective](const linalg::Vector& x,
+                                  linalg::Vector& r) -> support::Status {
+    return objective.evaluate(x, r);
+  };
+  auto lm = nlopt::bounded_least_squares(residual_fn, objective.residual_size(),
+                                         std::move(x0), lower_bounds,
+                                         upper_bounds, options.levmar);
+  if (!lm.is_ok()) return lm.status();
+
+  EstimationResult result;
+  result.rate_constants = lm->x;
+  result.final_cost = lm->cost;
+  result.iterations = lm->iterations;
+  result.objective_evaluations = lm->residual_evaluations;
+  result.converged = lm->converged;
+  result.message = lm->message;
+  result.file_times = objective.last_file_times();
+  return result;
+}
+
+}  // namespace rms::estimator

@@ -1,0 +1,173 @@
+#include "estimator/objective.hpp"
+
+#include <algorithm>
+#include <mutex>
+
+#include "parallel/minimpi.hpp"
+#include "parallel/schedule.hpp"
+#include "solver/adams_gear.hpp"
+#include "support/assert.hpp"
+#include "support/strings.hpp"
+#include "support/timer.hpp"
+#include "vm/interpreter.hpp"
+
+namespace rms::estimator {
+
+using support::Status;
+
+ObjectiveFunction::ObjectiveFunction(const vm::Program& program,
+                                     data::Observable observable,
+                                     std::vector<Experiment> experiments,
+                                     std::vector<std::uint32_t> estimated_slots,
+                                     std::vector<double> base_rates,
+                                     ObjectiveOptions options)
+    : program_(&program),
+      observable_(std::move(observable)),
+      experiments_(std::move(experiments)),
+      estimated_slots_(std::move(estimated_slots)),
+      base_rates_(std::move(base_rates)),
+      options_(options) {
+  for (const Experiment& e : experiments_) {
+    max_records_ = std::max(max_records_, e.data.record_count());
+  }
+  file_times_.assign(experiments_.size(), 0.0);
+}
+
+std::size_t ObjectiveFunction::residual_size() const {
+  if (options_.layout == ResidualLayout::kGlobalPerTimestep) {
+    return max_records_;
+  }
+  std::size_t total = 0;
+  for (const Experiment& e : experiments_) total += e.data.record_count();
+  return total;
+}
+
+Status ObjectiveFunction::solve_file(std::size_t file_index,
+                                     const std::vector<double>& prefactors,
+                                     std::vector<double>& local_errors,
+                                     double& solve_seconds) const {
+  const Experiment& experiment = experiments_[file_index];
+  support::WallTimer timer;
+
+  // Evaluate the rate law at the file's cure temperature: Arrhenius slots
+  // combine the (possibly estimated) prefactor with their activation
+  // energy; plain slots pass through.
+  std::vector<double> rates = prefactors;
+  if (options_.rate_table != nullptr && experiment.temperature > 0.0) {
+    for (std::uint32_t s = 0; s < rates.size(); ++s) {
+      rates[s] = options_.rate_table->value_with_prefactor(
+          s, prefactors[s], experiment.temperature);
+    }
+  }
+
+  // Each call builds its own interpreter: the register file is per-worker
+  // state and ranks run concurrently.
+  vm::Interpreter interpreter(*program_);
+  solver::OdeSystem system;
+  system.dimension = program_->species_count;
+  system.rhs = [&interpreter, &rates](double t, const double* y, double* ydot) {
+    interpreter.run(t, y, rates.data(), ydot);
+  };
+  solver::IntegrationOptions integration = options_.integration;
+  if (options_.compiled_jacobian != nullptr) {
+    system.sparse_jacobian =
+        codegen::SparseJacobianEvaluator(options_.compiled_jacobian, &rates);
+    integration.newton_linear_solver = solver::NewtonLinearSolver::kSparseLu;
+  }
+
+  solver::AdamsGear integrator(system, integration);
+  RMS_RETURN_IF_ERROR(
+      integrator.initialize(experiment.data.times.empty()
+                                ? 0.0
+                                : std::min(0.0, experiment.data.times.front()),
+                            experiment.initial_state));
+
+  // Offset of this file's records in the per-file layout.
+  std::size_t offset = 0;
+  if (options_.layout == ResidualLayout::kPerFileRecord) {
+    for (std::size_t f = 0; f < file_index; ++f) {
+      offset += experiments_[f].data.record_count();
+    }
+  }
+
+  std::vector<double> y;
+  for (std::size_t j = 0; j < experiment.data.record_count(); ++j) {
+    RMS_RETURN_IF_ERROR(integrator.advance_to(experiment.data.times[j], y));
+    const double simulated = observable_.measure(y);
+    const double difference = simulated - experiment.data.values[j];
+    if (options_.layout == ResidualLayout::kGlobalPerTimestep) {
+      local_errors[j] += difference;
+    } else {
+      local_errors[offset + j] = difference;
+    }
+  }
+  solve_seconds = timer.seconds();
+  return Status::ok();
+}
+
+Status ObjectiveFunction::evaluate(const linalg::Vector& x,
+                                   linalg::Vector& residuals) {
+  if (x.size() != estimated_slots_.size()) {
+    return support::invalid_argument(support::str_format(
+        "expected %zu parameters, got %zu", estimated_slots_.size(),
+        x.size()));
+  }
+  std::vector<double> rates = base_rates_;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    RMS_CHECK(estimated_slots_[i] < rates.size());
+    rates[estimated_slots_[i]] = x[i];
+  }
+
+  // Schedule: block distribution, or LPT on the previous call's times
+  // ("at the next objective function call, every processor will receive the
+  //  balanced workload calculated by the current objective function call").
+  const int ranks = std::max(options_.ranks, 1);
+  const bool have_times =
+      *std::max_element(file_times_.begin(), file_times_.end()) > 0.0;
+  if (options_.dynamic_load_balancing && have_times) {
+    assignment_ = parallel::lpt_schedule(file_times_, ranks);
+  } else {
+    assignment_ = parallel::block_schedule(experiments_.size(), ranks);
+  }
+
+  const std::size_t m = residual_size();
+  residuals.assign(m, 0.0);
+  std::vector<double> new_times(experiments_.size(), 0.0);
+
+  Status first_error = Status::ok();
+  std::mutex error_mutex;
+
+  if (ranks == 1) {
+    for (std::size_t f = 0; f < experiments_.size(); ++f) {
+      RMS_RETURN_IF_ERROR(solve_file(f, rates, residuals, new_times[f]));
+    }
+  } else {
+    // Fig. 9: every rank solves its files into a local error vector, then
+    // Allreduce(SUM) combines error vectors and timing vectors.
+    parallel::run_parallel(ranks, [&](parallel::Communicator& comm) {
+      std::vector<double> local_errors(m, 0.0);
+      std::vector<double> local_times(experiments_.size(), 0.0);
+      for (std::size_t f = 0; f < experiments_.size(); ++f) {
+        if (assignment_[f] != comm.rank()) continue;
+        Status s = solve_file(f, rates, local_errors, local_times[f]);
+        if (!s.is_ok()) {
+          std::lock_guard<std::mutex> lock(error_mutex);
+          if (first_error.is_ok()) first_error = s;
+        }
+      }
+      comm.all_reduce_sum(local_errors);
+      comm.all_reduce_sum(local_times);
+      if (comm.rank() == 0) {
+        for (std::size_t i = 0; i < m; ++i) residuals[i] = local_errors[i];
+        new_times = local_times;
+      }
+      comm.barrier();
+    });
+    RMS_RETURN_IF_ERROR(first_error);
+  }
+
+  file_times_ = std::move(new_times);
+  return Status::ok();
+}
+
+}  // namespace rms::estimator

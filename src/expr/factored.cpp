@@ -1,0 +1,195 @@
+#include "expr/factored.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "support/assert.hpp"
+#include "support/strings.hpp"
+
+namespace rms::expr {
+
+namespace {
+
+std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
+  h ^= v + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+  h = (h ^ (h >> 30)) * 0xBF58476D1CE4E5B9ull;
+  return h ^ (h >> 27);
+}
+
+}  // namespace
+
+FactoredTerm::FactoredTerm(const Product& p) : coeff(p.coeff) {
+  factors = p.factors;
+}
+
+FactoredTerm::FactoredTerm(const FactoredTerm& other)
+    : coeff(other.coeff), factors(other.factors) {
+  if (other.sub) sub = std::make_unique<FactoredSum>(*other.sub);
+}
+
+FactoredTerm& FactoredTerm::operator=(const FactoredTerm& other) {
+  if (this != &other) {
+    coeff = other.coeff;
+    factors = other.factors;
+    sub = other.sub ? std::make_unique<FactoredSum>(*other.sub) : nullptr;
+  }
+  return *this;
+}
+
+int FactoredTerm::compare(const FactoredTerm& other) const {
+  const std::size_t n = std::min(factors.size(), other.factors.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (factors[i] < other.factors[i]) return -1;
+    if (other.factors[i] < factors[i]) return 1;
+  }
+  if (factors.size() != other.factors.size()) {
+    return factors.size() < other.factors.size() ? -1 : 1;
+  }
+  if (coeff != other.coeff) return coeff < other.coeff ? -1 : 1;
+  const bool a_sub = sub != nullptr;
+  const bool b_sub = other.sub != nullptr;
+  if (a_sub != b_sub) return a_sub ? 1 : -1;
+  if (!a_sub) return 0;
+  return sub->compare(*other.sub);
+}
+
+std::uint64_t FactoredTerm::hash() const {
+  std::uint64_t h = 0x9E3779B97F4A7C15ull;
+  for (VarId v : factors) h = mix(h, v.packed());
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(coeff));
+  std::memcpy(&bits, &coeff, sizeof(bits));
+  h = mix(h, bits);
+  if (sub) h = mix(h, sub->hash());
+  return h;
+}
+
+std::size_t FactoredTerm::multiply_count() const {
+  std::size_t multiplicands = factors.size();
+  if (sub) multiplicands += 1;
+  if (coeff != 1.0 && coeff != -1.0) multiplicands += 1;
+  std::size_t count = multiplicands > 0 ? multiplicands - 1 : 0;
+  if (sub) count += sub->multiply_count();
+  return count;
+}
+
+std::size_t FactoredTerm::add_sub_count() const {
+  return sub ? sub->add_sub_count() : 0;
+}
+
+std::string FactoredTerm::to_string() const {
+  Product head;
+  head.coeff = coeff;
+  head.factors = factors;
+  std::string out = head.to_string();
+  if (sub) {
+    const bool head_is_trivial =
+        factors.empty() && (coeff == 1.0 || coeff == -1.0);
+    if (head_is_trivial) {
+      out = (coeff == -1.0 ? "-" : "");
+    } else {
+      out += "*";
+    }
+    out += "(" + sub->to_string() + ")";
+  }
+  return out;
+}
+
+double EvalEnv::value_of(VarId v) const {
+  switch (v.kind) {
+    case VarKind::kSpecies:
+      RMS_CHECK(species != nullptr && v.index < species->size());
+      return (*species)[v.index];
+    case VarKind::kRateConst:
+      RMS_CHECK(rate_consts != nullptr && v.index < rate_consts->size());
+      return (*rate_consts)[v.index];
+    case VarKind::kTemp:
+      RMS_CHECK(temps != nullptr && v.index < temps->size());
+      return (*temps)[v.index];
+    case VarKind::kTime:
+      return t;
+  }
+  RMS_UNREACHABLE();
+}
+
+FactoredSum FactoredSum::from_sum_of_products(const SumOfProducts& sop) {
+  FactoredSum out;
+  out.terms_.reserve(sop.size());
+  for (const Product& p : sop.terms()) {
+    if (p.coeff == 0.0) continue;
+    out.terms_.emplace_back(p);
+  }
+  return out;
+}
+
+void FactoredSum::sort_canonical() {
+  for (FactoredTerm& t : terms_) {
+    if (t.sub) t.sub->sort_canonical();
+  }
+  std::sort(terms_.begin(), terms_.end(),
+            [](const FactoredTerm& a, const FactoredTerm& b) {
+              return a.compare(b) < 0;
+            });
+}
+
+int FactoredSum::compare(const FactoredSum& other) const {
+  const std::size_t n = std::min(terms_.size(), other.terms_.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const int c = terms_[i].compare(other.terms_[i]);
+    if (c != 0) return c;
+  }
+  if (terms_.size() != other.terms_.size()) {
+    return terms_.size() < other.terms_.size() ? -1 : 1;
+  }
+  return 0;
+}
+
+std::uint64_t FactoredSum::hash() const {
+  std::uint64_t h = 0x853C49E6748FEA9Bull;
+  for (const FactoredTerm& t : terms_) h = mix(h, t.hash());
+  return h;
+}
+
+double FactoredSum::evaluate(const EvalEnv& env) const {
+  double sum = 0.0;
+  for (const FactoredTerm& t : terms_) {
+    double prod = t.coeff;
+    for (VarId v : t.factors) prod *= env.value_of(v);
+    if (t.sub) prod *= t.sub->evaluate(env);
+    sum += prod;
+  }
+  return sum;
+}
+
+std::size_t FactoredSum::multiply_count() const {
+  std::size_t count = 0;
+  for (const FactoredTerm& t : terms_) count += t.multiply_count();
+  return count;
+}
+
+std::size_t FactoredSum::add_sub_count() const {
+  std::size_t count = terms_.empty() ? 0 : terms_.size() - 1;
+  for (const FactoredTerm& t : terms_) count += t.add_sub_count();
+  return count;
+}
+
+std::string FactoredSum::to_string() const {
+  std::string out;
+  bool first = true;
+  for (const FactoredTerm& t : terms_) {
+    std::string term = t.to_string();
+    if (first) {
+      out = term;
+      first = false;
+    } else if (!term.empty() && term[0] == '-') {
+      out += " - " + term.substr(1);
+    } else {
+      out += " + " + term;
+    }
+  }
+  if (first) out = "0";
+  return out;
+}
+
+}  // namespace rms::expr

@@ -1,0 +1,94 @@
+// Factored expression trees: the result of the distributive optimization.
+//
+// DistOpt (paper §3.2, Fig. 6) rewrites a flat sum-of-products into nested
+// factored form: k1*B*C + k1*B*D + k1*E*F  ->  k1*(B*(C+D) + E*F).
+// A FactoredSum is a sum of FactoredTerms; each FactoredTerm multiplies a
+// coefficient, a sorted factor list, and an optional nested FactoredSum.
+// After CSE, factor lists and sum terms may reference kTemp variables.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "expr/product.hpp"
+#include "expr/varid.hpp"
+#include "support/small_vector.hpp"
+
+namespace rms::expr {
+
+class FactoredSum;
+
+/// coeff * factors[0] * ... * factors[n-1] * (sub ? sum(sub) : 1)
+struct FactoredTerm {
+  double coeff = 1.0;
+  support::SmallVector<VarId, 4> factors;
+  std::unique_ptr<FactoredSum> sub;
+
+  FactoredTerm() = default;
+  explicit FactoredTerm(const Product& p);
+  FactoredTerm(const FactoredTerm& other);
+  FactoredTerm(FactoredTerm&&) = default;
+  FactoredTerm& operator=(const FactoredTerm& other);
+  FactoredTerm& operator=(FactoredTerm&&) = default;
+
+  /// Recursive structural order: factors, then coeff, then sub-sum.
+  [[nodiscard]] int compare(const FactoredTerm& other) const;
+  [[nodiscard]] bool equals(const FactoredTerm& other) const {
+    return compare(other) == 0;
+  }
+
+  /// Recursive structural hash consistent with equals().
+  [[nodiscard]] std::uint64_t hash() const;
+
+  [[nodiscard]] std::size_t multiply_count() const;
+  [[nodiscard]] std::size_t add_sub_count() const;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Dense variable environment for tree evaluation (tests / reference paths).
+struct EvalEnv {
+  const std::vector<double>* species = nullptr;
+  const std::vector<double>* rate_consts = nullptr;
+  const std::vector<double>* temps = nullptr;
+  double t = 0.0;
+
+  [[nodiscard]] double value_of(VarId v) const;
+};
+
+class FactoredSum {
+ public:
+  FactoredSum() = default;
+
+  /// Converts a flat sum-of-products (each product becomes one term).
+  static FactoredSum from_sum_of_products(const SumOfProducts& sop);
+
+  std::vector<FactoredTerm>& terms() { return terms_; }
+  [[nodiscard]] const std::vector<FactoredTerm>& terms() const { return terms_; }
+  [[nodiscard]] bool empty() const { return terms_.empty(); }
+  [[nodiscard]] std::size_t size() const { return terms_.size(); }
+
+  /// Sorts terms into the canonical structural order (paper §3.3 requires
+  /// every expression's terms in canonical lexicographic order before CSE).
+  void sort_canonical();
+
+  [[nodiscard]] int compare(const FactoredSum& other) const;
+  [[nodiscard]] bool equals(const FactoredSum& other) const {
+    return compare(other) == 0;
+  }
+  [[nodiscard]] std::uint64_t hash() const;
+
+  [[nodiscard]] double evaluate(const EvalEnv& env) const;
+
+  [[nodiscard]] std::size_t multiply_count() const;
+  [[nodiscard]] std::size_t add_sub_count() const;
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<FactoredTerm> terms_;
+};
+
+}  // namespace rms::expr

@@ -1,0 +1,212 @@
+#include "expr/product.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/assert.hpp"
+#include "support/strings.hpp"
+
+namespace rms::expr {
+
+namespace {
+
+/// Stable mixing for 64-bit hash combination (splitmix64 finalizer).
+std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
+  h ^= v + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+  h = (h ^ (h >> 30)) * 0xBF58476D1CE4E5B9ull;
+  return h ^ (h >> 27);
+}
+
+std::string variable_name(VarId v) {
+  switch (v.kind) {
+    case VarKind::kSpecies: return support::str_format("y%u", v.index);
+    case VarKind::kRateConst: return support::str_format("k%u", v.index);
+    case VarKind::kTemp: return support::str_format("temp%u", v.index);
+    case VarKind::kTime: return "t";
+  }
+  return "?";
+}
+
+}  // namespace
+
+Product::Product(double c, std::initializer_list<VarId> fs) : coeff(c) {
+  for (VarId v : fs) factors.push_back(v);
+  normalize();
+}
+
+void Product::normalize() { std::sort(factors.begin(), factors.end()); }
+
+bool Product::same_variables(const Product& other) const {
+  return factors == other.factors;
+}
+
+bool Product::contains(VarId v) const {
+  return std::binary_search(factors.begin(), factors.end(), v);
+}
+
+void Product::divide_by(VarId v) {
+  auto it = std::lower_bound(factors.begin(), factors.end(), v);
+  RMS_CHECK_MSG(it != factors.end() && *it == v,
+                "divide_by: factor not present in product");
+  factors.erase(it);
+}
+
+std::uint64_t Product::variables_hash() const {
+  std::uint64_t h = 0x2545F4914F6CDD1Dull;
+  for (VarId v : factors) h = mix(h, v.packed());
+  return h;
+}
+
+std::size_t Product::multiply_count() const {
+  if (factors.empty()) return 0;
+  std::size_t count = factors.size() - 1;
+  if (coeff != 1.0 && coeff != -1.0) ++count;
+  return count;
+}
+
+int Product::compare(const Product& other) const {
+  const std::size_t n = std::min(factors.size(), other.factors.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (factors[i] < other.factors[i]) return -1;
+    if (other.factors[i] < factors[i]) return 1;
+  }
+  if (factors.size() != other.factors.size()) {
+    return factors.size() < other.factors.size() ? -1 : 1;
+  }
+  if (coeff != other.coeff) return coeff < other.coeff ? -1 : 1;
+  return 0;
+}
+
+std::string Product::to_string() const {
+  std::string out;
+  if (coeff == -1.0 && !factors.empty()) {
+    out = "-";
+  } else if (coeff != 1.0 || factors.empty()) {
+    // Integral coefficients render without a decimal point.
+    if (coeff == std::floor(coeff) && std::fabs(coeff) < 1e15) {
+      out = support::str_format("%lld", static_cast<long long>(coeff));
+    } else {
+      out = support::str_format("%g", coeff);
+    }
+    if (!factors.empty()) out += "*";
+  }
+  for (std::size_t i = 0; i < factors.size(); ++i) {
+    if (i > 0) out += "*";
+    out += variable_name(factors[i]);
+  }
+  return out;
+}
+
+void SumOfProducts::add_combining(Product p) {
+  p.normalize();
+  const std::uint64_t h = p.variables_hash();
+  auto it = index_.find(h);
+  if (it != index_.end()) {
+    for (std::uint32_t idx : it->second) {
+      if (terms_[idx].same_variables(p)) {
+        terms_[idx].coeff += p.coeff;
+        return;
+      }
+    }
+  }
+  index_[h].push_back(static_cast<std::uint32_t>(terms_.size()));
+  terms_.push_back(std::move(p));
+}
+
+void SumOfProducts::add_raw(Product p) {
+  p.normalize();
+  terms_.push_back(std::move(p));
+}
+
+void SumOfProducts::compact() {
+  std::size_t w = 0;
+  for (std::size_t r = 0; r < terms_.size(); ++r) {
+    if (terms_[r].coeff != 0.0) {
+      if (w != r) terms_[w] = std::move(terms_[r]);
+      ++w;
+    }
+  }
+  terms_.resize(w);
+  // The hash index is position-based; rebuild it.
+  index_.clear();
+  for (std::size_t i = 0; i < terms_.size(); ++i) {
+    index_[terms_[i].variables_hash()].push_back(static_cast<std::uint32_t>(i));
+  }
+}
+
+void SumOfProducts::sort_canonical() {
+  compact();
+  std::sort(terms_.begin(), terms_.end(),
+            [](const Product& a, const Product& b) { return a.compare(b) < 0; });
+  index_.clear();
+  for (std::size_t i = 0; i < terms_.size(); ++i) {
+    index_[terms_[i].variables_hash()].push_back(static_cast<std::uint32_t>(i));
+  }
+}
+
+double variable_value(VarId v, const std::vector<double>& species,
+                      const std::vector<double>& rate_consts, double t) {
+  switch (v.kind) {
+    case VarKind::kSpecies:
+      RMS_CHECK(v.index < species.size());
+      return species[v.index];
+    case VarKind::kRateConst:
+      RMS_CHECK(v.index < rate_consts.size());
+      return rate_consts[v.index];
+    case VarKind::kTime:
+      return t;
+    case VarKind::kTemp:
+      RMS_CHECK_MSG(false, "temps cannot appear in sum-of-products form");
+  }
+  RMS_UNREACHABLE();
+}
+
+double SumOfProducts::evaluate(const std::vector<double>& species,
+                               const std::vector<double>& rate_consts,
+                               double t) const {
+  double sum = 0.0;
+  for (const Product& p : terms_) {
+    double prod = p.coeff;
+    for (VarId v : p.factors) prod *= variable_value(v, species, rate_consts, t);
+    sum += prod;
+  }
+  return sum;
+}
+
+std::size_t SumOfProducts::multiply_count() const {
+  std::size_t count = 0;
+  for (const Product& p : terms_) {
+    if (p.coeff == 0.0) continue;
+    count += p.multiply_count();
+  }
+  return count;
+}
+
+std::size_t SumOfProducts::add_sub_count() const {
+  std::size_t nonzero = 0;
+  for (const Product& p : terms_) {
+    if (p.coeff != 0.0) ++nonzero;
+  }
+  return nonzero == 0 ? 0 : nonzero - 1;
+}
+
+std::string SumOfProducts::to_string() const {
+  std::string out;
+  bool first = true;
+  for (const Product& p : terms_) {
+    if (p.coeff == 0.0) continue;
+    std::string term = p.to_string();
+    if (first) {
+      out = term;
+      first = false;
+    } else if (!term.empty() && term[0] == '-') {
+      out += " - " + term.substr(1);
+    } else {
+      out += " + " + term;
+    }
+  }
+  if (first) out = "0";
+  return out;
+}
+
+}  // namespace rms::expr

@@ -1,0 +1,111 @@
+// Sum-of-products: the canonical, fully non-distributed expression form.
+//
+// The equation generator produces each ODE right-hand side as a sum of
+// products "coeff * v1 * v2 * ..." with the factor list kept in canonical
+// lexicographic order (paper §3.3: "a canonical fully non-distributed
+// representation is best"). The algebraic optimizer consumes this form.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "expr/varid.hpp"
+#include "support/small_vector.hpp"
+
+namespace rms::expr {
+
+/// One product term: coeff * factors[0] * factors[1] * ...
+/// Invariant: factors are sorted by the canonical VarId order (duplicates
+/// allowed — e.g. k * A * A for a second-order self-reaction).
+struct Product {
+  double coeff = 1.0;
+  support::SmallVector<VarId, 4> factors;
+
+  Product() = default;
+  Product(double c, std::initializer_list<VarId> fs);
+
+  /// Restores the sorted-factors invariant after external mutation.
+  void normalize();
+
+  /// True if the variable part (ignoring coeff) equals `other`'s.
+  [[nodiscard]] bool same_variables(const Product& other) const;
+
+  /// True if `v` occurs among the factors.
+  [[nodiscard]] bool contains(VarId v) const;
+
+  /// Removes ONE occurrence of `v` (which must be present).
+  void divide_by(VarId v);
+
+  /// Hash of the variable part only (used for like-term combining).
+  [[nodiscard]] std::uint64_t variables_hash() const;
+
+  /// Multiplications needed to evaluate this product:
+  /// (#factors - 1) between factors, +1 if the coefficient is not +/-1,
+  /// and 0 for a bare +/-coeff constant.
+  [[nodiscard]] std::size_t multiply_count() const;
+
+  /// Stable total order on (factors, coeff) — canonical term order.
+  [[nodiscard]] int compare(const Product& other) const;
+
+  /// Rendering for goldens/debugging, e.g. "-2*k1*A*B".
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// An equation right-hand side: sum of product terms.
+///
+/// The paper's equation table stores one of these per species as a doubly
+/// linked list of nodes; we use a contiguous vector plus a hash index that
+/// implements the on-the-fly like-term combining of §3.1 in O(1) per insert.
+class SumOfProducts {
+ public:
+  SumOfProducts() = default;
+  SumOfProducts(const SumOfProducts&) = default;
+  SumOfProducts(SumOfProducts&&) = default;
+  SumOfProducts& operator=(const SumOfProducts&) = default;
+  SumOfProducts& operator=(SumOfProducts&&) = default;
+
+  /// Adds `p`, combining with an existing term that has the same variable
+  /// part (equation simplification, paper §3.1: 2*k*B*C + 3*k*B*C -> 5*k*B*C).
+  /// Terms whose coefficient cancels to zero stay until compact().
+  void add_combining(Product p);
+
+  /// Adds `p` verbatim with no combining — used to build the *unoptimized*
+  /// code the paper's baselines measure.
+  void add_raw(Product p);
+
+  /// Drops zero-coefficient terms produced by exact cancellation.
+  void compact();
+
+  [[nodiscard]] const std::vector<Product>& terms() const { return terms_; }
+  [[nodiscard]] std::vector<Product>& terms() { return terms_; }
+  [[nodiscard]] bool empty() const { return terms_.empty(); }
+  [[nodiscard]] std::size_t size() const { return terms_.size(); }
+
+  /// Compacts and sorts terms into canonical order.
+  void sort_canonical();
+
+  /// Numeric evaluation given dense variable values; temps are not allowed
+  /// in this form. Used by semantic-preservation property tests.
+  [[nodiscard]] double evaluate(const std::vector<double>& species,
+                                const std::vector<double>& rate_consts,
+                                double t) const;
+
+  /// Operation counts for the unoptimized form (zero terms excluded).
+  [[nodiscard]] std::size_t multiply_count() const;
+  [[nodiscard]] std::size_t add_sub_count() const;
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<Product> terms_;
+  // variables_hash -> indices of candidate like terms (verified structurally).
+  std::unordered_map<std::uint64_t, support::SmallVector<std::uint32_t, 2>> index_;
+};
+
+/// Value of a single variable from the dense environment (shared helper).
+double variable_value(VarId v, const std::vector<double>& species,
+                      const std::vector<double>& rate_consts, double t);
+
+}  // namespace rms::expr

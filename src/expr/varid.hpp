@@ -1,0 +1,54 @@
+// Typed variable references used throughout the generated ODE code.
+//
+// The paper's CSE exploits the fact that the compiler controls name
+// generation: a variable *name* can stand for its *value* (§3.3). VarId is
+// that name — a (kind, index) pair with a total "canonical lexicographic"
+// order used to keep every expression sorted.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace rms::expr {
+
+enum class VarKind : std::uint8_t {
+  kSpecies = 0,    ///< concentration y[index]
+  kRateConst = 1,  ///< kinetic rate constant k[index]
+  kTemp = 2,       ///< CSE temporary temp[index]
+  kTime = 3,       ///< the independent variable t
+};
+
+struct VarId {
+  VarKind kind = VarKind::kSpecies;
+  std::uint32_t index = 0;
+
+  static VarId species(std::uint32_t i) { return {VarKind::kSpecies, i}; }
+  static VarId rate_const(std::uint32_t i) { return {VarKind::kRateConst, i}; }
+  static VarId temp(std::uint32_t i) { return {VarKind::kTemp, i}; }
+  static VarId time() { return {VarKind::kTime, 0}; }
+
+  friend bool operator==(VarId a, VarId b) {
+    return a.kind == b.kind && a.index == b.index;
+  }
+  friend bool operator!=(VarId a, VarId b) { return !(a == b); }
+
+  /// Canonical lexicographic order: species < rate constants < temps < time,
+  /// then by index. All sorted expression forms use this order.
+  friend bool operator<(VarId a, VarId b) {
+    if (a.kind != b.kind) return a.kind < b.kind;
+    return a.index < b.index;
+  }
+
+  [[nodiscard]] std::uint64_t packed() const {
+    return (static_cast<std::uint64_t>(kind) << 32) | index;
+  }
+};
+
+}  // namespace rms::expr
+
+template <>
+struct std::hash<rms::expr::VarId> {
+  std::size_t operator()(rms::expr::VarId v) const noexcept {
+    return std::hash<std::uint64_t>()(v.packed());
+  }
+};

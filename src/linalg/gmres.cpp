@@ -1,0 +1,137 @@
+#include "linalg/gmres.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/assert.hpp"
+
+namespace rms::linalg {
+
+namespace {
+
+void apply_preconditioner(const Vector& inverse_diagonal, const Vector& in,
+                          Vector& out) {
+  if (inverse_diagonal.empty()) {
+    out = in;
+    return;
+  }
+  out.resize(in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    out[i] = in[i] * inverse_diagonal[i];
+  }
+}
+
+}  // namespace
+
+GmresResult gmres(const LinearOperator& apply, const Vector& b, Vector& x,
+                  const GmresOptions& options,
+                  const Vector& inverse_diagonal) {
+  const std::size_t n = b.size();
+  if (x.size() != n) x.assign(n, 0.0);
+  GmresResult result;
+
+  const double b_norm = norm2(b);
+  if (b_norm == 0.0) {
+    x.assign(n, 0.0);
+    result.converged = true;
+    return result;
+  }
+
+  const std::size_t m = std::max<std::size_t>(options.restart, 1);
+  std::vector<Vector> basis(m + 1);
+  // Hessenberg in column-major-ish (h[j] holds column j, length j+2).
+  std::vector<Vector> h(m);
+  Vector cs(m, 0.0);
+  Vector sn(m, 0.0);
+  Vector g(m + 1, 0.0);
+  Vector work(n);
+  Vector precond(n);
+
+  while (result.iterations < options.max_iterations) {
+    // r = b - A x.
+    apply(x, work);
+    Vector r(n);
+    for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - work[i];
+    double beta = norm2(r);
+    result.relative_residual = beta / b_norm;
+    if (result.relative_residual <= options.tolerance) {
+      result.converged = true;
+      return result;
+    }
+
+    basis[0] = r;
+    for (double& v : basis[0]) v /= beta;
+    std::fill(g.begin(), g.end(), 0.0);
+    g[0] = beta;
+
+    std::size_t k = 0;
+    for (; k < m && result.iterations < options.max_iterations; ++k) {
+      ++result.iterations;
+      // w = A M^-1 v_k.
+      apply_preconditioner(inverse_diagonal, basis[k], precond);
+      apply(precond, work);
+
+      // Modified Gram-Schmidt.
+      h[k].assign(k + 2, 0.0);
+      for (std::size_t i = 0; i <= k; ++i) {
+        h[k][i] = dot(work, basis[i]);
+        axpy(-h[k][i], basis[i], work);
+      }
+      h[k][k + 1] = norm2(work);
+      if (h[k][k + 1] > 1e-300) {
+        basis[k + 1] = work;
+        for (double& v : basis[k + 1]) v /= h[k][k + 1];
+      } else {
+        basis[k + 1].assign(n, 0.0);  // happy breakdown
+      }
+
+      // Apply the accumulated Givens rotations, then create a new one.
+      for (std::size_t i = 0; i < k; ++i) {
+        const double temp = cs[i] * h[k][i] + sn[i] * h[k][i + 1];
+        h[k][i + 1] = -sn[i] * h[k][i] + cs[i] * h[k][i + 1];
+        h[k][i] = temp;
+      }
+      const double denom =
+          std::sqrt(h[k][k] * h[k][k] + h[k][k + 1] * h[k][k + 1]);
+      if (denom < 1e-300) {
+        cs[k] = 1.0;
+        sn[k] = 0.0;
+      } else {
+        cs[k] = h[k][k] / denom;
+        sn[k] = h[k][k + 1] / denom;
+      }
+      h[k][k] = cs[k] * h[k][k] + sn[k] * h[k][k + 1];
+      h[k][k + 1] = 0.0;
+      const double g_next = -sn[k] * g[k];
+      g[k] = cs[k] * g[k];
+      g[k + 1] = g_next;
+
+      result.relative_residual = std::fabs(g[k + 1]) / b_norm;
+      if (result.relative_residual <= options.tolerance) {
+        ++k;
+        break;
+      }
+    }
+
+    // Back-substitute for the Krylov coefficients and update x.
+    Vector yk(k, 0.0);
+    for (std::size_t ii = k; ii-- > 0;) {
+      double sum = g[ii];
+      for (std::size_t j = ii + 1; j < k; ++j) sum -= h[j][ii] * yk[j];
+      RMS_CHECK(std::fabs(h[ii][ii]) > 0.0);
+      yk[ii] = sum / h[ii][ii];
+    }
+    Vector update(n, 0.0);
+    for (std::size_t j = 0; j < k; ++j) axpy(yk[j], basis[j], update);
+    apply_preconditioner(inverse_diagonal, update, precond);
+    for (std::size_t i = 0; i < n; ++i) x[i] += precond[i];
+
+    if (result.relative_residual <= options.tolerance) {
+      result.converged = true;
+      return result;
+    }
+  }
+  return result;
+}
+
+}  // namespace rms::linalg

@@ -1,0 +1,38 @@
+// Restarted GMRES for abstract linear operators.
+//
+// Solves A x = b where A is only available as a matrix-vector product —
+// the form the Jacobian-free Newton-Krylov path of the Adams-Gear solver
+// needs (A v = d0*v - J v, with J v approximated by a directional
+// difference of the RHS). Arnoldi with modified Gram-Schmidt and Givens
+// rotations; optional diagonal (Jacobi) right preconditioning.
+#pragma once
+
+#include <functional>
+
+#include "linalg/matrix.hpp"
+
+namespace rms::linalg {
+
+/// y = A * x.
+using LinearOperator = std::function<void(const Vector& x, Vector& y)>;
+
+struct GmresOptions {
+  std::size_t restart = 30;       ///< Krylov subspace size per cycle
+  std::size_t max_iterations = 300;
+  double tolerance = 1e-8;        ///< relative residual target
+};
+
+struct GmresResult {
+  bool converged = false;
+  std::size_t iterations = 0;
+  double relative_residual = 0.0;
+};
+
+/// Solves A x = b from initial guess x (updated in place). When
+/// `inverse_diagonal` is non-empty it is used as a Jacobi right
+/// preconditioner: A M^-1 u = b with x = M^-1 u, M = diag(1 ./ inv_diag).
+GmresResult gmres(const LinearOperator& apply, const Vector& b, Vector& x,
+                  const GmresOptions& options = {},
+                  const Vector& inverse_diagonal = {});
+
+}  // namespace rms::linalg

@@ -1,0 +1,91 @@
+#include "linalg/lu.hpp"
+
+#include <cmath>
+
+namespace rms::linalg {
+
+bool LuFactorization::factor(const Matrix& a) {
+  RMS_CHECK(a.rows() == a.cols());
+  const std::size_t n = a.rows();
+  lu_ = a;
+  perm_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) perm_[i] = i;
+  ok_ = true;
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivoting: pick the largest magnitude entry in column k.
+    std::size_t pivot = k;
+    double pivot_mag = std::fabs(lu_(k, k));
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double mag = std::fabs(lu_(i, k));
+      if (mag > pivot_mag) {
+        pivot_mag = mag;
+        pivot = i;
+      }
+    }
+    if (pivot_mag == 0.0 || !std::isfinite(pivot_mag)) {
+      ok_ = false;
+      return false;
+    }
+    if (pivot != k) {
+      std::swap(perm_[k], perm_[pivot]);
+      double* rk = lu_.row(k);
+      double* rp = lu_.row(pivot);
+      for (std::size_t j = 0; j < n; ++j) std::swap(rk[j], rp[j]);
+    }
+    const double inv_pivot = 1.0 / lu_(k, k);
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double factor = lu_(i, k) * inv_pivot;
+      lu_(i, k) = factor;
+      if (factor == 0.0) continue;
+      const double* rk = lu_.row(k);
+      double* ri = lu_.row(i);
+      for (std::size_t j = k + 1; j < n; ++j) ri[j] -= factor * rk[j];
+    }
+  }
+  return true;
+}
+
+void LuFactorization::solve(const Vector& b, Vector& x) const {
+  RMS_CHECK(ok_);
+  const std::size_t n = lu_.rows();
+  RMS_CHECK(b.size() == n);
+  x.resize(n);
+  // Apply permutation, then forward substitution (L has unit diagonal).
+  for (std::size_t i = 0; i < n; ++i) x[i] = b[perm_[i]];
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* ri = lu_.row(i);
+    double sum = x[i];
+    for (std::size_t j = 0; j < i; ++j) sum -= ri[j] * x[j];
+    x[i] = sum;
+  }
+  // Back substitution with U.
+  for (std::size_t ii = n; ii-- > 0;) {
+    const double* ri = lu_.row(ii);
+    double sum = x[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) sum -= ri[j] * x[j];
+    x[ii] = sum / ri[ii];
+  }
+}
+
+void LuFactorization::solve_in_place(Vector& b) const {
+  Vector x;
+  solve(b, x);
+  b = std::move(x);
+}
+
+double LuFactorization::abs_determinant() const {
+  RMS_CHECK(ok_);
+  double det = 1.0;
+  for (std::size_t i = 0; i < lu_.rows(); ++i) det *= std::fabs(lu_(i, i));
+  return det;
+}
+
+bool solve_linear_system(const Matrix& a, const Vector& b, Vector& x) {
+  LuFactorization lu;
+  if (!lu.factor(a)) return false;
+  lu.solve(b, x);
+  return true;
+}
+
+}  // namespace rms::linalg

@@ -1,0 +1,44 @@
+// LU factorization with partial pivoting.
+//
+// The modified-Newton iteration inside the Adams-Gear solver factors the
+// iteration matrix (I - h*beta*J) once and reuses the factors across Newton
+// steps and, when possible, across time steps.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace rms::linalg {
+
+class LuFactorization {
+ public:
+  LuFactorization() = default;
+
+  /// Factors `a` in place (copy kept internally). Returns false if the
+  /// matrix is numerically singular.
+  bool factor(const Matrix& a);
+
+  /// Solves L*U*x = P*b. factor() must have succeeded.
+  void solve(const Vector& b, Vector& x) const;
+
+  /// In-place convenience: b is replaced with the solution.
+  void solve_in_place(Vector& b) const;
+
+  [[nodiscard]] bool ok() const { return ok_; }
+  [[nodiscard]] std::size_t dimension() const { return lu_.rows(); }
+
+  /// |det A| growth proxy: product of |pivots| (useful in tests only).
+  [[nodiscard]] double abs_determinant() const;
+
+ private:
+  Matrix lu_;
+  std::vector<std::size_t> perm_;
+  bool ok_ = false;
+};
+
+/// One-shot helper: solves A x = b; returns false if A is singular.
+bool solve_linear_system(const Matrix& a, const Vector& b, Vector& x);
+
+}  // namespace rms::linalg

@@ -1,0 +1,78 @@
+#include "linalg/qr.hpp"
+
+#include <cmath>
+
+namespace rms::linalg {
+
+bool QrFactorization::factor(const Matrix& a) {
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  RMS_CHECK(m >= n);
+  qr_ = a;
+  tau_.assign(n, 0.0);
+  ok_ = true;
+
+  // Rank-deficiency threshold relative to the overall matrix scale.
+  const double tolerance = a.frobenius_norm() * 1e-12;
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Householder vector for column k, rows k..m-1.
+    double norm_sq = 0.0;
+    for (std::size_t i = k; i < m; ++i) norm_sq += qr_(i, k) * qr_(i, k);
+    const double norm = std::sqrt(norm_sq);
+    if (norm <= tolerance || !std::isfinite(norm)) {
+      ok_ = false;
+      return false;
+    }
+    const double alpha = qr_(k, k) >= 0.0 ? -norm : norm;
+    const double v0 = qr_(k, k) - alpha;
+    // Normalize so v[k] = 1 implicitly; store v[i]/v0 below the diagonal.
+    for (std::size_t i = k + 1; i < m; ++i) qr_(i, k) /= v0;
+    tau_[k] = -v0 / alpha;  // beta such that H = I - beta * v * v^T
+    qr_(k, k) = alpha;      // R diagonal entry
+
+    // Apply H to the remaining columns.
+    for (std::size_t j = k + 1; j < n; ++j) {
+      double s = qr_(k, j);
+      for (std::size_t i = k + 1; i < m; ++i) s += qr_(i, k) * qr_(i, j);
+      s *= tau_[k];
+      qr_(k, j) -= s;
+      for (std::size_t i = k + 1; i < m; ++i) qr_(i, j) -= s * qr_(i, k);
+    }
+  }
+  return true;
+}
+
+void QrFactorization::solve_least_squares(const Vector& b, Vector& x) const {
+  RMS_CHECK(ok_);
+  const std::size_t m = qr_.rows();
+  const std::size_t n = qr_.cols();
+  RMS_CHECK(b.size() == m);
+  Vector y = b;
+
+  // y = Q^T b by applying Householder reflections in order.
+  for (std::size_t k = 0; k < n; ++k) {
+    double s = y[k];
+    for (std::size_t i = k + 1; i < m; ++i) s += qr_(i, k) * y[i];
+    s *= tau_[k];
+    y[k] -= s;
+    for (std::size_t i = k + 1; i < m; ++i) y[i] -= s * qr_(i, k);
+  }
+
+  // Back substitution with R.
+  x.assign(n, 0.0);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double sum = y[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) sum -= qr_(ii, j) * x[j];
+    x[ii] = sum / qr_(ii, ii);
+  }
+}
+
+bool solve_least_squares(const Matrix& a, const Vector& b, Vector& x) {
+  QrFactorization qr;
+  if (!qr.factor(a)) return false;
+  qr.solve_least_squares(b, x);
+  return true;
+}
+
+}  // namespace rms::linalg

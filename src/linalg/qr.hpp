@@ -1,0 +1,34 @@
+// Householder QR for least-squares subproblems.
+//
+// The bounded Levenberg-Marquardt optimizer solves the damped system
+// [J; sqrt(lambda) I] dx = [r; 0] — QR keeps that well-conditioned even when
+// J^T J would lose half the digits.
+#pragma once
+
+#include <cstddef>
+
+#include "linalg/matrix.hpp"
+
+namespace rms::linalg {
+
+class QrFactorization {
+ public:
+  /// Factors the m x n matrix `a` (m >= n). Returns false if a column is
+  /// numerically rank deficient.
+  bool factor(const Matrix& a);
+
+  /// Minimizes ||A x - b||_2; b has m entries, x gets n entries.
+  void solve_least_squares(const Vector& b, Vector& x) const;
+
+  [[nodiscard]] bool ok() const { return ok_; }
+
+ private:
+  Matrix qr_;          // Householder vectors below the diagonal, R on/above.
+  Vector tau_;         // Householder scalar factors.
+  bool ok_ = false;
+};
+
+/// One-shot helper; returns false on rank deficiency.
+bool solve_least_squares(const Matrix& a, const Vector& b, Vector& x);
+
+}  // namespace rms::linalg

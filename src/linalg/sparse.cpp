@@ -1,0 +1,265 @@
+#include "linalg/sparse.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/assert.hpp"
+
+namespace rms::linalg {
+
+void CsrMatrix::multiply(const Vector& x, Vector& y) const {
+  RMS_CHECK(x.size() == cols);
+  y.assign(rows, 0.0);
+  for (std::size_t r = 0; r < rows; ++r) {
+    double sum = 0.0;
+    for (std::uint32_t e = row_offsets[r]; e < row_offsets[r + 1]; ++e) {
+      sum += values[e] * x[col_indices[e]];
+    }
+    y[r] = sum;
+  }
+}
+
+CsrMatrix CsrMatrix::from_dense(const Matrix& dense, double threshold) {
+  CsrMatrix out;
+  out.rows = dense.rows();
+  out.cols = dense.cols();
+  out.row_offsets.reserve(out.rows + 1);
+  out.row_offsets.push_back(0);
+  for (std::size_t r = 0; r < out.rows; ++r) {
+    for (std::size_t c = 0; c < out.cols; ++c) {
+      const double v = dense(r, c);
+      if (std::fabs(v) > threshold) {
+        out.col_indices.push_back(static_cast<std::uint32_t>(c));
+        out.values.push_back(v);
+      }
+    }
+    out.row_offsets.push_back(static_cast<std::uint32_t>(out.values.size()));
+  }
+  return out;
+}
+
+Matrix CsrMatrix::to_dense() const {
+  Matrix out(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::uint32_t e = row_offsets[r]; e < row_offsets[r + 1]; ++e) {
+      out(r, col_indices[e]) = values[e];
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Column-compressed copy of a CSR matrix (the left-looking factorization
+/// consumes columns).
+struct CscView {
+  std::vector<std::uint32_t> col_offsets;
+  std::vector<std::uint32_t> row_indices;
+  std::vector<double> values;
+
+  explicit CscView(const CsrMatrix& a) {
+    col_offsets.assign(a.cols + 1, 0);
+    for (std::uint32_t c : a.col_indices) ++col_offsets[c + 1];
+    for (std::size_t c = 0; c < a.cols; ++c) {
+      col_offsets[c + 1] += col_offsets[c];
+    }
+    row_indices.resize(a.nonzero_count());
+    values.resize(a.nonzero_count());
+    std::vector<std::uint32_t> cursor(col_offsets.begin(),
+                                      col_offsets.end() - 1);
+    for (std::size_t r = 0; r < a.rows; ++r) {
+      for (std::uint32_t e = a.row_offsets[r]; e < a.row_offsets[r + 1]; ++e) {
+        const std::uint32_t c = a.col_indices[e];
+        row_indices[cursor[c]] = static_cast<std::uint32_t>(r);
+        values[cursor[c]] = a.values[e];
+        ++cursor[c];
+      }
+    }
+  }
+};
+
+constexpr std::uint32_t kNotPivotal = ~std::uint32_t{0};
+constexpr std::uint32_t kNever = ~std::uint32_t{0};
+
+}  // namespace
+
+bool SparseLu::factor(const CsrMatrix& a) {
+  RMS_CHECK(a.rows == a.cols);
+  n_ = a.rows;
+  ok_ = false;
+  lower_.assign(n_, {});
+  upper_.assign(n_, {});
+  diagonal_.assign(n_, 0.0);
+  row_permutation_.assign(n_, kNotPivotal);
+
+  const CscView csc(a);
+
+  // pivot_rows[c]: the original row chosen as column c's pivot.
+  std::vector<std::uint32_t> pivot_rows;
+  pivot_rows.reserve(n_);
+
+  // Dense accumulator, DFS visit stamps (per column j) and scatter stamps.
+  std::vector<double> work(n_, 0.0);
+  std::vector<std::uint32_t> visit_stamp(n_, kNever);    // per column
+  std::vector<std::uint32_t> scatter_stamp(n_, kNever);  // per row
+  std::vector<std::uint32_t> topo;       // reverse topological column order
+  std::vector<std::uint32_t> dfs_stack;
+  std::vector<std::uint32_t> dfs_pos;
+  std::vector<std::uint32_t> touched;    // rows scattered into `work`
+
+  auto touch = [&](std::uint32_t row, std::uint32_t j) {
+    if (scatter_stamp[row] != j) {
+      scatter_stamp[row] = j;
+      work[row] = 0.0;
+      touched.push_back(row);
+    }
+  };
+
+  for (std::uint32_t j = 0; j < n_; ++j) {
+    topo.clear();
+    touched.clear();
+
+    // Reach of A(:,j) through the graph of L: every already-pivotal column
+    // feeding column j's sparse triangular solve, collected in reverse
+    // topological (DFS finish) order.
+    auto dfs_from = [&](std::uint32_t start_column) {
+      if (visit_stamp[start_column] == j) return;
+      visit_stamp[start_column] = j;
+      dfs_stack.assign(1, start_column);
+      dfs_pos.assign(1, 0);
+      while (!dfs_stack.empty()) {
+        const std::uint32_t column = dfs_stack.back();
+        bool descended = false;
+        const SparseColumn& lcol = lower_[column];
+        for (std::uint32_t& k = dfs_pos.back(); k < lcol.indices.size();) {
+          const std::uint32_t child = row_permutation_[lcol.indices[k]];
+          ++k;
+          if (child != kNotPivotal && visit_stamp[child] != j) {
+            visit_stamp[child] = j;
+            dfs_stack.push_back(child);
+            dfs_pos.push_back(0);
+            descended = true;
+            break;
+          }
+        }
+        if (!descended) {
+          topo.push_back(column);
+          dfs_stack.pop_back();
+          dfs_pos.pop_back();
+        }
+      }
+    };
+
+    // Scatter A(:,j); seed the DFS from its already-pivotal rows.
+    for (std::uint32_t e = csc.col_offsets[j]; e < csc.col_offsets[j + 1];
+         ++e) {
+      const std::uint32_t row = csc.row_indices[e];
+      touch(row, j);
+      work[row] += csc.values[e];
+      const std::uint32_t column = row_permutation_[row];
+      if (column != kNotPivotal) dfs_from(column);
+    }
+
+    // Sparse triangular solve in topological order (topo holds reverse
+    // topological order, so process back-to-front).
+    for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+      const std::uint32_t column = *it;
+      const double xc = work[pivot_rows[column]];
+      if (xc == 0.0) continue;
+      const SparseColumn& lcol = lower_[column];
+      for (std::size_t k = 0; k < lcol.indices.size(); ++k) {
+        const std::uint32_t row = lcol.indices[k];
+        touch(row, j);
+        work[row] -= xc * lcol.values[k];
+        // Fill-in below the current column may reach further pivotal rows;
+        // the DFS already accounted for them via L's graph, so no extra
+        // traversal is needed here.
+      }
+    }
+
+    // Partial pivoting among the not-yet-pivotal rows.
+    std::uint32_t pivot_row = kNotPivotal;
+    double pivot_magnitude = 0.0;
+    for (std::uint32_t row : touched) {
+      if (row_permutation_[row] != kNotPivotal) continue;
+      const double magnitude = std::fabs(work[row]);
+      if (magnitude > pivot_magnitude) {
+        pivot_magnitude = magnitude;
+        pivot_row = row;
+      }
+    }
+    if (pivot_row == kNotPivotal || pivot_magnitude == 0.0 ||
+        !std::isfinite(pivot_magnitude)) {
+      return false;  // numerically or structurally singular
+    }
+
+    const double pivot = work[pivot_row];
+    diagonal_[j] = pivot;
+    row_permutation_[pivot_row] = j;
+    pivot_rows.push_back(pivot_row);
+
+    SparseColumn& lcol = lower_[j];
+    SparseColumn& ucol = upper_[j];
+    for (std::uint32_t row : touched) {
+      const double value = work[row];
+      if (value == 0.0 || row == pivot_row) continue;
+      const std::uint32_t pivotal_at = row_permutation_[row];
+      if (pivotal_at != kNotPivotal) {
+        ucol.indices.push_back(pivotal_at);
+        ucol.values.push_back(value);
+      } else {
+        lcol.indices.push_back(row);
+        lcol.values.push_back(value / pivot);
+      }
+    }
+  }
+
+  // Remap L's original-row indices to pivot positions for fast solves.
+  for (SparseColumn& column : lower_) {
+    for (std::uint32_t& row : column.indices) {
+      row = row_permutation_[row];
+    }
+  }
+  ok_ = true;
+  return true;
+}
+
+void SparseLu::solve(const Vector& b, Vector& x) const {
+  RMS_CHECK(ok_);
+  RMS_CHECK(b.size() == n_);
+  // y = P b.
+  Vector y(n_);
+  for (std::size_t row = 0; row < n_; ++row) {
+    y[row_permutation_[row]] = b[row];
+  }
+  // Forward solve L y = y (unit diagonal, column-oriented).
+  for (std::size_t j = 0; j < n_; ++j) {
+    const double yj = y[j];
+    if (yj == 0.0) continue;
+    const SparseColumn& lcol = lower_[j];
+    for (std::size_t k = 0; k < lcol.indices.size(); ++k) {
+      y[lcol.indices[k]] -= yj * lcol.values[k];
+    }
+  }
+  // Back solve U x = y (column-oriented: U(:,j) holds the above-diagonal
+  // entries of column j, indexed by their pivot columns).
+  for (std::size_t jj = n_; jj-- > 0;) {
+    y[jj] /= diagonal_[jj];
+    const double xj = y[jj];
+    if (xj == 0.0) continue;
+    const SparseColumn& ucol = upper_[jj];
+    for (std::size_t k = 0; k < ucol.indices.size(); ++k) {
+      y[ucol.indices[k]] -= xj * ucol.values[k];
+    }
+  }
+  x = std::move(y);
+}
+
+std::size_t SparseLu::factor_nonzeros() const {
+  std::size_t count = n_;  // diagonal
+  for (const SparseColumn& c : lower_) count += c.indices.size();
+  for (const SparseColumn& c : upper_) count += c.indices.size();
+  return count;
+}
+
+}  // namespace rms::linalg

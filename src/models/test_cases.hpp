@@ -1,0 +1,68 @@
+// The five benchmark test cases (paper §5.1, Table 1).
+//
+// The paper's test cases are five vulcanization kinetic models of growing
+// size — 450 / 10,000 / 24,500 / 125,000 / 250,000 equations — that share
+// the same 10 distinct kinetic parameters and differ in how many molecule
+// variants the compact RDL families expand into. We reproduce that scaling
+// with a combinatorial network builder: the species are the accelerator
+// polysulfides A(n), crosslink precursors B(n,v) and crosslinks C(n,v) for
+// chain lengths n = 1..N and formulation/site variants v = 1..V, plus the
+// hub species S8, AcH and RH(v). The reaction families (initiation, sulfur
+// insertion, rubber attack, crosslinking, desulfuration, exchange,
+// degradation) use exactly 10 rate constants and mirror the structure the
+// graph-chemistry path produces, so the optimizer sees the same kind of
+// redundancy — shared mass-action products and long cross-equation sums —
+// at any requested scale. (Building 250,000 molecular graphs would add
+// nothing; the ODE pipeline consumes species identities. The chemistry
+// itself is validated on the graph path in models/vulcanization.)
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "models/vulcanization.hpp"
+#include "network/generator.hpp"
+#include "support/status.hpp"
+
+namespace rms::models {
+
+struct SyntheticNetworkConfig {
+  int chain_lengths = 8;  ///< N
+  int variants = 18;      ///< V
+};
+
+/// Builds the synthetic vulcanization reaction network (species and
+/// reactions only; 10 rate constants named k1..k10).
+network::ReactionNetwork synthetic_vulcanization_network(
+    const SyntheticNetworkConfig& config);
+
+/// The 10 kinetic parameters shared by all test cases.
+rcip::RateTable test_case_rate_table();
+
+/// Expected species count for a configuration: 3*N*V + V + 2.
+std::size_t synthetic_species_count(const SyntheticNetworkConfig& config);
+
+struct TestCaseSpec {
+  const char* name;
+  SyntheticNetworkConfig paper_scale;   ///< matches the paper's equation count
+  std::size_t paper_equations;          ///< Table 1 row 1
+  std::size_t paper_multiplies;         ///< Table 1: unoptimized "*"
+  std::size_t paper_add_subs;           ///< Table 1: unoptimized "+ and -"
+  double paper_time_unoptimized;        ///< seconds (Table 1), 0 = failed
+  double paper_time_optimized;          ///< seconds (Table 1)
+};
+
+inline constexpr int kTestCaseCount = 5;
+
+/// Table 1 metadata for test case 1..5.
+const TestCaseSpec& test_case_spec(int index);
+
+/// Configuration scaled to roughly `scale` times the paper's equation count
+/// (variants shrink first; chain lengths only for very small scales).
+SyntheticNetworkConfig scaled_config(int index, double scale);
+
+/// Builds the full pipeline artifacts for a synthetic test case.
+support::Expected<BuiltModel> build_test_case(
+    const SyntheticNetworkConfig& config);
+
+}  // namespace rms::models

@@ -1,0 +1,254 @@
+#include "network/generator.hpp"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "chem/canonical.hpp"
+#include "chem/edit.hpp"
+#include "support/strings.hpp"
+
+namespace rms::network {
+
+namespace {
+
+using rdl::ActionDecl;
+using rdl::CompiledAction;
+using rdl::CompiledModel;
+using rdl::CompiledRule;
+using support::Expected;
+using support::Status;
+
+/// Key identifying a reaction up to embedding multiplicity.
+struct ReactionKey {
+  std::vector<SpeciesId> reactants;
+  std::vector<SpeciesId> products;
+  std::string rate_name;
+  std::string rule_name;
+
+  bool operator<(const ReactionKey& other) const {
+    return std::tie(reactants, products, rate_name, rule_name) <
+           std::tie(other.reactants, other.products, other.rate_name,
+                    other.rule_name);
+  }
+};
+
+class NetworkBuilder {
+ public:
+  NetworkBuilder(const CompiledModel& model, const GeneratorOptions& options)
+      : model_(model), options_(options) {
+    forbidden_.insert(model.forbidden_canonical.begin(),
+                      model.forbidden_canonical.end());
+  }
+
+  Expected<ReactionNetwork> build() {
+    // Seed with declared species.
+    for (const rdl::CompiledSpecies& s : model_.species) {
+      const SpeciesId id = network_.species.add(s.molecule, s.name);
+      network_.species.entry(id).init_concentration = s.init_concentration;
+      network_.species.entry(id).seed = true;
+    }
+
+    // Fixed point: keep applying rules while new species appear.
+    std::size_t processed_pairs_marker = 0;
+    for (int round = 0; round < options_.max_rounds; ++round) {
+      const std::size_t species_before = network_.species.size();
+      const std::size_t reactions_before = reaction_index_.size();
+
+      for (const CompiledRule& rule : model_.rules) {
+        Status s = rule.molecularity == 1 ? apply_unimolecular(rule)
+                                          : apply_bimolecular(rule);
+        if (!s.is_ok()) return s;
+      }
+      (void)processed_pairs_marker;
+      if (network_.species.size() == species_before &&
+          reaction_index_.size() == reactions_before) {
+        break;  // converged
+      }
+      if (network_.species.size() > options_.max_species) {
+        return support::resource_exhausted(support::str_format(
+            "reaction network exceeded %zu species; tighten rule context "
+            "constraints or raise GeneratorOptions::max_species",
+            options_.max_species));
+      }
+      if (reaction_index_.size() > options_.max_reactions) {
+        return support::resource_exhausted(support::str_format(
+            "reaction network exceeded %zu reactions", options_.max_reactions));
+      }
+    }
+
+    // Materialize reactions in deterministic order.
+    for (const auto& [key, multiplicity] : reaction_index_) {
+      Reaction r;
+      for (SpeciesId id : key.reactants) r.reactants.push_back(id);
+      for (SpeciesId id : key.products) r.products.push_back(id);
+      r.rate_name = key.rate_name;
+      r.rule_name = key.rule_name;
+      r.multiplicity = multiplicity;
+      network_.reactions.push_back(std::move(r));
+    }
+    return std::move(network_);
+  }
+
+ private:
+  Status apply_unimolecular(const CompiledRule& rule) {
+    // Only species not yet seen by this rule are processed (watermark), so a
+    // fixed-point round never recounts embeddings into the multiplicity.
+    const SpeciesId limit = static_cast<SpeciesId>(network_.species.size());
+    const SpeciesId start = watermark_[&rule];
+    watermark_[&rule] = limit;
+    for (SpeciesId id = start; id < limit; ++id) {
+      const chem::Molecule mol = network_.species.entry(id).molecule;
+      for (const chem::Embedding& embedding : rule.pattern.match(mol)) {
+        RMS_RETURN_IF_ERROR(
+            apply_embedding(rule, mol, embedding, {id}));
+      }
+    }
+    return Status::ok();
+  }
+
+  Status apply_bimolecular(const CompiledRule& rule) {
+    // Unordered pairs with at least one endpoint the rule has not seen yet;
+    // the reaction key dedup collapses the symmetric double counting into
+    // multiplicity.
+    const SpeciesId limit = static_cast<SpeciesId>(network_.species.size());
+    const SpeciesId start = watermark_[&rule];
+    watermark_[&rule] = limit;
+    for (SpeciesId a = 0; a < limit; ++a) {
+      for (SpeciesId b = std::max(a, start); b < limit; ++b) {
+        const chem::Molecule& ma = network_.species.entry(a).molecule;
+        const chem::Molecule& mb = network_.species.entry(b).molecule;
+        // Combined disconnected graph: A's atoms then B's atoms.
+        chem::Molecule combined = ma;
+        const chem::AtomIndex offset =
+            static_cast<chem::AtomIndex>(ma.atom_count());
+        for (chem::AtomIndex i = 0; i < mb.atom_count(); ++i) {
+          const chem::Atom& atom = mb.atom(i);
+          combined.add_atom(atom.element, atom.hydrogens, atom.charge);
+        }
+        for (chem::BondIndex bi = 0; bi < mb.bond_count(); ++bi) {
+          const chem::Bond& bond = mb.bond(bi);
+          combined.add_bond(offset + bond.a, offset + bond.b, bond.order);
+        }
+        for (const chem::Embedding& embedding : rule.pattern.match(combined)) {
+          // Require a genuinely bimolecular embedding: sites must touch
+          // both fragments (an embedding inside one fragment is the
+          // unimolecular version of the reaction and is produced by a
+          // dedicated unimolecular rule if the chemist wants it).
+          bool uses_a = false;
+          bool uses_b = false;
+          for (chem::AtomIndex atom : embedding) {
+            (atom < offset ? uses_a : uses_b) = true;
+          }
+          if (!uses_a || !uses_b) continue;
+          RMS_RETURN_IF_ERROR(apply_embedding(rule, combined, embedding,
+                                              a == b
+                                                  ? std::vector<SpeciesId>{a, a}
+                                                  : std::vector<SpeciesId>{a, b}));
+        }
+      }
+    }
+    return Status::ok();
+  }
+
+  Status apply_embedding(const CompiledRule& rule, const chem::Molecule& input,
+                         const chem::Embedding& embedding,
+                         std::vector<SpeciesId> reactants) {
+    chem::Molecule work = input;
+    for (const CompiledAction& action : rule.actions) {
+      const chem::AtomIndex a = embedding[action.site_a];
+      const chem::AtomIndex b =
+          action.kind == ActionDecl::Kind::kRemoveH ||
+                  action.kind == ActionDecl::Kind::kAddH
+              ? 0
+              : embedding[action.site_b];
+      Status s;
+      switch (action.kind) {
+        case ActionDecl::Kind::kDisconnect:
+          s = chem::disconnect(work, a, b);
+          break;
+        case ActionDecl::Kind::kConnect:
+          s = chem::connect(work, a, b, static_cast<std::uint8_t>(action.argument));
+          break;
+        case ActionDecl::Kind::kIncBond:
+          s = chem::increase_bond_order(work, a, b);
+          break;
+        case ActionDecl::Kind::kDecBond:
+          s = chem::decrease_bond_order(work, a, b);
+          break;
+        case ActionDecl::Kind::kRemoveH:
+          s = chem::remove_hydrogen(work, a);
+          break;
+        case ActionDecl::Kind::kAddH:
+          s = chem::add_hydrogen(work, a, action.argument);
+          break;
+      }
+      // An action that is chemically impossible at this embedding (e.g.
+      // connect with no free valence) silently skips the embedding: the
+      // pattern selected a site the action set cannot legally transform.
+      if (!s.is_ok()) return Status::ok();
+    }
+
+    // Split and canonicalize products; check forbidden forms and the
+    // molecule size guard.
+    std::vector<SpeciesId> products;
+    for (chem::Molecule& fragment : work.split_fragments()) {
+      if (fragment.atom_count() > options_.max_atoms_per_species) {
+        return Status::ok();
+      }
+      for (const chem::Pattern& pattern : model_.forbidden_substructures) {
+        if (!pattern.match_limited(fragment, 1).empty()) return Status::ok();
+      }
+      const std::string canonical = chem::canonical_smiles(fragment);
+      if (forbidden_.count(canonical) != 0) return Status::ok();
+      products.push_back(network_.species.add(std::move(fragment)));
+    }
+
+    ReactionKey key;
+    key.reactants = std::move(reactants);
+    key.products = std::move(products);
+    std::sort(key.reactants.begin(), key.reactants.end());
+    std::sort(key.products.begin(), key.products.end());
+    // A no-op transformation (products == reactants) carries no kinetics.
+    if (key.reactants == key.products) return Status::ok();
+    key.rate_name = rule.rate_name;
+    key.rule_name = rule.name;
+    reaction_index_[key] += 1.0;
+    return Status::ok();
+  }
+
+  const CompiledModel& model_;
+  GeneratorOptions options_;
+  ReactionNetwork network_;
+  std::map<ReactionKey, double> reaction_index_;
+  std::unordered_set<std::string> forbidden_;
+  std::unordered_map<const CompiledRule*, SpeciesId> watermark_;
+};
+
+}  // namespace
+
+std::string ReactionNetwork::to_string() const {
+  std::string out;
+  for (const Reaction& r : reactions) {
+    for (SpeciesId id : r.reactants) {
+      out += "- " + species.entry(id).name + " ";
+    }
+    for (SpeciesId id : r.products) {
+      out += "+ " + species.entry(id).name + " ";
+    }
+    out += "\\ [" + r.rate_name + "]";
+    if (r.multiplicity != 1.0) {
+      out += support::str_format(" x%g", r.multiplicity);
+    }
+    out += ";\n";
+  }
+  return out;
+}
+
+Expected<ReactionNetwork> generate_network(const CompiledModel& model,
+                                           const GeneratorOptions& options) {
+  return NetworkBuilder(model, options).build();
+}
+
+}  // namespace rms::network

@@ -1,0 +1,46 @@
+// Reaction network generation: fixed-point application of compiled rules.
+//
+// Starting from the declared species, every rule is applied to every species
+// (unimolecular rules) or species pair (bimolecular rules). Each embedding of
+// the rule's site pattern is transformed with the rule's edit actions; the
+// resulting fragments are canonicalized, deduplicated, checked against the
+// forbidden forms, registered, and the reaction recorded. New species feed
+// the next round until nothing new appears (or a safety cap trips).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "network/reaction.hpp"
+#include "network/registry.hpp"
+#include "rdl/sema.hpp"
+#include "support/status.hpp"
+
+namespace rms::network {
+
+struct GeneratorOptions {
+  std::size_t max_species = 20000;
+  std::size_t max_reactions = 200000;
+  int max_rounds = 64;
+  /// Products larger than this many heavy atoms are treated like forbidden
+  /// forms (the reaction is skipped). Guards against rule sets that grow
+  /// molecules without bound — the generator reports progress per round, so
+  /// a run that would explode fails fast instead of churning.
+  std::size_t max_atoms_per_species = 80;
+};
+
+struct ReactionNetwork {
+  SpeciesRegistry species;
+  std::vector<Reaction> reactions;
+
+  /// Renders the network in the paper's Fig. 3 intermediate-equation style:
+  ///   - A - B + C + C \ [K_x];
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Generates the full reaction network for a compiled RDL model.
+support::Expected<ReactionNetwork> generate_network(
+    const rdl::CompiledModel& model, const GeneratorOptions& options = {});
+
+}  // namespace rms::network

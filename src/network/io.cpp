@@ -1,0 +1,140 @@
+#include "network/io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+
+#include "support/strings.hpp"
+
+namespace rms::network {
+
+using support::Status;
+
+std::string serialize_network(const ReactionNetwork& network) {
+  std::string out = "# rms-network v1\n";
+  for (const SpeciesEntry& entry : network.species.entries()) {
+    out += support::str_format("species %s %.17g %d", entry.name.c_str(),
+                               entry.init_concentration, entry.seed ? 1 : 0);
+    if (!entry.canonical.empty() && entry.canonical != entry.name) {
+      out += " " + entry.canonical;
+    }
+    out += "\n";
+  }
+  for (const Reaction& r : network.reactions) {
+    out += support::str_format("reaction %s %s %.17g :", r.rate_name.c_str(),
+                               r.rule_name.empty() ? "-" : r.rule_name.c_str(),
+                               r.multiplicity);
+    for (SpeciesId id : r.reactants) {
+      out += " " + network.species.entry(id).name;
+    }
+    out += " =>";
+    for (SpeciesId id : r.products) {
+      out += " " + network.species.entry(id).name;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+support::Expected<ReactionNetwork> parse_network(const std::string& text) {
+  ReactionNetwork network;
+  std::unordered_map<std::string, SpeciesId> by_name;
+  std::size_t line_number = 0;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    std::string_view line =
+        support::trim(std::string_view(text).substr(start, end - start));
+    start = end + 1;
+    ++line_number;
+    if (line.empty() || line[0] == '#') continue;
+
+    const auto fields = support::split_whitespace(line);
+    auto error = [&](const char* msg) {
+      return support::parse_error(
+          support::str_format("network line %zu: %s", line_number, msg));
+    };
+
+    if (fields[0] == "species") {
+      if (fields.size() < 4 || fields.size() > 5) {
+        return error("expected 'species <name> <init> <seed> [<canonical>]'");
+      }
+      const std::string name(fields[1]);
+      double init = 0.0;
+      unsigned long seed = 0;
+      if (!support::parse_double(fields[2], init) ||
+          !support::parse_uint(fields[3], seed) || seed > 1) {
+        return error("malformed species fields");
+      }
+      if (by_name.count(name) != 0) return error("duplicate species name");
+      const SpeciesId id = network.species.add_symbolic(
+          fields.size() == 5 ? std::string(fields[4]) : name);
+      // add_symbolic keys on the identity string; keep the display name.
+      network.species.entry(id).name = name;
+      network.species.entry(id).init_concentration = init;
+      network.species.entry(id).seed = seed == 1;
+      by_name.emplace(name, id);
+      continue;
+    }
+    if (fields[0] == "reaction") {
+      if (fields.size() < 6) {
+        return error(
+            "expected 'reaction <rate> <rule> <mult> : <reactants> => "
+            "<products>'");
+      }
+      Reaction r;
+      r.rate_name = std::string(fields[1]);
+      r.rule_name = fields[2] == "-" ? "" : std::string(fields[2]);
+      double multiplicity = 1.0;
+      if (!support::parse_double(fields[3], multiplicity) ||
+          multiplicity <= 0.0) {
+        return error("malformed multiplicity");
+      }
+      r.multiplicity = multiplicity;
+      if (fields[4] != ":") return error("expected ':' after multiplicity");
+      std::size_t i = 5;
+      bool in_products = false;
+      for (; i < fields.size(); ++i) {
+        if (fields[i] == "=>") {
+          if (in_products) return error("duplicate '=>'");
+          in_products = true;
+          continue;
+        }
+        auto it = by_name.find(std::string(fields[i]));
+        if (it == by_name.end()) {
+          return error("reaction references undeclared species");
+        }
+        if (in_products) {
+          r.products.push_back(it->second);
+        } else {
+          r.reactants.push_back(it->second);
+        }
+      }
+      if (!in_products) return error("missing '=>'");
+      network.reactions.push_back(std::move(r));
+      continue;
+    }
+    return error("unknown directive (expected 'species' or 'reaction')");
+  }
+  return network;
+}
+
+Status write_network_file(const std::string& path,
+                          const ReactionNetwork& network) {
+  std::ofstream out(path);
+  if (!out) return support::invalid_argument("cannot open for writing: " + path);
+  out << serialize_network(network);
+  return out.good() ? Status::ok()
+                    : support::internal_error("write failed: " + path);
+}
+
+support::Expected<ReactionNetwork> read_network_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return support::not_found("cannot open network file: " + path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return parse_network(buffer.str());
+}
+
+}  // namespace rms::network

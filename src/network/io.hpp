@@ -1,0 +1,35 @@
+// Reaction network serialization.
+//
+// Network generation (rule application + canonicalization) is the expensive
+// front half of the pipeline; the text format here lets a generated network
+// be cached, inspected, diffed, or hand-written and re-loaded. The format is
+// line-oriented:
+//
+//   # rms-network v1
+//   species <name> <init-concentration> <seed 0|1> [<canonical-smiles>]
+//   reaction <rate> <rule> <multiplicity> : <reactants...> => <products...>
+//
+// Loaded networks are *symbolic* — molecule graphs are not round-tripped
+// (the ODE pipeline never needs them); a species' canonical SMILES is kept
+// as an opaque identity string when present.
+#pragma once
+
+#include <string>
+
+#include "network/generator.hpp"
+#include "support/status.hpp"
+
+namespace rms::network {
+
+/// Serializes a network to the text format.
+std::string serialize_network(const ReactionNetwork& network);
+
+/// Parses the text format.
+support::Expected<ReactionNetwork> parse_network(const std::string& text);
+
+/// File convenience wrappers.
+support::Status write_network_file(const std::string& path,
+                                   const ReactionNetwork& network);
+support::Expected<ReactionNetwork> read_network_file(const std::string& path);
+
+}  // namespace rms::network

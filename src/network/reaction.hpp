@@ -1,0 +1,29 @@
+// Reactions and the reaction network produced by the chemical compiler.
+//
+// A Reaction records which species are consumed and produced (with
+// multiplicity, as repeated entries) plus the kinetic rate constant name —
+// exactly the information in the paper's intermediate equations (Fig. 3):
+//   - A + B + B \ [K_A];
+// The `multiplicity` counts distinct rule embeddings yielding the same
+// transformation; it scales the mass-action rate (two equivalent reactive
+// sites react twice as fast).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "support/small_vector.hpp"
+
+namespace rms::network {
+
+using SpeciesId = std::uint32_t;
+
+struct Reaction {
+  support::SmallVector<SpeciesId, 2> reactants;  ///< consumed (repeated = stoich)
+  support::SmallVector<SpeciesId, 4> products;   ///< produced (repeated = stoich)
+  std::string rate_name;                         ///< kinetic rate constant
+  std::string rule_name;                         ///< provenance
+  double multiplicity = 1.0;                     ///< embedding count
+};
+
+}  // namespace rms::network

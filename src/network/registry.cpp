@@ -1,0 +1,42 @@
+#include "network/registry.hpp"
+
+#include "chem/canonical.hpp"
+#include "support/strings.hpp"
+
+namespace rms::network {
+
+SpeciesId SpeciesRegistry::add(chem::Molecule molecule, std::string name) {
+  std::string canonical = chem::canonical_smiles(molecule);
+  auto it = by_canonical_.find(canonical);
+  if (it != by_canonical_.end()) return it->second;
+  const SpeciesId id = static_cast<SpeciesId>(entries_.size());
+  SpeciesEntry entry;
+  entry.name = name.empty() ? support::str_format("X%u", id) : std::move(name);
+  entry.canonical = std::move(canonical);
+  entry.molecule = std::move(molecule);
+  by_canonical_.emplace(entry.canonical, id);
+  entries_.push_back(std::move(entry));
+  return id;
+}
+
+SpeciesId SpeciesRegistry::add_symbolic(std::string name) {
+  auto it = by_canonical_.find(name);
+  if (it != by_canonical_.end()) return it->second;
+  const SpeciesId id = static_cast<SpeciesId>(entries_.size());
+  SpeciesEntry entry;
+  entry.name = name;
+  entry.canonical = std::move(name);
+  by_canonical_.emplace(entry.canonical, id);
+  entries_.push_back(std::move(entry));
+  return id;
+}
+
+bool SpeciesRegistry::find_canonical(const std::string& canonical,
+                                     SpeciesId& out) const {
+  auto it = by_canonical_.find(canonical);
+  if (it == by_canonical_.end()) return false;
+  out = it->second;
+  return true;
+}
+
+}  // namespace rms::network

@@ -1,0 +1,55 @@
+// Species registry: canonical-SMILES-keyed deduplicating store.
+//
+// Every molecule the network generator creates is canonicalized; the
+// canonical string is the species identity (the role the SMILES/CDK library
+// played in the paper's chemical compiler).
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "chem/molecule.hpp"
+
+namespace rms::network {
+
+using SpeciesId = std::uint32_t;
+
+struct SpeciesEntry {
+  std::string name;       ///< display name ("CBS", "Ax_3", or auto "X12")
+  std::string canonical;  ///< canonical SMILES
+  chem::Molecule molecule;
+  double init_concentration = 0.0;
+  bool seed = false;  ///< declared in the RDL input (vs. discovered)
+};
+
+class SpeciesRegistry {
+ public:
+  /// Adds a molecule (computing its canonical form) or returns the existing
+  /// id. Auto-names discovered species "X<id>" unless `name` is non-empty.
+  SpeciesId add(chem::Molecule molecule, std::string name = {});
+
+  /// Adds a species identified by name only (no molecular graph) — used by
+  /// the synthetic scaled test-case networks, where building and
+  /// canonicalizing hundreds of thousands of molecule graphs would add
+  /// nothing: the ODE pipeline only consumes species identities.
+  SpeciesId add_symbolic(std::string name);
+
+  /// Looks up by canonical SMILES; returns false if absent.
+  bool find_canonical(const std::string& canonical, SpeciesId& out) const;
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] const SpeciesEntry& entry(SpeciesId id) const {
+    return entries_[id];
+  }
+  [[nodiscard]] SpeciesEntry& entry(SpeciesId id) { return entries_[id]; }
+  [[nodiscard]] const std::vector<SpeciesEntry>& entries() const {
+    return entries_;
+  }
+
+ private:
+  std::vector<SpeciesEntry> entries_;
+  std::unordered_map<std::string, SpeciesId> by_canonical_;
+};
+
+}  // namespace rms::network

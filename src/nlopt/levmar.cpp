@@ -1,0 +1,208 @@
+#include "nlopt/levmar.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/qr.hpp"
+#include "support/strings.hpp"
+
+namespace rms::nlopt {
+
+namespace {
+
+using linalg::Matrix;
+using linalg::Vector;
+using support::Status;
+
+double cost_of(const Vector& r) {
+  double sum = 0.0;
+  for (double v : r) sum += v * v;
+  return 0.5 * sum;
+}
+
+void clamp_to_bounds(Vector& x, const Vector& lower, const Vector& upper) {
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = std::clamp(x[i], lower[i], upper[i]);
+  }
+}
+
+}  // namespace
+
+support::Expected<LevMarResult> bounded_least_squares(
+    const ResidualFunction& residuals, std::size_t residual_size,
+    Vector x0, const Vector& lower, const Vector& upper,
+    const LevMarOptions& options) {
+  const std::size_t n = x0.size();
+  const std::size_t m = residual_size;
+  if (lower.size() != n || upper.size() != n) {
+    return support::invalid_argument("bound dimension mismatch");
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (lower[i] > upper[i]) {
+      return support::invalid_argument(support::str_format(
+          "lower bound %zu exceeds upper bound (%g > %g)", i, lower[i],
+          upper[i]));
+    }
+  }
+  if (m < n) {
+    return support::invalid_argument(
+        "fewer residuals than parameters: the problem is underdetermined");
+  }
+
+  LevMarResult result;
+  clamp_to_bounds(x0, lower, upper);
+  result.x = std::move(x0);
+
+  Vector r(m);
+  RMS_RETURN_IF_ERROR(residuals(result.x, r));
+  ++result.residual_evaluations;
+  if (r.size() != m) {
+    return support::invalid_argument("residual size mismatch");
+  }
+  result.cost = cost_of(r);
+
+  Matrix jacobian(m, n);
+  Vector r_pert(m);
+  Vector gradient(n);
+  // Marquardt column scaling: the damping acts on D dx rather than dx, so
+  // parameters of wildly different magnitudes (rate prefactors ~1e7 next to
+  // O(1) constants) take sensible steps. Scales only ever grow (MINPACK
+  // convention), keeping the trust region stable.
+  Vector scale(n, 0.0);
+  double lambda = options.initial_lambda;
+  int small_cost_reductions = 0;
+  bool jacobian_valid = false;
+
+  for (result.iterations = 0; result.iterations < options.max_iterations;
+       ++result.iterations) {
+    if (!jacobian_valid) {
+      // Forward-difference Jacobian with bound-aware perturbations: when
+      // x_j sits at its upper bound, perturb downward instead.
+      for (std::size_t j = 0; j < n; ++j) {
+        double step = options.fd_relative_step *
+                      std::max(std::fabs(result.x[j]), 1e-8);
+        if (result.x[j] + step > upper[j]) step = -step;
+        Vector x_pert = result.x;
+        x_pert[j] += step;
+        RMS_RETURN_IF_ERROR(residuals(x_pert, r_pert));
+        ++result.residual_evaluations;
+        const double inv_step = 1.0 / step;
+        for (std::size_t i = 0; i < m; ++i) {
+          jacobian(i, j) = (r_pert[i] - r[i]) * inv_step;
+        }
+      }
+      ++result.jacobian_evaluations;
+      jacobian_valid = true;
+      for (std::size_t j = 0; j < n; ++j) {
+        double column_norm_sq = 0.0;
+        for (std::size_t i = 0; i < m; ++i) {
+          column_norm_sq += jacobian(i, j) * jacobian(i, j);
+        }
+        scale[j] = std::max(scale[j], std::sqrt(column_norm_sq));
+      }
+    }
+
+    // gradient = J^T r; scale-invariant convergence check (MINPACK's gtol
+    // criterion: the cosine of the angle between r and each column of J).
+    jacobian.multiply_transpose(r, gradient);
+    const double r_norm = std::sqrt(2.0 * result.cost);
+    double gradient_measure = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      // Projected gradient: a binding bound with the gradient pushing
+      // outward contributes nothing (active-set treatment).
+      const bool at_lower = result.x[j] <= lower[j] && gradient[j] > 0.0;
+      const bool at_upper = result.x[j] >= upper[j] && gradient[j] < 0.0;
+      if (at_lower || at_upper) continue;
+      const double denom = scale[j] * r_norm;
+      if (denom > 0.0) {
+        gradient_measure =
+            std::max(gradient_measure, std::fabs(gradient[j]) / denom);
+      }
+    }
+    if (gradient_measure < options.gradient_tolerance ||
+        r_norm == 0.0) {
+      result.converged = true;
+      result.message = "projected gradient below tolerance";
+      break;
+    }
+
+    // Damped step: minimize ||[J; sqrt(lambda) I] dx + [r; 0]||.
+    bool step_accepted = false;
+    while (lambda <= options.max_lambda) {
+      Matrix stacked(m + n, n);
+      for (std::size_t i = 0; i < m; ++i) {
+        for (std::size_t j = 0; j < n; ++j) stacked(i, j) = jacobian(i, j);
+      }
+      const double sqrt_lambda = std::sqrt(lambda);
+      for (std::size_t j = 0; j < n; ++j) {
+        stacked(m + j, j) =
+            sqrt_lambda * (scale[j] > 0.0 ? scale[j] : 1.0);
+      }
+      Vector rhs(m + n, 0.0);
+      for (std::size_t i = 0; i < m; ++i) rhs[i] = -r[i];
+
+      Vector dx;
+      if (!linalg::solve_least_squares(stacked, rhs, dx)) {
+        lambda *= options.lambda_grow;
+        continue;
+      }
+
+      Vector x_new = result.x;
+      for (std::size_t j = 0; j < n; ++j) x_new[j] += dx[j];
+      clamp_to_bounds(x_new, lower, upper);
+
+      Vector r_new(m);
+      RMS_RETURN_IF_ERROR(residuals(x_new, r_new));
+      ++result.residual_evaluations;
+      const double new_cost = cost_of(r_new);
+
+      if (new_cost < result.cost && std::isfinite(new_cost)) {
+        // Accept.
+        double step_norm = 0.0;
+        double x_norm = 0.0;
+        for (std::size_t j = 0; j < n; ++j) {
+          step_norm += (x_new[j] - result.x[j]) * (x_new[j] - result.x[j]);
+          x_norm += x_new[j] * x_new[j];
+        }
+        const double relative_reduction =
+            (result.cost - new_cost) / std::max(result.cost, 1e-300);
+        result.x = std::move(x_new);
+        r = std::move(r_new);
+        result.cost = new_cost;
+        lambda = std::max(lambda * options.lambda_shrink, 1e-12);
+        jacobian_valid = false;
+        step_accepted = true;
+
+        if (std::sqrt(step_norm) <
+            options.step_tolerance * (std::sqrt(x_norm) + 1e-30)) {
+          result.converged = true;
+          result.message = "step length below tolerance";
+        }
+        if (relative_reduction < options.cost_tolerance) {
+          if (++small_cost_reductions >= 3) {
+            result.converged = true;
+            result.message = "cost reduction below tolerance";
+          }
+        } else {
+          small_cost_reductions = 0;
+        }
+        break;
+      }
+      lambda *= options.lambda_grow;
+    }
+
+    if (!step_accepted) {
+      result.converged = result.cost == 0.0;
+      result.message = "lambda exceeded maximum without an acceptable step";
+      break;
+    }
+    if (result.converged) break;
+  }
+
+  if (!result.converged && result.message.empty()) {
+    result.message = "iteration limit reached";
+  }
+  return result;
+}
+
+}  // namespace rms::nlopt

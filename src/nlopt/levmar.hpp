@@ -1,0 +1,60 @@
+// Bounded non-linear least squares (the role of IMSL's
+// imsl_f_bounded_least_squares).
+//
+// A modified Levenberg-Marquardt method [Levenberg 1944, Marquardt 1963]
+// with simple variable bounds: each damped step solves the stacked system
+//   [ J; sqrt(lambda) I ] dx = [ -r; 0 ]
+// by Householder QR, the candidate is projected onto the box (the active-set
+// treatment of binding bounds), and lambda adapts on accept/reject. The
+// Jacobian is forward-difference with bound-aware perturbations. This is
+// the estimator the Parallel Parameter Estimator wraps around the ODE
+// solver to fit kinetic rate constants to experimental data (paper §4.2).
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "linalg/matrix.hpp"
+#include "support/status.hpp"
+
+namespace rms::nlopt {
+
+/// Computes the residual vector r(x) (length fixed across calls).
+using ResidualFunction =
+    std::function<support::Status(const linalg::Vector& x, linalg::Vector& r)>;
+
+struct LevMarOptions {
+  std::size_t max_iterations = 200;
+  /// Convergence: ||J^T r||_inf below this.
+  double gradient_tolerance = 1e-8;
+  /// Convergence: relative step length below this.
+  double step_tolerance = 1e-12;
+  /// Convergence: relative cost reduction below this for 3 iterations.
+  double cost_tolerance = 1e-14;
+  double initial_lambda = 1e-3;
+  double lambda_shrink = 1.0 / 3.0;
+  double lambda_grow = 4.0;
+  double max_lambda = 1e12;
+  /// Relative forward-difference step for the Jacobian.
+  double fd_relative_step = 1e-7;
+};
+
+struct LevMarResult {
+  linalg::Vector x;
+  double cost = 0.0;  ///< 0.5 * ||r||^2
+  std::size_t iterations = 0;
+  std::size_t residual_evaluations = 0;
+  std::size_t jacobian_evaluations = 0;
+  bool converged = false;
+  std::string message;
+};
+
+/// Minimizes 0.5*||r(x)||^2 subject to lower <= x <= upper.
+/// `residual_size` is the length of r. x0 must lie inside the bounds
+/// (it is clamped if not).
+support::Expected<LevMarResult> bounded_least_squares(
+    const ResidualFunction& residuals, std::size_t residual_size,
+    linalg::Vector x0, const linalg::Vector& lower, const linalg::Vector& upper,
+    const LevMarOptions& options = {});
+
+}  // namespace rms::nlopt

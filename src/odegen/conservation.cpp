@@ -1,0 +1,94 @@
+#include "odegen/conservation.hpp"
+
+#include <cmath>
+
+#include "support/assert.hpp"
+
+namespace rms::odegen {
+
+linalg::Matrix stoichiometric_matrix(const network::ReactionNetwork& network) {
+  const std::size_t n_species = network.species.size();
+  const std::size_t n_reactions = network.reactions.size();
+  linalg::Matrix s(n_species, n_reactions);
+  for (std::size_t j = 0; j < n_reactions; ++j) {
+    const network::Reaction& r = network.reactions[j];
+    for (network::SpeciesId id : r.reactants) s(id, j) -= 1.0;
+    for (network::SpeciesId id : r.products) s(id, j) += 1.0;
+  }
+  return s;
+}
+
+std::vector<linalg::Vector> conservation_laws(
+    const network::ReactionNetwork& network, double tolerance) {
+  // Solve S^T w = 0: Gaussian elimination with partial pivoting on the
+  // (reactions x species) matrix; the free columns parameterize the basis.
+  const linalg::Matrix s = stoichiometric_matrix(network);
+  const std::size_t n_species = s.rows();
+  const std::size_t n_reactions = s.cols();
+
+  // a = S^T (dense work copy).
+  linalg::Matrix a(n_reactions, n_species);
+  for (std::size_t i = 0; i < n_species; ++i) {
+    for (std::size_t j = 0; j < n_reactions; ++j) a(j, i) = s(i, j);
+  }
+
+  std::vector<std::size_t> pivot_columns;
+  std::vector<bool> is_pivot(n_species, false);
+  std::size_t row = 0;
+  for (std::size_t col = 0; col < n_species && row < n_reactions; ++col) {
+    // Partial pivot in this column.
+    std::size_t best = row;
+    double best_magnitude = std::fabs(a(row, col));
+    for (std::size_t r = row + 1; r < n_reactions; ++r) {
+      const double magnitude = std::fabs(a(r, col));
+      if (magnitude > best_magnitude) {
+        best_magnitude = magnitude;
+        best = r;
+      }
+    }
+    if (best_magnitude <= tolerance) continue;  // free column
+    if (best != row) {
+      for (std::size_t c = 0; c < n_species; ++c) {
+        std::swap(a(row, c), a(best, c));
+      }
+    }
+    const double inv = 1.0 / a(row, col);
+    for (std::size_t c = 0; c < n_species; ++c) a(row, c) *= inv;
+    for (std::size_t r = 0; r < n_reactions; ++r) {
+      if (r == row) continue;
+      const double factor = a(r, col);
+      if (factor == 0.0) continue;
+      for (std::size_t c = 0; c < n_species; ++c) {
+        a(r, c) -= factor * a(row, c);
+      }
+    }
+    pivot_columns.push_back(col);
+    is_pivot[col] = true;
+    ++row;
+  }
+
+  // Each free column yields a basis vector: w[free] = 1,
+  // w[pivot_col(r)] = -a(r, free).
+  std::vector<linalg::Vector> basis;
+  for (std::size_t col = 0; col < n_species; ++col) {
+    if (is_pivot[col]) continue;
+    linalg::Vector w(n_species, 0.0);
+    w[col] = 1.0;
+    for (std::size_t r = 0; r < pivot_columns.size(); ++r) {
+      const double value = -a(r, col);
+      if (std::fabs(value) > tolerance) w[pivot_columns[r]] = value;
+    }
+    basis.push_back(std::move(w));
+  }
+  return basis;
+}
+
+double conserved_value(const linalg::Vector& law,
+                       const std::vector<double>& y) {
+  RMS_CHECK(law.size() == y.size());
+  double total = 0.0;
+  for (std::size_t i = 0; i < law.size(); ++i) total += law[i] * y[i];
+  return total;
+}
+
+}  // namespace rms::odegen

@@ -1,0 +1,34 @@
+// Conservation-law analysis of reaction networks.
+//
+// Mass-action dynamics obey dy/dt = S r(y) with S the stoichiometric matrix
+// (species x reactions); every vector w in the left null space of S is a
+// conserved quantity: d(w . y)/dt = 0 along every trajectory. Vulcanization
+// networks conserve, e.g., total accelerator residue and total rubber
+// sites. The basis computed here powers both model sanity checks ("did the
+// rule set leak atoms?") and solver validation (integrated trajectories
+// must keep w . y constant to solver tolerance).
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "network/generator.hpp"
+
+namespace rms::odegen {
+
+/// S[i][j] = net stoichiometric coefficient of species i in reaction j
+/// (products positive, reactants negative; multiplicity is a rate factor,
+/// not a stoichiometry, and is excluded).
+linalg::Matrix stoichiometric_matrix(const network::ReactionNetwork& network);
+
+/// Basis of the left null space of S (each vector has one entry per
+/// species). Vectors are normalized so the first nonzero entry is +1.
+/// `tolerance` bounds what counts as numerically zero during elimination.
+std::vector<linalg::Vector> conservation_laws(
+    const network::ReactionNetwork& network, double tolerance = 1e-9);
+
+/// Convenience: w . y.
+double conserved_value(const linalg::Vector& law,
+                       const std::vector<double>& y);
+
+}  // namespace rms::odegen

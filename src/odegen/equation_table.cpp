@@ -1,0 +1,85 @@
+#include "odegen/equation_table.hpp"
+
+#include "support/assert.hpp"
+
+namespace rms::odegen {
+
+std::size_t EquationTable::multiply_count() const {
+  std::size_t count = 0;
+  for (const expr::SumOfProducts& eq : equations_) count += eq.multiply_count();
+  return count;
+}
+
+std::size_t EquationTable::add_sub_count() const {
+  std::size_t count = 0;
+  for (const expr::SumOfProducts& eq : equations_) count += eq.add_sub_count();
+  return count;
+}
+
+void EquationTable::evaluate(const std::vector<double>& species,
+                             const std::vector<double>& rate_consts, double t,
+                             std::vector<double>& dydt) const {
+  dydt.resize(equations_.size());
+  for (std::size_t i = 0; i < equations_.size(); ++i) {
+    dydt[i] = equations_[i].evaluate(species, rate_consts, t);
+  }
+}
+
+std::string GeneratedOdes::to_string() const {
+  std::string out;
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    out += "d" + species_names[i] + "/dt = " + table.equation(i).to_string() +
+           ";\n";
+  }
+  return out;
+}
+
+support::Expected<GeneratedOdes> generate_odes(
+    const network::ReactionNetwork& network, const rcip::RateTable& rates,
+    const OdeGenOptions& options) {
+  GeneratedOdes out;
+  out.rates = rates;
+  const std::size_t n = network.species.size();
+  out.table = EquationTable(n);
+  out.species_names.reserve(n);
+  out.init_concentrations.reserve(n);
+  for (const network::SpeciesEntry& entry : network.species.entries()) {
+    out.species_names.push_back(entry.name);
+    out.init_concentrations.push_back(entry.init_concentration);
+  }
+
+  for (const network::Reaction& reaction : network.reactions) {
+    std::uint32_t rate_index = 0;
+    if (!rates.index_of(reaction.rate_name, rate_index)) {
+      return support::semantic_error("undefined rate constant '" +
+                                     reaction.rate_name + "'");
+    }
+    // The mass-action rate term: multiplicity * k * prod(reactants).
+    expr::Product rate_term;
+    rate_term.coeff = reaction.multiplicity;
+    rate_term.factors.push_back(expr::VarId::rate_const(rate_index));
+    for (network::SpeciesId id : reaction.reactants) {
+      rate_term.factors.push_back(expr::VarId::species(id));
+    }
+    rate_term.normalize();
+
+    auto contribute = [&](network::SpeciesId id, double sign) {
+      expr::Product p = rate_term;
+      p.coeff *= sign;
+      if (options.combine_like_terms) {
+        out.table.equation(id).add_combining(std::move(p));
+      } else {
+        out.table.equation(id).add_raw(std::move(p));
+      }
+    };
+    // One signed contribution per occurrence: a species consumed twice gets
+    // -2r after combining (or two -r terms raw), matching Figs. 4 -> 5.
+    for (network::SpeciesId id : reaction.reactants) contribute(id, -1.0);
+    for (network::SpeciesId id : reaction.products) contribute(id, +1.0);
+  }
+
+  for (expr::SumOfProducts& eq : out.table.equations()) eq.sort_canonical();
+  return out;
+}
+
+}  // namespace rms::odegen

@@ -1,0 +1,77 @@
+// The equation table and ODE generation (paper §2, Figs. 4-5).
+//
+// For every reaction  - A - B + C ... \ [K], mass action gives the rate
+//   r = multiplicity * K * [A] * [B]
+// and each species occurrence contributes +/- r to its equation. The
+// equation table stores one sum-of-products per species (the paper uses a
+// doubly linked list of term nodes; SumOfProducts is the contiguous
+// equivalent with the same on-the-fly §3.1 like-term combining).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "expr/product.hpp"
+#include "network/generator.hpp"
+#include "rcip/rate_table.hpp"
+#include "support/status.hpp"
+
+namespace rms::odegen {
+
+/// The symbolic ODE system dy/dt = f(y, k).
+class EquationTable {
+ public:
+  EquationTable() = default;
+  EquationTable(std::size_t species_count) : equations_(species_count) {}
+
+  [[nodiscard]] std::size_t size() const { return equations_.size(); }
+  [[nodiscard]] const expr::SumOfProducts& equation(std::size_t i) const {
+    return equations_[i];
+  }
+  [[nodiscard]] expr::SumOfProducts& equation(std::size_t i) {
+    return equations_[i];
+  }
+  [[nodiscard]] const std::vector<expr::SumOfProducts>& equations() const {
+    return equations_;
+  }
+  [[nodiscard]] std::vector<expr::SumOfProducts>& equations() {
+    return equations_;
+  }
+
+  /// Total multiply / add-sub operation counts across all equations
+  /// (the unoptimized counts reported in Table 1).
+  [[nodiscard]] std::size_t multiply_count() const;
+  [[nodiscard]] std::size_t add_sub_count() const;
+
+  /// Dense evaluation of all right-hand sides (reference path for tests).
+  void evaluate(const std::vector<double>& species,
+                const std::vector<double>& rate_consts, double t,
+                std::vector<double>& dydt) const;
+
+ private:
+  std::vector<expr::SumOfProducts> equations_;
+};
+
+struct GeneratedOdes {
+  EquationTable table;
+  std::vector<std::string> species_names;
+  std::vector<double> init_concentrations;
+  rcip::RateTable rates;
+
+  /// Renders every equation "d<name>/dt = ..." (Fig. 5 style).
+  [[nodiscard]] std::string to_string() const;
+};
+
+struct OdeGenOptions {
+  /// Apply the §3.1 on-the-fly equation simplification (combine products
+  /// that differ only in the constant coefficient). Off reproduces the
+  /// paper's Fig. 4 raw form / unoptimized baselines.
+  bool combine_like_terms = true;
+};
+
+/// Generates the ODE system for a reaction network.
+support::Expected<GeneratedOdes> generate_odes(
+    const network::ReactionNetwork& network, const rcip::RateTable& rates,
+    const OdeGenOptions& options = {});
+
+}  // namespace rms::odegen

@@ -1,0 +1,112 @@
+#include "opt/distopt.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace rms::opt {
+
+namespace {
+
+using expr::FactoredSum;
+using expr::FactoredTerm;
+using expr::Product;
+using expr::VarId;
+
+/// Fig. 6 lines 4-16 on a working set of products. Recursing on the divided
+/// product sets yields the fully nested factorization.
+FactoredSum dist_opt(std::vector<Product> products) {
+  FactoredSum result;
+
+  // T = terms(P): for factoring we count, per variable, the number of
+  // *products* containing it (a variable appearing squared in one product
+  // still only offers that one product for factoring).
+  std::unordered_map<VarId, std::uint32_t> counts;
+  auto recount = [&]() {
+    counts.clear();
+    for (const Product& p : products) {
+      VarId last{};
+      bool have_last = false;
+      for (VarId v : p.factors) {
+        if (have_last && v == last) continue;  // count each product once
+        counts[v] += 1;
+        last = v;
+        have_last = true;
+      }
+    }
+  };
+  recount();
+
+  while (!products.empty()) {
+    // (k, c) = mostFrequent(T); ties break toward the canonical order so the
+    // output is deterministic.
+    VarId best{};
+    std::uint32_t best_count = 0;
+    for (const auto& [var, count] : counts) {
+      if (count > best_count || (count == best_count && var < best)) {
+        best = var;
+        best_count = count;
+      }
+    }
+
+    if (best_count <= 1) {
+      // No sharing left: emit every remaining product as a flat term.
+      for (const Product& p : products) {
+        result.terms().emplace_back(p);
+      }
+      products.clear();
+      break;
+    }
+
+    // P_k = products containing k; divide each by one occurrence of k and
+    // recurse on the quotient sum (Fig. 6 line 11).
+    std::vector<Product> factored;
+    std::vector<Product> remaining;
+    factored.reserve(best_count);
+    for (Product& p : products) {
+      if (p.contains(best)) {
+        Product quotient = std::move(p);
+        quotient.divide_by(best);
+        factored.push_back(std::move(quotient));
+      } else {
+        remaining.push_back(std::move(p));
+      }
+    }
+    RMS_DCHECK(factored.size() >= 2);
+
+    FactoredTerm term;
+    term.factors.push_back(best);
+    term.sub = std::make_unique<FactoredSum>(dist_opt(std::move(factored)));
+    // Flatten k * (single-term sum) into one product-like term, restoring
+    // the sorted-factors invariant.
+    if (term.sub->size() == 1) {
+      FactoredTerm& only = term.sub->terms()[0];
+      term.coeff = only.coeff;
+      for (VarId v : only.factors) term.factors.push_back(v);
+      term.sub = std::move(only.sub);
+      std::sort(term.factors.begin(), term.factors.end());
+    }
+    result.terms().push_back(std::move(term));
+
+    products = std::move(remaining);
+    recount();  // P and T both shrank (Fig. 6 line 12)
+  }
+
+  result.sort_canonical();
+  return result;
+}
+
+}  // namespace
+
+FactoredSum distributive_optimize(const expr::SumOfProducts& equation) {
+  std::vector<Product> products;
+  products.reserve(equation.size());
+  for (const Product& p : equation.terms()) {
+    if (p.coeff != 0.0) products.push_back(p);
+  }
+  return dist_opt(std::move(products));
+}
+
+}  // namespace rms::opt

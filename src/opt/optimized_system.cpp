@@ -1,0 +1,292 @@
+#include "opt/optimized_system.hpp"
+
+#include <cmath>
+
+#include "support/assert.hpp"
+#include "support/strings.hpp"
+
+namespace rms::opt {
+
+namespace {
+
+std::string var_name(expr::VarId v) {
+  switch (v.kind) {
+    case expr::VarKind::kSpecies: return support::str_format("y%u", v.index);
+    case expr::VarKind::kRateConst: return support::str_format("k%u", v.index);
+    case expr::VarKind::kTemp: return support::str_format("temp%u", v.index);
+    case expr::VarKind::kTime: return "t";
+  }
+  return "?";
+}
+
+std::string coeff_text(double c) {
+  if (c == std::floor(c) && std::fabs(c) < 1e15) {
+    return support::str_format("%lld", static_cast<long long>(c));
+  }
+  return support::str_format("%g", c);
+}
+
+}  // namespace
+
+// ---- Operation counting -----------------------------------------------------
+
+namespace {
+
+struct Counter {
+  const OptimizedSystem& system;
+  OperationCount ops;
+
+  /// Cost of obtaining a sum's value at a use site (0 when temp'd).
+  void sum_value(std::int32_t id) {
+    if (id == kNoExpr) return;
+    const SumEntry& s = system.sums[id];
+    if (s.temp_index >= 0) return;
+    sum_definition(s);
+  }
+
+  void product_value(std::uint32_t id) {
+    const ProductEntry& p = system.products[id];
+    if (p.temp_index >= 0) return;
+    product_definition(p);
+  }
+
+  void product_definition(const ProductEntry& p) {
+    const std::size_t multiplicands =
+        (p.prefix_len > 0 ? 1 : 0) + (p.atoms.size() - p.prefix_len);
+    if (multiplicands > 1) ops.multiplies += multiplicands - 1;
+    for (std::size_t i = p.prefix_len; i < p.atoms.size(); ++i) {
+      if (p.atoms[i].kind == ProductAtom::Kind::kSum) sum_value(p.atoms[i].sum);
+    }
+  }
+
+  void sum_definition(const SumEntry& s) {
+    const std::size_t operands =
+        (s.prefix_len > 0 ? 1 : 0) + (s.operands.size() - s.prefix_len);
+    if (operands > 1) ops.add_subs += operands - 1;
+    for (std::size_t i = s.prefix_len; i < s.operands.size(); ++i) {
+      const SumOperand& op = s.operands[i];
+      const ProductEntry& p = system.products[op.product];
+      const bool product_is_one = p.atoms.empty() && p.prefix_len == 0;
+      const bool coeff_costs = op.coeff != 1.0 && op.coeff != -1.0;
+      if (coeff_costs && !product_is_one) ops.multiplies += 1;
+      product_value(op.product);
+    }
+  }
+};
+
+}  // namespace
+
+OperationCount OptimizedSystem::count_operations() const {
+  Counter counter{*this, {}};
+  for (const TempDef& def : temp_order) {
+    if (def.kind == TempDef::Kind::kProduct) {
+      counter.product_definition(products[def.entry]);
+    } else {
+      counter.sum_definition(sums[def.entry]);
+    }
+  }
+  for (std::int32_t eq : equations) counter.sum_value(eq);
+  return counter.ops;
+}
+
+// ---- Evaluation -------------------------------------------------------------
+
+namespace {
+
+struct Evaluator {
+  const OptimizedSystem& system;
+  const std::vector<double>& species;
+  const std::vector<double>& rate_consts;
+  double t;
+  std::vector<double> temps;
+
+  double var_value(expr::VarId v) const {
+    switch (v.kind) {
+      case expr::VarKind::kSpecies:
+        RMS_DCHECK(v.index < species.size());
+        return species[v.index];
+      case expr::VarKind::kRateConst:
+        RMS_DCHECK(v.index < rate_consts.size());
+        return rate_consts[v.index];
+      case expr::VarKind::kTime:
+        return t;
+      case expr::VarKind::kTemp:
+        RMS_CHECK_MSG(false, "VarId temps do not appear in the optimized IR");
+    }
+    RMS_UNREACHABLE();
+  }
+
+  double sum_value(std::int32_t id) {
+    if (id == kNoExpr) return 0.0;
+    const SumEntry& s = system.sums[id];
+    if (s.temp_index >= 0 && temps_ready_) return temps[s.temp_index];
+    return sum_definition(s);
+  }
+
+  double product_value(std::uint32_t id) {
+    const ProductEntry& p = system.products[id];
+    if (p.temp_index >= 0 && temps_ready_) return temps[p.temp_index];
+    return product_definition(p);
+  }
+
+  double product_definition(const ProductEntry& p) {
+    double value = 1.0;
+    if (p.prefix_len > 0) {
+      RMS_DCHECK(system.products[p.prefix_product].temp_index >= 0);
+      value = temps[system.products[p.prefix_product].temp_index];
+    }
+    for (std::size_t i = p.prefix_len; i < p.atoms.size(); ++i) {
+      const ProductAtom& atom = p.atoms[i];
+      value *= atom.kind == ProductAtom::Kind::kVar ? var_value(atom.var)
+                                                    : sum_value(atom.sum);
+    }
+    return value;
+  }
+
+  double sum_definition(const SumEntry& s) {
+    double value = 0.0;
+    if (s.prefix_len > 0) {
+      RMS_DCHECK(system.sums[s.prefix_sum].temp_index >= 0);
+      value = temps[system.sums[s.prefix_sum].temp_index];
+    }
+    for (std::size_t i = s.prefix_len; i < s.operands.size(); ++i) {
+      value += s.operands[i].coeff * product_value(s.operands[i].product);
+    }
+    return value;
+  }
+
+  void run(std::vector<double>& dydt) {
+    temps.assign(system.temp_order.size(), 0.0);
+    // Definitions run with temps_ready_ so earlier temps are consumed; an
+    // entity's own definition never reads its own slot.
+    temps_ready_ = true;
+    for (const TempDef& def : system.temp_order) {
+      if (def.kind == TempDef::Kind::kProduct) {
+        const ProductEntry& p = system.products[def.entry];
+        temps[p.temp_index] = product_definition(p);
+      } else {
+        const SumEntry& s = system.sums[def.entry];
+        temps[s.temp_index] = sum_definition(s);
+      }
+    }
+    dydt.resize(system.equations.size());
+    for (std::size_t i = 0; i < system.equations.size(); ++i) {
+      dydt[i] = sum_value(system.equations[i]);
+    }
+  }
+
+  bool temps_ready_ = false;
+};
+
+}  // namespace
+
+void OptimizedSystem::evaluate(const std::vector<double>& species,
+                               const std::vector<double>& rate_consts,
+                               double t, std::vector<double>& dydt) const {
+  Evaluator evaluator{*this, species, rate_consts, t, {}};
+  evaluator.run(dydt);
+}
+
+// ---- Rendering --------------------------------------------------------------
+
+namespace {
+
+struct Printer {
+  const OptimizedSystem& system;
+
+  std::string product_use(std::uint32_t id) const {
+    const ProductEntry& p = system.products[id];
+    if (p.temp_index >= 0) return support::str_format("temp%d", p.temp_index);
+    return product_body(p);
+  }
+
+  std::string product_body(const ProductEntry& p) const {
+    std::string out;
+    bool first = true;
+    auto append = [&](const std::string& piece) {
+      if (!first) out += "*";
+      out += piece;
+      first = false;
+    };
+    if (p.prefix_len > 0) {
+      append(support::str_format(
+          "temp%d", system.products[p.prefix_product].temp_index));
+    }
+    for (std::size_t i = p.prefix_len; i < p.atoms.size(); ++i) {
+      const ProductAtom& atom = p.atoms[i];
+      if (atom.kind == ProductAtom::Kind::kVar) {
+        append(var_name(atom.var));
+      } else {
+        append("(" + sum_use(atom.sum) + ")");
+      }
+    }
+    if (first) out = "1";
+    return out;
+  }
+
+  std::string sum_use(std::int32_t id) const {
+    if (id == kNoExpr) return "0";
+    const SumEntry& s = system.sums[id];
+    if (s.temp_index >= 0) return support::str_format("temp%d", s.temp_index);
+    return sum_body(s);
+  }
+
+  std::string sum_body(const SumEntry& s) const {
+    std::string out;
+    bool first = true;
+    if (s.prefix_len > 0) {
+      out = support::str_format("temp%d", system.sums[s.prefix_sum].temp_index);
+      first = false;
+    }
+    for (std::size_t i = s.prefix_len; i < s.operands.size(); ++i) {
+      const SumOperand& op = s.operands[i];
+      const ProductEntry& p = system.products[op.product];
+      const bool product_is_one = p.atoms.empty() && p.prefix_len == 0;
+      std::string piece;
+      if (product_is_one) {
+        piece = coeff_text(std::fabs(op.coeff));
+      } else if (op.coeff == 1.0 || op.coeff == -1.0) {
+        piece = product_use(op.product);
+      } else {
+        piece = coeff_text(std::fabs(op.coeff)) + "*" + product_use(op.product);
+      }
+      if (first) {
+        out = (op.coeff < 0.0 ? "-" : "") + piece;
+        first = false;
+      } else {
+        out += (op.coeff < 0.0 ? " - " : " + ") + piece;
+      }
+    }
+    if (first) out = "0";
+    return out;
+  }
+};
+
+}  // namespace
+
+std::string OptimizedSystem::to_string(
+    const std::vector<std::string>* species_names) const {
+  Printer printer{*this};
+  std::string out;
+  for (const TempDef& def : temp_order) {
+    if (def.kind == TempDef::Kind::kProduct) {
+      const ProductEntry& p = products[def.entry];
+      out += support::str_format("temp%d = ", p.temp_index) +
+             printer.product_body(p) + ";\n";
+    } else {
+      const SumEntry& s = sums[def.entry];
+      out += support::str_format("temp%d = ", s.temp_index) +
+             printer.sum_body(s) + ";\n";
+    }
+  }
+  for (std::size_t i = 0; i < equations.size(); ++i) {
+    const std::string lhs =
+        species_names != nullptr && i < species_names->size()
+            ? "d" + (*species_names)[i] + "/dt"
+            : support::str_format("ydot[%zu]", i);
+    out += lhs + " = " + printer.sum_use(equations[i]) + ";\n";
+  }
+  return out;
+}
+
+}  // namespace rms::opt

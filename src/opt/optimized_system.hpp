@@ -1,0 +1,127 @@
+// Optimized-system IR: hash-consed products and sums with CSE temporaries.
+//
+// The paper's CSE (§3.3, Fig. 7) stores every sub-expression as its terms in
+// canonical lexicographic order, bucketed by length, and shares (a) whole
+// expressions of equal length and (b) shorter expressions that form a prefix
+// of longer ones. We apply that uniformly to the two expression kinds the
+// equation generator produces:
+//   Product:  atom sequence  [y_i, y_j, k_m, (sum ref)...]   value = prod
+//   Sum:      operand sequence [(coeff, product)...]         value = sum
+// Equal expressions are hash-consed into one entry (Fig. 7 lines 4-6: the
+// equal-length full match); an entry referenced more than once, or donating
+// its value as a prefix of a longer entry (lines 7-11), receives a
+// temporary (the genTemp bit). Temporaries are emitted in dependency order
+// before any use (lines 12-14).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "expr/varid.hpp"
+#include "support/small_vector.hpp"
+
+namespace rms::opt {
+
+inline constexpr std::int32_t kNoExpr = -1;
+
+/// A product factor: a variable or a (nested) sum entry.
+struct ProductAtom {
+  enum class Kind : std::uint8_t { kVar, kSum };
+  Kind kind = Kind::kVar;
+  expr::VarId var;         ///< kVar
+  std::int32_t sum = kNoExpr;  ///< kSum
+
+  static ProductAtom variable(expr::VarId v) {
+    ProductAtom a;
+    a.kind = Kind::kVar;
+    a.var = v;
+    return a;
+  }
+  static ProductAtom sum_ref(std::int32_t id) {
+    ProductAtom a;
+    a.kind = Kind::kSum;
+    a.sum = id;
+    return a;
+  }
+  friend bool operator==(const ProductAtom& x, const ProductAtom& y) {
+    if (x.kind != y.kind) return false;
+    return x.kind == Kind::kVar ? x.var == y.var : x.sum == y.sum;
+  }
+};
+
+/// Coefficient-free product of atoms in canonical order (vars first, then
+/// sum refs). An empty atom list has value 1 (pure-constant sum operands).
+struct ProductEntry {
+  support::SmallVector<ProductAtom, 4> atoms;
+  /// When prefix_len > 0: the first prefix_len atoms are computed as
+  /// temp(prefix_product) — a shorter product entry whose full atom list
+  /// equals that prefix.
+  std::int32_t prefix_product = kNoExpr;
+  std::uint32_t prefix_len = 0;
+  std::int32_t temp_index = -1;
+  std::uint32_t use_count = 0;
+};
+
+/// One signed term of a sum: coeff * value(product).
+struct SumOperand {
+  double coeff = 1.0;
+  std::uint32_t product = 0;
+
+  friend bool operator==(const SumOperand& a, const SumOperand& b) {
+    return a.coeff == b.coeff && a.product == b.product;
+  }
+};
+
+struct SumEntry {
+  std::vector<SumOperand> operands;  ///< canonical order
+  /// When prefix_len > 0: the first prefix_len operands are computed as
+  /// temp(prefix_sum).
+  std::int32_t prefix_sum = kNoExpr;
+  std::uint32_t prefix_len = 0;
+  std::int32_t temp_index = -1;
+  std::uint32_t use_count = 0;
+};
+
+struct OperationCount {
+  std::size_t multiplies = 0;
+  std::size_t add_subs = 0;
+
+  [[nodiscard]] std::size_t total() const { return multiplies + add_subs; }
+};
+
+/// A temporary definition site, in emission (def-before-use) order.
+struct TempDef {
+  enum class Kind : std::uint8_t { kProduct, kSum };
+  Kind kind = Kind::kProduct;
+  std::uint32_t entry = 0;  ///< index into products/sums
+};
+
+/// The whole optimized ODE program dy/dt = f(y, k, t).
+struct OptimizedSystem {
+  std::vector<ProductEntry> products;
+  std::vector<SumEntry> sums;
+  /// Per species: RHS sum id, or kNoExpr for an identically-zero RHS.
+  std::vector<std::int32_t> equations;
+  /// Temporary definitions in dependency order.
+  std::vector<TempDef> temp_order;
+  std::size_t species_count = 0;
+  std::size_t rate_count = 0;
+
+  [[nodiscard]] std::size_t temp_count() const { return temp_order.size(); }
+
+  /// Arithmetic operation counts of the emitted program (each temporary's
+  /// definition counted once; a temporary use is an operand, not an op).
+  [[nodiscard]] OperationCount count_operations() const;
+
+  /// Reference tree-walking evaluation (tests and golden comparisons).
+  void evaluate(const std::vector<double>& species,
+                const std::vector<double>& rate_consts, double t,
+                std::vector<double>& dydt) const;
+
+  /// Pretty-print: temp definitions then equations.
+  [[nodiscard]] std::string to_string(
+      const std::vector<std::string>* species_names = nullptr) const;
+};
+
+}  // namespace rms::opt

@@ -1,0 +1,31 @@
+#include "opt/pipeline.hpp"
+
+#include "opt/distopt.hpp"
+
+namespace rms::opt {
+
+OptimizedSystem optimize(const odegen::EquationTable& table,
+                         std::size_t species_count, std::size_t rate_count,
+                         const OptimizerOptions& options,
+                         OptimizationReport* report) {
+  std::vector<expr::FactoredSum> factored;
+  factored.reserve(table.size());
+  for (const expr::SumOfProducts& equation : table.equations()) {
+    if (options.distributive) {
+      factored.push_back(distributive_optimize(equation));
+    } else {
+      factored.push_back(expr::FactoredSum::from_sum_of_products(equation));
+    }
+  }
+  OptimizedSystem system = build_optimized_system(factored, species_count,
+                                                  rate_count, options.cse);
+  if (report != nullptr) {
+    report->before.multiplies = table.multiply_count();
+    report->before.add_subs = table.add_sub_count();
+    report->after = system.count_operations();
+    report->temp_count = system.temp_count();
+  }
+  return system;
+}
+
+}  // namespace rms::opt

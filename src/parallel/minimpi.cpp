@@ -1,0 +1,174 @@
+#include "parallel/minimpi.hpp"
+
+#include <thread>
+
+#include "support/assert.hpp"
+
+namespace rms::parallel {
+
+/// Shared state for one run_parallel() world.
+class MiniMpiWorld {
+ public:
+  explicit MiniMpiWorld(int size) : size_(size) {}
+
+  int size() const { return size_; }
+
+  void barrier() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    const std::uint64_t generation = barrier_generation_;
+    if (++barrier_waiting_ == size_) {
+      barrier_waiting_ = 0;
+      ++barrier_generation_;
+      cv_.notify_all();
+    } else {
+      cv_.wait(lock, [&] { return barrier_generation_ != generation; });
+    }
+  }
+
+  /// Collective reduction: every rank contributes, the last one combines,
+  /// then everyone picks up the result. Two barrier phases keep successive
+  /// collectives from racing.
+  void all_reduce(std::vector<double>& inout,
+                  const std::function<void(std::vector<double>&,
+                                           const std::vector<double>&)>& fold) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (reduce_waiting_ == 0) {
+      reduce_buffer_ = inout;
+    } else {
+      RMS_CHECK_MSG(reduce_buffer_.size() == inout.size(),
+                    "all_reduce length mismatch across ranks");
+      fold(reduce_buffer_, inout);
+    }
+    const std::uint64_t generation = reduce_generation_;
+    if (++reduce_waiting_ == size_) {
+      ++reduce_generation_;
+      cv_.notify_all();
+    } else {
+      cv_.wait(lock, [&] { return reduce_generation_ != generation; });
+    }
+    inout = reduce_buffer_;
+    // Exit phase: the last rank out resets the buffer slot.
+    if (--reduce_waiting_ == 0) {
+      ++reduce_generation_;
+      cv_.notify_all();
+    } else {
+      cv_.wait(lock,
+               [&] { return reduce_generation_ != generation + 1; });
+    }
+  }
+
+  void broadcast(std::vector<double>& buffer, int root, int rank) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (rank == root) broadcast_buffer_ = buffer;
+    const std::uint64_t generation = broadcast_generation_;
+    if (++broadcast_waiting_ == size_) {
+      ++broadcast_generation_;
+      cv_.notify_all();
+    } else {
+      cv_.wait(lock, [&] { return broadcast_generation_ != generation; });
+    }
+    buffer = broadcast_buffer_;
+    if (--broadcast_waiting_ == 0) {
+      ++broadcast_generation_;
+      cv_.notify_all();
+    } else {
+      cv_.wait(lock,
+               [&] { return broadcast_generation_ != generation + 1; });
+    }
+  }
+
+  void send(int source, int destination, int tag, std::vector<double> payload) {
+    RMS_CHECK(destination >= 0 && destination < size_);
+    std::unique_lock<std::mutex> lock(mutex_);
+    mailboxes_[MailboxKey{source, destination, tag}].push_back(
+        std::move(payload));
+    cv_.notify_all();
+  }
+
+  std::vector<double> recv(int source, int destination, int tag) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    const MailboxKey key{source, destination, tag};
+    cv_.wait(lock, [&] {
+      auto it = mailboxes_.find(key);
+      return it != mailboxes_.end() && !it->second.empty();
+    });
+    auto& queue = mailboxes_[key];
+    std::vector<double> payload = std::move(queue.front());
+    queue.pop_front();
+    return payload;
+  }
+
+ private:
+  using MailboxKey = std::tuple<int, int, int>;  // source, destination, tag
+
+  int size_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+
+  int barrier_waiting_ = 0;
+  std::uint64_t barrier_generation_ = 0;
+
+  int reduce_waiting_ = 0;
+  std::uint64_t reduce_generation_ = 0;
+  std::vector<double> reduce_buffer_;
+
+  int broadcast_waiting_ = 0;
+  std::uint64_t broadcast_generation_ = 0;
+  std::vector<double> broadcast_buffer_;
+
+  std::map<MailboxKey, std::deque<std::vector<double>>> mailboxes_;
+};
+
+int Communicator::size() const { return world_->size(); }
+
+void Communicator::barrier() { world_->barrier(); }
+
+void Communicator::all_reduce_sum(std::vector<double>& inout) {
+  world_->all_reduce(inout, [](std::vector<double>& acc,
+                               const std::vector<double>& next) {
+    for (std::size_t i = 0; i < acc.size(); ++i) acc[i] += next[i];
+  });
+}
+
+double Communicator::all_reduce_sum(double value) {
+  std::vector<double> buffer = {value};
+  all_reduce_sum(buffer);
+  return buffer[0];
+}
+
+void Communicator::all_reduce_max(std::vector<double>& inout) {
+  world_->all_reduce(inout, [](std::vector<double>& acc,
+                               const std::vector<double>& next) {
+    for (std::size_t i = 0; i < acc.size(); ++i) {
+      acc[i] = std::max(acc[i], next[i]);
+    }
+  });
+}
+
+void Communicator::broadcast(std::vector<double>& buffer, int root) {
+  world_->broadcast(buffer, root, rank_);
+}
+
+void Communicator::send(int destination, int tag, std::vector<double> payload) {
+  world_->send(rank_, destination, tag, std::move(payload));
+}
+
+std::vector<double> Communicator::recv(int source, int tag) {
+  return world_->recv(source, rank_, tag);
+}
+
+void run_parallel(int ranks, const std::function<void(Communicator&)>& fn) {
+  RMS_CHECK(ranks >= 1);
+  MiniMpiWorld world(ranks);
+  std::vector<std::thread> threads;
+  threads.reserve(ranks);
+  for (int r = 0; r < ranks; ++r) {
+    threads.emplace_back([&world, &fn, r] {
+      Communicator comm(&world, r);
+      fn(comm);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+}
+
+}  // namespace rms::parallel

@@ -1,0 +1,65 @@
+// MiniMpi: a faithful rank/communicator model over std::thread.
+//
+// The paper parallelizes the objective function with MPI (Fig. 9):
+// MPI_Comm_rank / MPI_Comm_size, per-rank work on a block of data files, and
+// MPI_Allreduce(SUM) of the error vectors. MiniMpi reproduces exactly that
+// interface over shared-memory threads — run_parallel(n, fn) launches n
+// ranks, each receiving a Communicator with rank(), size(), barrier(),
+// all_reduce_sum(), broadcast() and point-to-point send/recv. On this
+// single-core host the threads interleave rather than speed anything up;
+// SimCluster (sim_cluster.hpp) handles the Table 2 speedup accounting.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "support/status.hpp"
+
+namespace rms::parallel {
+
+class MiniMpiWorld;
+
+/// Per-rank handle (the MPI_COMM_WORLD analogue).
+class Communicator {
+ public:
+  Communicator(MiniMpiWorld* world, int rank) : world_(world), rank_(rank) {}
+
+  [[nodiscard]] int rank() const { return rank_; }
+  [[nodiscard]] int size() const;
+
+  /// Blocks until every rank reached the barrier.
+  void barrier();
+
+  /// Element-wise sum across ranks; every rank receives the result
+  /// (MPI_Allreduce with MPI_SUM). All ranks must pass the same length.
+  void all_reduce_sum(std::vector<double>& inout);
+
+  /// Scalar convenience overload.
+  double all_reduce_sum(double value);
+
+  /// Element-wise max across ranks.
+  void all_reduce_max(std::vector<double>& inout);
+
+  /// Root's buffer is copied to every rank.
+  void broadcast(std::vector<double>& buffer, int root);
+
+  /// Blocking tagged point-to-point message.
+  void send(int destination, int tag, std::vector<double> payload);
+  std::vector<double> recv(int source, int tag);
+
+ private:
+  MiniMpiWorld* world_;
+  int rank_;
+};
+
+/// Launches `ranks` threads, each running fn(comm). Returns after all ranks
+/// finish. Exceptions in a rank abort the program (matching MPI semantics
+/// where a crashed rank kills the job).
+void run_parallel(int ranks, const std::function<void(Communicator&)>& fn);
+
+}  // namespace rms::parallel

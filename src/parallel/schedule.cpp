@@ -1,0 +1,67 @@
+#include "parallel/schedule.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+
+#include "support/assert.hpp"
+
+namespace rms::parallel {
+
+Assignment block_schedule(std::size_t tasks, int ranks) {
+  RMS_CHECK(ranks >= 1);
+  Assignment assignment(tasks);
+  const std::size_t per_rank =
+      (tasks + static_cast<std::size_t>(ranks) - 1) / ranks;
+  for (std::size_t i = 0; i < tasks; ++i) {
+    assignment[i] = static_cast<int>(std::min<std::size_t>(
+        i / std::max<std::size_t>(per_rank, 1),
+        static_cast<std::size_t>(ranks - 1)));
+  }
+  return assignment;
+}
+
+Assignment lpt_schedule(const std::vector<double>& costs, int ranks) {
+  RMS_CHECK(ranks >= 1);
+  // Non-increasing sorted time list (stable on ties for determinism).
+  std::vector<std::size_t> order(costs.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&costs](std::size_t a,
+                                                        std::size_t b) {
+    return costs[a] > costs[b];
+  });
+
+  // Min-heap of (load, rank): the least-loaded processor is popped for each
+  // task in turn.
+  using Slot = std::pair<double, int>;
+  std::priority_queue<Slot, std::vector<Slot>, std::greater<>> heap;
+  for (int r = 0; r < ranks; ++r) heap.emplace(0.0, r);
+
+  Assignment assignment(costs.size(), 0);
+  for (std::size_t task : order) {
+    auto [load, rank] = heap.top();
+    heap.pop();
+    assignment[task] = rank;
+    heap.emplace(load + costs[task], rank);
+  }
+  return assignment;
+}
+
+std::vector<double> rank_loads(const std::vector<double>& costs,
+                               const Assignment& assignment, int ranks) {
+  RMS_CHECK(assignment.size() == costs.size());
+  std::vector<double> loads(ranks, 0.0);
+  for (std::size_t i = 0; i < costs.size(); ++i) {
+    RMS_CHECK(assignment[i] >= 0 && assignment[i] < ranks);
+    loads[assignment[i]] += costs[i];
+  }
+  return loads;
+}
+
+double makespan(const std::vector<double>& costs, const Assignment& assignment,
+                int ranks) {
+  const std::vector<double> loads = rank_loads(costs, assignment, ranks);
+  return *std::max_element(loads.begin(), loads.end());
+}
+
+}  // namespace rms::parallel

@@ -1,0 +1,39 @@
+// Work distribution: block partitioning and the paper's dynamic load
+// balancing algorithm (§4.4).
+//
+// "the time to solve each data file is recorded and put into a priority
+//  queue built out of a non-increasing sorted time list. The next item,
+//  which corresponds to the data file with the largest solving time among
+//  remaining data files in the priority queue, is allocated to the
+//  processor with least total allocated time so far."
+//
+// That is LPT (longest processing time first) scheduling; lpt_schedule()
+// implements it verbatim. block_schedule() is the naive Fig. 9 distribution
+// used before any times are known ("without dynamic load balancing").
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace rms::parallel {
+
+/// assignment[i] = rank that should process task i.
+using Assignment = std::vector<int>;
+
+/// Contiguous block distribution of `tasks` over `ranks` (the BLOCK_SIZE
+/// pattern of Fig. 9): rank r gets tasks [r*ceil .. ...).
+Assignment block_schedule(std::size_t tasks, int ranks);
+
+/// LPT: sort tasks by cost non-increasing; give each to the currently
+/// least-loaded rank (priority queue on rank loads).
+Assignment lpt_schedule(const std::vector<double>& costs, int ranks);
+
+/// Completion time of the slowest rank under an assignment.
+double makespan(const std::vector<double>& costs, const Assignment& assignment,
+                int ranks);
+
+/// Per-rank total load.
+std::vector<double> rank_loads(const std::vector<double>& costs,
+                               const Assignment& assignment, int ranks);
+
+}  // namespace rms::parallel

@@ -1,0 +1,34 @@
+#include "parallel/sim_cluster.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace rms::parallel {
+
+SimResult SimCluster::run(const std::vector<double>& file_costs,
+                          const Assignment& assignment, int ranks) const {
+  SimResult result;
+  result.rank_times = rank_loads(file_costs, assignment, ranks);
+  const double comm =
+      options_.allreduce_overhead * options_.collectives_per_call;
+  for (double& t : result.rank_times) t += comm;
+  result.total_time =
+      *std::max_element(result.rank_times.begin(), result.rank_times.end());
+  const double serial =
+      std::accumulate(file_costs.begin(), file_costs.end(), 0.0);
+  result.speedup = result.total_time > 0.0 ? serial / result.total_time : 0.0;
+  result.efficiency = result.speedup / ranks;
+  return result;
+}
+
+SimResult SimCluster::run_block(const std::vector<double>& file_costs,
+                                int ranks) const {
+  return run(file_costs, block_schedule(file_costs.size(), ranks), ranks);
+}
+
+SimResult SimCluster::run_lpt(const std::vector<double>& file_costs,
+                              int ranks) const {
+  return run(file_costs, lpt_schedule(file_costs, ranks), ranks);
+}
+
+}  // namespace rms::parallel

@@ -1,0 +1,59 @@
+// SimCluster: virtual-time cluster model for the Table 2 speedup study.
+//
+// The paper ran on 16 thin nodes of an IBM SP; this host has one CPU core,
+// so wall-clock parallel speedup is physically unobservable here. Table 2,
+// however, is determined by *schedule quality*: which files each rank
+// solves, and the resulting makespan relative to the serial total. The
+// per-file solve times are measured for real (the ODE solver runs), then
+// replayed through the exact schedules of the paper:
+//   - without dynamic load balancing: block distribution (Fig. 9);
+//   - with dynamic load balancing: LPT on the times recorded by the
+//     previous objective-function call (§4.4).
+// A small per-collective communication overhead models the Allreduce.
+#pragma once
+
+#include <vector>
+
+#include "parallel/schedule.hpp"
+
+namespace rms::parallel {
+
+struct SimClusterOptions {
+  /// Cost (virtual seconds) charged per rank per Allreduce collective.
+  double allreduce_overhead = 0.0;
+  /// Number of Allreduce collectives per objective-function call (Fig. 9
+  /// performs two: error vector + timing vector).
+  int collectives_per_call = 2;
+};
+
+struct SimResult {
+  double total_time = 0.0;  ///< virtual makespan (slowest rank)
+  double speedup = 0.0;     ///< serial_total / total_time
+  double efficiency = 0.0;  ///< speedup / ranks
+  std::vector<double> rank_times;
+};
+
+class SimCluster {
+ public:
+  explicit SimCluster(SimClusterOptions options = {}) : options_(options) {}
+
+  /// Replays `file_costs` (measured per-file solve seconds) through an
+  /// assignment on `ranks` virtual nodes.
+  [[nodiscard]] SimResult run(const std::vector<double>& file_costs,
+                              const Assignment& assignment, int ranks) const;
+
+  /// Convenience: block distribution ("without dynamic load balancing").
+  [[nodiscard]] SimResult run_block(const std::vector<double>& file_costs,
+                                    int ranks) const;
+
+  /// Convenience: the paper's dynamic load balancing — the schedule is LPT
+  /// on the times recorded by the *previous* call, here taken to be the
+  /// same measured costs (steady-state behaviour).
+  [[nodiscard]] SimResult run_lpt(const std::vector<double>& file_costs,
+                                  int ranks) const;
+
+ private:
+  SimClusterOptions options_;
+};
+
+}  // namespace rms::parallel

@@ -1,0 +1,128 @@
+#include "rcip/rate_table.hpp"
+
+#include <cmath>
+
+#include "rdl/sema.hpp"
+#include "support/assert.hpp"
+
+namespace rms::rcip {
+
+double ArrheniusParams::value_at(double temperature) const {
+  RMS_CHECK_MSG(temperature > 0.0, "absolute temperature must be positive");
+  return prefactor *
+         std::exp(-activation_energy / (rdl::kGasConstant * temperature));
+}
+
+bool RateTable::index_of(const std::string& name, std::uint32_t& out) const {
+  auto it = index_by_name_.find(name);
+  if (it == index_by_name_.end()) return false;
+  out = it->second;
+  return true;
+}
+
+std::uint32_t RateTable::add(const std::string& name, double value) {
+  auto named = index_by_name_.find(name);
+  if (named != index_by_name_.end()) return named->second;
+  auto valued = index_by_value_.find(value);
+  std::uint32_t index;
+  if (valued != index_by_value_.end() &&
+      arrhenius_[valued->second].prefactor == 0.0) {
+    index = valued->second;  // value-based canonical renaming
+  } else {
+    index = static_cast<std::uint32_t>(values_.size());
+    values_.push_back(value);
+    canonical_names_.push_back(name);
+    arrhenius_.push_back(ArrheniusParams{});
+    index_by_value_.emplace(value, index);
+  }
+  index_by_name_.emplace(name, index);
+  return index;
+}
+
+std::uint32_t RateTable::add_arrhenius(const std::string& name,
+                                       const ArrheniusParams& params,
+                                       double reference_temperature) {
+  auto named = index_by_name_.find(name);
+  if (named != index_by_name_.end()) return named->second;
+  // Canonical merging for Arrhenius constants requires identical (A, Ea):
+  // equal values at one temperature are not equal laws.
+  for (std::uint32_t i = 0; i < arrhenius_.size(); ++i) {
+    if (arrhenius_[i].prefactor == params.prefactor &&
+        arrhenius_[i].activation_energy == params.activation_energy &&
+        arrhenius_[i].prefactor != 0.0) {
+      index_by_name_.emplace(name, i);
+      return i;
+    }
+  }
+  const std::uint32_t index = static_cast<std::uint32_t>(values_.size());
+  values_.push_back(params.value_at(reference_temperature));
+  canonical_names_.push_back(name);
+  arrhenius_.push_back(params);
+  index_by_name_.emplace(name, index);
+  return index;
+}
+
+const ArrheniusParams* RateTable::arrhenius(std::uint32_t index) const {
+  RMS_CHECK(index < arrhenius_.size());
+  return arrhenius_[index].prefactor != 0.0 ? &arrhenius_[index] : nullptr;
+}
+
+std::vector<double> RateTable::values_at(double temperature) const {
+  std::vector<double> out = values_;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (arrhenius_[i].prefactor != 0.0) {
+      out[i] = arrhenius_[i].value_at(temperature);
+    }
+  }
+  return out;
+}
+
+double RateTable::value_with_prefactor(std::uint32_t index, double prefactor,
+                                       double temperature) const {
+  RMS_CHECK(index < values_.size());
+  if (arrhenius_[index].prefactor == 0.0) return prefactor;
+  ArrheniusParams adjusted = arrhenius_[index];
+  adjusted.prefactor = prefactor;
+  return adjusted.value_at(temperature);
+}
+
+std::vector<std::string> RateTable::aliases(std::uint32_t index) const {
+  std::vector<std::string> out;
+  for (const auto& [name, idx] : index_by_name_) {
+    if (idx == index) out.push_back(name);
+  }
+  return out;
+}
+
+support::Expected<RateTable> process_rate_constants(
+    const rdl::CompiledModel& model, const network::ReactionNetwork& network) {
+  RateTable table;
+  if (!model.constant_defs.empty()) {
+    for (const rdl::ConstantDef& def : model.constant_defs) {
+      if (def.is_arrhenius) {
+        table.add_arrhenius(
+            def.name,
+            ArrheniusParams{def.prefactor, def.activation_energy},
+            rdl::kReferenceTemperature);
+      } else {
+        table.add(def.name, def.value);
+      }
+    }
+  } else {
+    // Models assembled programmatically may fill only `constants`.
+    for (const auto& [name, value] : model.constants) {
+      table.add(name, value);
+    }
+  }
+  for (const network::Reaction& r : network.reactions) {
+    std::uint32_t index = 0;
+    if (!table.index_of(r.rate_name, index)) {
+      return support::semantic_error("reaction from rule '" + r.rule_name +
+                                     "' references undefined rate constant '" +
+                                     r.rate_name + "'");
+    }
+  }
+  return table;
+}
+
+}  // namespace rms::rcip

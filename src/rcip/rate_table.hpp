@@ -1,0 +1,97 @@
+// Rate Constant Information Processor (RCIP).
+//
+// The RCIP associates kinetic rate constants with reactions and — key for
+// the downstream CSE — renames constants *by value*: two constants defined
+// to the same value share one canonical slot, so the optimizer can treat the
+// variable name as a proxy for the value (paper §3.3: "those variables with
+// different names most likely to have the same value, i.e. the rate
+// constants, have been renamed based on common values by the rate constant
+// information processor").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "network/generator.hpp"
+#include "support/status.hpp"
+
+namespace rms::rcip {
+
+/// Optional temperature dependence of a canonical rate-constant slot:
+/// k(T) = prefactor * exp(-activation_energy / (R*T)).
+struct ArrheniusParams {
+  double prefactor = 0.0;
+  double activation_energy = 0.0;  ///< [J/mol]
+
+  [[nodiscard]] double value_at(double temperature) const;
+};
+
+class RateTable {
+ public:
+  /// Number of canonical (value-distinct) rate constants.
+  [[nodiscard]] std::size_t size() const { return values_.size(); }
+
+  /// Value of canonical constant slot i.
+  [[nodiscard]] double value(std::uint32_t index) const {
+    return values_[index];
+  }
+  [[nodiscard]] const std::vector<double>& values() const { return values_; }
+
+  /// Representative name of canonical slot i (first declared name).
+  [[nodiscard]] const std::string& canonical_name(std::uint32_t index) const {
+    return canonical_names_[index];
+  }
+
+  /// Canonical slot for a declared constant name; false if unknown.
+  bool index_of(const std::string& name, std::uint32_t& out) const;
+
+  /// Registers a declared constant; constants with equal values share a slot.
+  std::uint32_t add(const std::string& name, double value);
+
+  /// Registers an Arrhenius-form constant (value reported at
+  /// `reference_temperature`); constants with identical (A, Ea) share a slot.
+  std::uint32_t add_arrhenius(const std::string& name,
+                              const ArrheniusParams& params,
+                              double reference_temperature);
+
+  /// Arrhenius parameters of a slot, or nullptr for plain constants.
+  [[nodiscard]] const ArrheniusParams* arrhenius(std::uint32_t index) const;
+
+  /// The full value vector evaluated at a cure temperature: Arrhenius slots
+  /// are recomputed, plain slots keep their stored value. This is what the
+  /// objective function feeds the ODE program for an experiment "cured at"
+  /// a given temperature.
+  [[nodiscard]] std::vector<double> values_at(double temperature) const;
+
+  /// Value of one slot at a temperature, with the (pre)factor replaced —
+  /// the parameter-estimation hook: estimating an Arrhenius constant means
+  /// estimating its temperature-independent prefactor.
+  [[nodiscard]] double value_with_prefactor(std::uint32_t index,
+                                            double prefactor,
+                                            double temperature) const;
+
+  /// Overwrites the value of a canonical slot (used by the parameter
+  /// estimator, which varies the kinetic constants).
+  void set_value(std::uint32_t index, double value) { values_[index] = value; }
+
+  /// All declared names mapping to slot `index`.
+  [[nodiscard]] std::vector<std::string> aliases(std::uint32_t index) const;
+
+ private:
+  std::vector<double> values_;
+  std::vector<std::string> canonical_names_;
+  /// Parallel to values_: prefactor == 0 means "plain constant".
+  std::vector<ArrheniusParams> arrhenius_;
+  std::unordered_map<std::string, std::uint32_t> index_by_name_;
+  std::unordered_map<double, std::uint32_t> index_by_value_;
+};
+
+/// Builds the rate table for a model + network: every constant the network
+/// references must be defined; unreferenced constants are still registered
+/// (the estimator may bound them).
+support::Expected<RateTable> process_rate_constants(
+    const rdl::CompiledModel& model, const network::ReactionNetwork& network);
+
+}  // namespace rms::rcip

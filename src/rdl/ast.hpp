@@ -1,0 +1,149 @@
+// Abstract syntax for the RDL dialect.
+//
+// Grammar (EBNF, comments run '#'/'//' to end of line):
+//
+//   program      := item*
+//   item         := species_decl | const_decl | init_decl | rule_decl
+//                 | forbid_decl
+//   species_decl := "species" IDENT [variant] "=" STRING ";"
+//   variant      := "(" IDENT "=" NUMBER ".." NUMBER ")"
+//   const_decl   := "const" IDENT "=" (const_expr
+//                 | "arrhenius" "(" const_expr "," const_expr ")") ";"
+//   init_decl    := "init" IDENT "=" const_expr ";"
+//   const_expr   := term (("+" | "-") term)*
+//   term         := factor (("*" | "/") factor)*
+//   factor       := NUMBER | IDENT | "(" const_expr ")" | "-" factor
+//   rule_decl    := "rule" IDENT "{" clause* "}"
+//   clause       := site | bond | action | rate
+//   site         := "site" IDENT ":" (IDENT | "*") ["where" constraint
+//                   ("," constraint)*] ";"
+//   constraint   := "radical" | "depth" ">=" NUMBER | "h" ">=" NUMBER
+//                 | "degree" "==" NUMBER | "fv" "==" NUMBER
+//   bond         := "bond" IDENT IDENT [NUMBER] ";"
+//   action       := "disconnect" IDENT IDENT ";"
+//                 | "connect" IDENT IDENT [NUMBER] ";"
+//                 | "inc_bond" IDENT IDENT ";" | "dec_bond" IDENT IDENT ";"
+//                 | "remove_h" IDENT ";"      | "add_h" IDENT [NUMBER] ";"
+//   rate         := "rate" IDENT ";"
+//   forbid_decl  := "forbid" ["substructure"] STRING ";"
+//
+// A species SMILES template may contain "X{n}" (X a bare element symbol or a
+// [bracket atom], n the variant parameter): the atom repeats n times,
+// expressing the paper's compact chain-length variant families
+// ("molecules differ only in the lengths of chains of some atom").
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rdl/token.hpp"
+
+namespace rms::rdl {
+
+// ---- Constant expressions --------------------------------------------------
+
+struct ConstExpr;
+using ConstExprPtr = std::unique_ptr<ConstExpr>;
+
+struct ConstExpr {
+  enum class Kind { kNumber, kReference, kAdd, kSub, kMul, kDiv, kNeg };
+  Kind kind = Kind::kNumber;
+  double number = 0.0;      ///< kNumber
+  std::string reference;    ///< kReference
+  ConstExprPtr lhs;         ///< binary ops / kNeg operand
+  ConstExprPtr rhs;         ///< binary ops
+  SourceLocation location;
+};
+
+// ---- Declarations -----------------------------------------------------------
+
+struct VariantRange {
+  std::string parameter;  ///< loop variable name, e.g. "n"
+  int lo = 1;
+  int hi = 1;
+};
+
+struct SpeciesDecl {
+  std::string name;
+  std::string smiles_template;
+  std::optional<VariantRange> variant;
+  SourceLocation location;
+};
+
+struct ConstDecl {
+  std::string name;
+  ConstExprPtr value;  ///< null for Arrhenius-form constants
+  /// Arrhenius form k(T) = A * exp(-Ea / (R*T)): prefactor A and activation
+  /// energy Ea [J/mol]. Both null for plain constants.
+  ConstExprPtr arrhenius_prefactor;
+  ConstExprPtr arrhenius_energy;
+  SourceLocation location;
+
+  [[nodiscard]] bool is_arrhenius() const {
+    return arrhenius_prefactor != nullptr;
+  }
+};
+
+struct InitDecl {
+  std::string species_name;  ///< may name a variant instance, e.g. "Sx_8"
+  ConstExprPtr value;
+  SourceLocation location;
+};
+
+struct SiteConstraintAst {
+  enum class Kind { kRadical, kMinDepth, kMinHydrogens, kExactDegree, kExactFreeValence };
+  Kind kind = Kind::kRadical;
+  int argument = 0;
+};
+
+struct SiteDecl {
+  std::string name;
+  std::string element;  ///< element symbol, or "*" wildcard
+  std::vector<SiteConstraintAst> constraints;
+  SourceLocation location;
+};
+
+struct BondDecl {
+  std::string site_a;
+  std::string site_b;
+  int order = 1;  ///< 0 = any order
+  SourceLocation location;
+};
+
+struct ActionDecl {
+  enum class Kind { kDisconnect, kConnect, kIncBond, kDecBond, kRemoveH, kAddH };
+  Kind kind = Kind::kDisconnect;
+  std::string site_a;
+  std::string site_b;  ///< empty for unary actions
+  int argument = 1;    ///< bond order for connect, H count for add_h
+  SourceLocation location;
+};
+
+struct RuleDecl {
+  std::string name;
+  std::vector<SiteDecl> sites;
+  std::vector<BondDecl> bonds;
+  std::vector<ActionDecl> actions;
+  std::string rate_name;
+  SourceLocation location;
+};
+
+struct ForbidDecl {
+  std::string smiles;
+  /// false: the exact molecule is forbidden; true: any product *containing*
+  /// the structure as a subgraph is forbidden.
+  bool substructure = false;
+  SourceLocation location;
+};
+
+struct Program {
+  std::vector<SpeciesDecl> species;
+  std::vector<ConstDecl> constants;
+  std::vector<InitDecl> inits;
+  std::vector<RuleDecl> rules;
+  std::vector<ForbidDecl> forbids;
+};
+
+}  // namespace rms::rdl

@@ -1,0 +1,209 @@
+#include "rdl/lexer.hpp"
+
+#include <cctype>
+#include <unordered_map>
+
+#include "support/strings.hpp"
+
+namespace rms::rdl {
+
+namespace {
+
+const std::unordered_map<std::string_view, TokenKind>& keyword_table() {
+  static const auto* table = new std::unordered_map<std::string_view, TokenKind>{
+      {"species", TokenKind::kSpecies},
+      {"const", TokenKind::kConst},
+      {"rule", TokenKind::kRule},
+      {"forbid", TokenKind::kForbid},
+      {"site", TokenKind::kSite},
+      {"bond", TokenKind::kBond},
+      {"rate", TokenKind::kRate},
+      {"init", TokenKind::kInit},
+      {"disconnect", TokenKind::kDisconnect},
+      {"connect", TokenKind::kConnect},
+      {"inc_bond", TokenKind::kIncBond},
+      {"dec_bond", TokenKind::kDecBond},
+      {"remove_h", TokenKind::kRemoveH},
+      {"add_h", TokenKind::kAddH},
+      {"where", TokenKind::kWhere},
+  };
+  return *table;
+}
+
+}  // namespace
+
+std::string_view token_kind_name(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kEof: return "end of input";
+    case TokenKind::kIdent: return "identifier";
+    case TokenKind::kNumber: return "number";
+    case TokenKind::kString: return "string";
+    case TokenKind::kSpecies: return "'species'";
+    case TokenKind::kConst: return "'const'";
+    case TokenKind::kRule: return "'rule'";
+    case TokenKind::kForbid: return "'forbid'";
+    case TokenKind::kSite: return "'site'";
+    case TokenKind::kBond: return "'bond'";
+    case TokenKind::kRate: return "'rate'";
+    case TokenKind::kInit: return "'init'";
+    case TokenKind::kDisconnect: return "'disconnect'";
+    case TokenKind::kConnect: return "'connect'";
+    case TokenKind::kIncBond: return "'inc_bond'";
+    case TokenKind::kDecBond: return "'dec_bond'";
+    case TokenKind::kRemoveH: return "'remove_h'";
+    case TokenKind::kAddH: return "'add_h'";
+    case TokenKind::kWhere: return "'where'";
+    case TokenKind::kLBrace: return "'{'";
+    case TokenKind::kRBrace: return "'}'";
+    case TokenKind::kLParen: return "'('";
+    case TokenKind::kRParen: return "')'";
+    case TokenKind::kSemicolon: return "';'";
+    case TokenKind::kComma: return "','";
+    case TokenKind::kColon: return "':'";
+    case TokenKind::kAssign: return "'='";
+    case TokenKind::kPlus: return "'+'";
+    case TokenKind::kMinus: return "'-'";
+    case TokenKind::kStar: return "'*'";
+    case TokenKind::kSlash: return "'/'";
+    case TokenKind::kDotDot: return "'..'";
+    case TokenKind::kGreaterEqual: return "'>='";
+    case TokenKind::kLessEqual: return "'<='";
+    case TokenKind::kEqualEqual: return "'=='";
+  }
+  return "?";
+}
+
+support::Expected<std::vector<Token>> tokenize(std::string_view source) {
+  std::vector<Token> tokens;
+  SourceLocation loc;
+  std::size_t i = 0;
+
+  auto advance = [&](std::size_t n = 1) {
+    for (std::size_t k = 0; k < n; ++k) {
+      if (i < source.size() && source[i] == '\n') {
+        ++loc.line;
+        loc.column = 1;
+      } else {
+        ++loc.column;
+      }
+      ++i;
+    }
+  };
+  auto peek = [&](std::size_t offset = 0) -> char {
+    return i + offset < source.size() ? source[i + offset] : '\0';
+  };
+  auto push = [&](TokenKind kind, SourceLocation at, std::string text = {},
+                  double number = 0.0) {
+    tokens.push_back(Token{kind, std::move(text), number, at});
+  };
+
+  while (i < source.size()) {
+    const char c = peek();
+    const SourceLocation at = loc;
+
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      advance();
+      continue;
+    }
+    if (c == '#' || (c == '/' && peek(1) == '/')) {
+      while (i < source.size() && peek() != '\n') advance();
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t start = i;
+      while (i < source.size() &&
+             (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')) {
+        advance();
+      }
+      std::string_view word = source.substr(start, i - start);
+      auto kw = keyword_table().find(word);
+      if (kw != keyword_table().end()) {
+        push(kw->second, at);
+      } else {
+        push(TokenKind::kIdent, at, std::string(word));
+      }
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))))) {
+      std::size_t start = i;
+      while (i < source.size() &&
+             (std::isdigit(static_cast<unsigned char>(peek())) || peek() == '.' ||
+              peek() == 'e' || peek() == 'E' ||
+              ((peek() == '+' || peek() == '-') &&
+               (source[i - 1] == 'e' || source[i - 1] == 'E')))) {
+        // Stop before '..' range operator.
+        if (peek() == '.' && peek(1) == '.') break;
+        advance();
+      }
+      double value = 0.0;
+      if (!support::parse_double(source.substr(start, i - start), value)) {
+        return support::parse_error(support::str_format(
+            "malformed number at line %u column %u", at.line, at.column));
+      }
+      push(TokenKind::kNumber, at, std::string(source.substr(start, i - start)),
+           value);
+      continue;
+    }
+    if (c == '"') {
+      advance();
+      std::size_t start = i;
+      while (i < source.size() && peek() != '"' && peek() != '\n') advance();
+      if (peek() != '"') {
+        return support::parse_error(support::str_format(
+            "unterminated string at line %u column %u", at.line, at.column));
+      }
+      push(TokenKind::kString, at, std::string(source.substr(start, i - start)));
+      advance();
+      continue;
+    }
+
+    // Multi-character operators.
+    if (c == '.' && peek(1) == '.') {
+      push(TokenKind::kDotDot, at);
+      advance(2);
+      continue;
+    }
+    if (c == '>' && peek(1) == '=') {
+      push(TokenKind::kGreaterEqual, at);
+      advance(2);
+      continue;
+    }
+    if (c == '<' && peek(1) == '=') {
+      push(TokenKind::kLessEqual, at);
+      advance(2);
+      continue;
+    }
+    if (c == '=' && peek(1) == '=') {
+      push(TokenKind::kEqualEqual, at);
+      advance(2);
+      continue;
+    }
+
+    TokenKind kind;
+    switch (c) {
+      case '{': kind = TokenKind::kLBrace; break;
+      case '}': kind = TokenKind::kRBrace; break;
+      case '(': kind = TokenKind::kLParen; break;
+      case ')': kind = TokenKind::kRParen; break;
+      case ';': kind = TokenKind::kSemicolon; break;
+      case ',': kind = TokenKind::kComma; break;
+      case ':': kind = TokenKind::kColon; break;
+      case '=': kind = TokenKind::kAssign; break;
+      case '+': kind = TokenKind::kPlus; break;
+      case '-': kind = TokenKind::kMinus; break;
+      case '*': kind = TokenKind::kStar; break;
+      case '/': kind = TokenKind::kSlash; break;
+      default:
+        return support::parse_error(support::str_format(
+            "unexpected character '%c' at line %u column %u", c, at.line,
+            at.column));
+    }
+    push(kind, at);
+    advance();
+  }
+  push(TokenKind::kEof, loc);
+  return tokens;
+}
+
+}  // namespace rms::rdl

@@ -1,0 +1,16 @@
+// RDL lexer: hand-written scanner producing a token stream.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "rdl/token.hpp"
+#include "support/status.hpp"
+
+namespace rms::rdl {
+
+/// Scans the whole source; the final token is always kEof. Comments run
+/// from '#' or "//" to end of line.
+support::Expected<std::vector<Token>> tokenize(std::string_view source);
+
+}  // namespace rms::rdl

@@ -1,0 +1,396 @@
+#include "rdl/parser.hpp"
+
+#include "rdl/lexer.hpp"
+#include "support/strings.hpp"
+
+namespace rms::rdl {
+
+namespace {
+
+using support::Expected;
+using support::parse_error;
+using support::Status;
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Expected<Program> parse() {
+    Program program;
+    while (!at(TokenKind::kEof)) {
+      Status s = Status::ok();
+      switch (current().kind) {
+        case TokenKind::kSpecies:
+          s = parse_species(program);
+          break;
+        case TokenKind::kConst:
+          s = parse_const(program);
+          break;
+        case TokenKind::kInit:
+          s = parse_init(program);
+          break;
+        case TokenKind::kRule:
+          s = parse_rule(program);
+          break;
+        case TokenKind::kForbid:
+          s = parse_forbid(program);
+          break;
+        default:
+          return error("expected a declaration (species/const/init/rule/forbid)");
+      }
+      if (!s.is_ok()) return s;
+    }
+    return program;
+  }
+
+ private:
+  const Token& current() const { return tokens_[pos_]; }
+  bool at(TokenKind kind) const { return current().kind == kind; }
+
+  const Token& advance() { return tokens_[pos_++]; }
+
+  bool accept(TokenKind kind) {
+    if (at(kind)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status expect(TokenKind kind) {
+    if (!at(kind)) {
+      return error(support::str_format(
+          "expected %.*s, found %.*s",
+          static_cast<int>(token_kind_name(kind).size()),
+          token_kind_name(kind).data(),
+          static_cast<int>(token_kind_name(current().kind).size()),
+          token_kind_name(current().kind).data()));
+    }
+    ++pos_;
+    return Status::ok();
+  }
+
+  Status error(std::string msg) const {
+    return parse_error(support::str_format("%s at line %u column %u",
+                                           msg.c_str(), current().location.line,
+                                           current().location.column));
+  }
+
+  Status expect_ident(std::string& out) {
+    if (!at(TokenKind::kIdent)) return error("expected an identifier");
+    out = advance().text;
+    return Status::ok();
+  }
+
+  Status expect_integer(int& out) {
+    if (!at(TokenKind::kNumber)) return error("expected a number");
+    const double v = current().number;
+    if (v != static_cast<int>(v)) return error("expected an integer");
+    out = static_cast<int>(v);
+    ++pos_;
+    return Status::ok();
+  }
+
+  Status parse_species(Program& program) {
+    SpeciesDecl decl;
+    decl.location = current().location;
+    RMS_RETURN_IF_ERROR(expect(TokenKind::kSpecies));
+    RMS_RETURN_IF_ERROR(expect_ident(decl.name));
+    if (accept(TokenKind::kLParen)) {
+      VariantRange range;
+      RMS_RETURN_IF_ERROR(expect_ident(range.parameter));
+      RMS_RETURN_IF_ERROR(expect(TokenKind::kAssign));
+      RMS_RETURN_IF_ERROR(expect_integer(range.lo));
+      RMS_RETURN_IF_ERROR(expect(TokenKind::kDotDot));
+      RMS_RETURN_IF_ERROR(expect_integer(range.hi));
+      RMS_RETURN_IF_ERROR(expect(TokenKind::kRParen));
+      if (range.lo < 1 || range.hi < range.lo) {
+        return error("variant range must satisfy 1 <= lo <= hi");
+      }
+      decl.variant = range;
+    }
+    RMS_RETURN_IF_ERROR(expect(TokenKind::kAssign));
+    if (!at(TokenKind::kString)) return error("expected a SMILES string");
+    decl.smiles_template = advance().text;
+    RMS_RETURN_IF_ERROR(expect(TokenKind::kSemicolon));
+    program.species.push_back(std::move(decl));
+    return Status::ok();
+  }
+
+  Status parse_const(Program& program) {
+    ConstDecl decl;
+    decl.location = current().location;
+    RMS_RETURN_IF_ERROR(expect(TokenKind::kConst));
+    RMS_RETURN_IF_ERROR(expect_ident(decl.name));
+    RMS_RETURN_IF_ERROR(expect(TokenKind::kAssign));
+    // Arrhenius form: "arrhenius" is contextual (only a call-looking
+    // occurrence right after '=' is special; a plain identifier named
+    // arrhenius elsewhere stays an ordinary reference).
+    if (at(TokenKind::kIdent) && current().text == "arrhenius" &&
+        tokens_[pos_ + 1].kind == TokenKind::kLParen) {
+      pos_ += 2;
+      auto prefactor = parse_const_expr();
+      if (!prefactor.is_ok()) return prefactor.status();
+      decl.arrhenius_prefactor = std::move(prefactor).value();
+      RMS_RETURN_IF_ERROR(expect(TokenKind::kComma));
+      auto energy = parse_const_expr();
+      if (!energy.is_ok()) return energy.status();
+      decl.arrhenius_energy = std::move(energy).value();
+      RMS_RETURN_IF_ERROR(expect(TokenKind::kRParen));
+    } else {
+      auto expr = parse_const_expr();
+      if (!expr.is_ok()) return expr.status();
+      decl.value = std::move(expr).value();
+    }
+    RMS_RETURN_IF_ERROR(expect(TokenKind::kSemicolon));
+    program.constants.push_back(std::move(decl));
+    return Status::ok();
+  }
+
+  Status parse_init(Program& program) {
+    InitDecl decl;
+    decl.location = current().location;
+    RMS_RETURN_IF_ERROR(expect(TokenKind::kInit));
+    RMS_RETURN_IF_ERROR(expect_ident(decl.species_name));
+    RMS_RETURN_IF_ERROR(expect(TokenKind::kAssign));
+    auto expr = parse_const_expr();
+    if (!expr.is_ok()) return expr.status();
+    decl.value = std::move(expr).value();
+    RMS_RETURN_IF_ERROR(expect(TokenKind::kSemicolon));
+    program.inits.push_back(std::move(decl));
+    return Status::ok();
+  }
+
+  Expected<ConstExprPtr> parse_const_expr() {
+    auto lhs = parse_term();
+    if (!lhs.is_ok()) return lhs.status();
+    ConstExprPtr node = std::move(lhs).value();
+    while (at(TokenKind::kPlus) || at(TokenKind::kMinus)) {
+      const bool add = at(TokenKind::kPlus);
+      const SourceLocation loc = current().location;
+      ++pos_;
+      auto rhs = parse_term();
+      if (!rhs.is_ok()) return rhs.status();
+      auto parent = std::make_unique<ConstExpr>();
+      parent->kind = add ? ConstExpr::Kind::kAdd : ConstExpr::Kind::kSub;
+      parent->lhs = std::move(node);
+      parent->rhs = std::move(rhs).value();
+      parent->location = loc;
+      node = std::move(parent);
+    }
+    return node;
+  }
+
+  Expected<ConstExprPtr> parse_term() {
+    auto lhs = parse_factor();
+    if (!lhs.is_ok()) return lhs.status();
+    ConstExprPtr node = std::move(lhs).value();
+    while (at(TokenKind::kStar) || at(TokenKind::kSlash)) {
+      const bool mul = at(TokenKind::kStar);
+      const SourceLocation loc = current().location;
+      ++pos_;
+      auto rhs = parse_factor();
+      if (!rhs.is_ok()) return rhs.status();
+      auto parent = std::make_unique<ConstExpr>();
+      parent->kind = mul ? ConstExpr::Kind::kMul : ConstExpr::Kind::kDiv;
+      parent->lhs = std::move(node);
+      parent->rhs = std::move(rhs).value();
+      parent->location = loc;
+      node = std::move(parent);
+    }
+    return node;
+  }
+
+  Expected<ConstExprPtr> parse_factor() {
+    auto node = std::make_unique<ConstExpr>();
+    node->location = current().location;
+    if (at(TokenKind::kNumber)) {
+      node->kind = ConstExpr::Kind::kNumber;
+      node->number = advance().number;
+      return node;
+    }
+    if (at(TokenKind::kIdent)) {
+      node->kind = ConstExpr::Kind::kReference;
+      node->reference = advance().text;
+      return node;
+    }
+    if (accept(TokenKind::kLParen)) {
+      auto inner = parse_const_expr();
+      if (!inner.is_ok()) return inner.status();
+      RMS_RETURN_IF_ERROR(expect(TokenKind::kRParen));
+      return std::move(inner).value();
+    }
+    if (accept(TokenKind::kMinus)) {
+      auto operand = parse_factor();
+      if (!operand.is_ok()) return operand.status();
+      node->kind = ConstExpr::Kind::kNeg;
+      node->lhs = std::move(operand).value();
+      return node;
+    }
+    return Status(error("expected a number, identifier, or '('"));
+  }
+
+  Status parse_rule(Program& program) {
+    RuleDecl rule;
+    rule.location = current().location;
+    RMS_RETURN_IF_ERROR(expect(TokenKind::kRule));
+    RMS_RETURN_IF_ERROR(expect_ident(rule.name));
+    RMS_RETURN_IF_ERROR(expect(TokenKind::kLBrace));
+    while (!at(TokenKind::kRBrace)) {
+      switch (current().kind) {
+        case TokenKind::kSite: {
+          SiteDecl site;
+          site.location = current().location;
+          ++pos_;
+          RMS_RETURN_IF_ERROR(expect_ident(site.name));
+          RMS_RETURN_IF_ERROR(expect(TokenKind::kColon));
+          if (accept(TokenKind::kStar)) {
+            // assign(count, char) sidesteps a GCC 12 -Wrestrict false
+            // positive (PR105329) on the const char* assignment here.
+            site.element.assign(1, '*');
+          } else {
+            RMS_RETURN_IF_ERROR(expect_ident(site.element));
+          }
+          if (accept(TokenKind::kWhere)) {
+            do {
+              SiteConstraintAst constraint;
+              std::string kind;
+              RMS_RETURN_IF_ERROR(expect_ident(kind));
+              if (kind == "radical") {
+                constraint.kind = SiteConstraintAst::Kind::kRadical;
+              } else if (kind == "depth") {
+                RMS_RETURN_IF_ERROR(expect(TokenKind::kGreaterEqual));
+                RMS_RETURN_IF_ERROR(expect_integer(constraint.argument));
+                constraint.kind = SiteConstraintAst::Kind::kMinDepth;
+              } else if (kind == "h") {
+                RMS_RETURN_IF_ERROR(expect(TokenKind::kGreaterEqual));
+                RMS_RETURN_IF_ERROR(expect_integer(constraint.argument));
+                constraint.kind = SiteConstraintAst::Kind::kMinHydrogens;
+              } else if (kind == "degree") {
+                RMS_RETURN_IF_ERROR(expect(TokenKind::kEqualEqual));
+                RMS_RETURN_IF_ERROR(expect_integer(constraint.argument));
+                constraint.kind = SiteConstraintAst::Kind::kExactDegree;
+              } else if (kind == "fv") {
+                RMS_RETURN_IF_ERROR(expect(TokenKind::kEqualEqual));
+                RMS_RETURN_IF_ERROR(expect_integer(constraint.argument));
+                constraint.kind = SiteConstraintAst::Kind::kExactFreeValence;
+              } else {
+                return error("unknown constraint '" + kind +
+                             "' (radical/depth/h/degree/fv)");
+              }
+              site.constraints.push_back(constraint);
+            } while (accept(TokenKind::kComma));
+          }
+          RMS_RETURN_IF_ERROR(expect(TokenKind::kSemicolon));
+          rule.sites.push_back(std::move(site));
+          break;
+        }
+        case TokenKind::kBond: {
+          BondDecl bond;
+          bond.location = current().location;
+          ++pos_;
+          RMS_RETURN_IF_ERROR(expect_ident(bond.site_a));
+          RMS_RETURN_IF_ERROR(expect_ident(bond.site_b));
+          if (at(TokenKind::kNumber)) {
+            RMS_RETURN_IF_ERROR(expect_integer(bond.order));
+            if (bond.order < 0 || bond.order > 3) {
+              return error("bond order must be 0 (any) through 3");
+            }
+          }
+          RMS_RETURN_IF_ERROR(expect(TokenKind::kSemicolon));
+          rule.bonds.push_back(std::move(bond));
+          break;
+        }
+        case TokenKind::kDisconnect:
+        case TokenKind::kConnect:
+        case TokenKind::kIncBond:
+        case TokenKind::kDecBond: {
+          ActionDecl action;
+          action.location = current().location;
+          const TokenKind kind = advance().kind;
+          action.kind = kind == TokenKind::kDisconnect
+                            ? ActionDecl::Kind::kDisconnect
+                        : kind == TokenKind::kConnect ? ActionDecl::Kind::kConnect
+                        : kind == TokenKind::kIncBond ? ActionDecl::Kind::kIncBond
+                                                      : ActionDecl::Kind::kDecBond;
+          RMS_RETURN_IF_ERROR(expect_ident(action.site_a));
+          RMS_RETURN_IF_ERROR(expect_ident(action.site_b));
+          if (kind == TokenKind::kConnect && at(TokenKind::kNumber)) {
+            RMS_RETURN_IF_ERROR(expect_integer(action.argument));
+            if (action.argument < 1 || action.argument > 3) {
+              return error("connect order must be 1 through 3");
+            }
+          }
+          RMS_RETURN_IF_ERROR(expect(TokenKind::kSemicolon));
+          rule.actions.push_back(std::move(action));
+          break;
+        }
+        case TokenKind::kRemoveH:
+        case TokenKind::kAddH: {
+          ActionDecl action;
+          action.location = current().location;
+          const TokenKind kind = advance().kind;
+          action.kind = kind == TokenKind::kRemoveH ? ActionDecl::Kind::kRemoveH
+                                                    : ActionDecl::Kind::kAddH;
+          RMS_RETURN_IF_ERROR(expect_ident(action.site_a));
+          if (kind == TokenKind::kAddH && at(TokenKind::kNumber)) {
+            RMS_RETURN_IF_ERROR(expect_integer(action.argument));
+            if (action.argument < 1) return error("add_h count must be >= 1");
+          }
+          RMS_RETURN_IF_ERROR(expect(TokenKind::kSemicolon));
+          rule.actions.push_back(std::move(action));
+          break;
+        }
+        case TokenKind::kRate: {
+          ++pos_;
+          if (!rule.rate_name.empty()) {
+            return error("rule has multiple rate clauses");
+          }
+          RMS_RETURN_IF_ERROR(expect_ident(rule.rate_name));
+          RMS_RETURN_IF_ERROR(expect(TokenKind::kSemicolon));
+          break;
+        }
+        default:
+          return error("expected site/bond/action/rate clause in rule body");
+      }
+    }
+    RMS_RETURN_IF_ERROR(expect(TokenKind::kRBrace));
+    if (rule.sites.empty()) return error("rule '" + rule.name + "' has no sites");
+    if (rule.actions.empty()) {
+      return error("rule '" + rule.name + "' has no actions");
+    }
+    if (rule.rate_name.empty()) {
+      return error("rule '" + rule.name + "' has no rate clause");
+    }
+    program.rules.push_back(std::move(rule));
+    return Status::ok();
+  }
+
+  Status parse_forbid(Program& program) {
+    ForbidDecl decl;
+    decl.location = current().location;
+    RMS_RETURN_IF_ERROR(expect(TokenKind::kForbid));
+    if (at(TokenKind::kIdent) && current().text == "substructure") {
+      decl.substructure = true;
+      ++pos_;
+    }
+    if (!at(TokenKind::kString)) return error("expected a SMILES string");
+    decl.smiles = advance().text;
+    RMS_RETURN_IF_ERROR(expect(TokenKind::kSemicolon));
+    program.forbids.push_back(std::move(decl));
+    return Status::ok();
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+support::Expected<Program> parse_program(std::string_view source) {
+  auto tokens = tokenize(source);
+  if (!tokens.is_ok()) return tokens.status();
+  return Parser(std::move(tokens).value()).parse();
+}
+
+}  // namespace rms::rdl

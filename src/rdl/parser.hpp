@@ -1,0 +1,14 @@
+// Recursive-descent parser for the RDL dialect (grammar in ast.hpp).
+#pragma once
+
+#include <string_view>
+
+#include "rdl/ast.hpp"
+#include "support/status.hpp"
+
+namespace rms::rdl {
+
+/// Tokenizes and parses a full RDL program.
+support::Expected<Program> parse_program(std::string_view source);
+
+}  // namespace rms::rdl

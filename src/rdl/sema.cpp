@@ -1,0 +1,381 @@
+#include "rdl/sema.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <functional>
+#include <unordered_set>
+
+#include "chem/canonical.hpp"
+#include "rdl/parser.hpp"
+#include "chem/smiles.hpp"
+#include "support/strings.hpp"
+
+namespace rms::rdl {
+
+namespace {
+
+using support::Expected;
+using support::semantic_error;
+using support::Status;
+
+Status located(const SourceLocation& loc, const std::string& msg) {
+  return semantic_error(
+      support::str_format("%s (line %u)", msg.c_str(), loc.line));
+}
+
+Expected<double> evaluate_const(
+    const ConstExpr& expr,
+    const std::unordered_map<std::string, double>& env) {
+  switch (expr.kind) {
+    case ConstExpr::Kind::kNumber:
+      return expr.number;
+    case ConstExpr::Kind::kReference: {
+      auto it = env.find(expr.reference);
+      if (it == env.end()) {
+        return located(expr.location,
+                       "reference to undefined constant '" + expr.reference +
+                           "' (constants must be defined before use)");
+      }
+      return it->second;
+    }
+    case ConstExpr::Kind::kNeg: {
+      auto v = evaluate_const(*expr.lhs, env);
+      if (!v.is_ok()) return v.status();
+      return -*v;
+    }
+    default: {
+      auto lhs = evaluate_const(*expr.lhs, env);
+      if (!lhs.is_ok()) return lhs.status();
+      auto rhs = evaluate_const(*expr.rhs, env);
+      if (!rhs.is_ok()) return rhs.status();
+      switch (expr.kind) {
+        case ConstExpr::Kind::kAdd: return *lhs + *rhs;
+        case ConstExpr::Kind::kSub: return *lhs - *rhs;
+        case ConstExpr::Kind::kMul: return *lhs * *rhs;
+        case ConstExpr::Kind::kDiv:
+          if (*rhs == 0.0) {
+            return located(expr.location, "division by zero in constant");
+          }
+          return *lhs / *rhs;
+        default: break;
+      }
+    }
+  }
+  RMS_UNREACHABLE();
+}
+
+/// Length of the atom token ending at position `end` (exclusive) in `s`:
+/// a [bracket group] or a one/two-letter bare element symbol.
+std::size_t trailing_atom_token_length(const std::string& s, std::size_t end) {
+  if (end == 0) return 0;
+  if (s[end - 1] == ']') {
+    const std::size_t open = s.rfind('[', end - 1);
+    if (open == std::string::npos) return 0;
+    return end - open;
+  }
+  // Two-letter symbols in our subset: Cl, Br, Zn.
+  if (end >= 2) {
+    const std::string two = s.substr(end - 2, 2);
+    if (two == "Cl" || two == "Br" || two == "Zn") return 2;
+  }
+  const char c = s[end - 1];
+  if (std::isupper(static_cast<unsigned char>(c))) return 1;
+  return 0;
+}
+
+int pattern_component_count(const chem::Pattern& pattern) {
+  const std::size_t n = pattern.atom_count();
+  std::vector<std::uint32_t> parent(n);
+  for (std::uint32_t i = 0; i < n; ++i) parent[i] = i;
+  std::function<std::uint32_t(std::uint32_t)> find =
+      [&](std::uint32_t x) -> std::uint32_t {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  for (const chem::BondConstraint& bc : pattern.bonds()) {
+    parent[find(bc.a)] = find(bc.b);
+  }
+  std::unordered_set<std::uint32_t> roots;
+  for (std::uint32_t i = 0; i < n; ++i) roots.insert(find(i));
+  return static_cast<int>(roots.size());
+}
+
+}  // namespace
+
+const CompiledSpecies* CompiledModel::find_species(
+    const std::string& name) const {
+  for (const CompiledSpecies& s : species) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+double CompiledModel::constant_value(const std::string& name,
+                                     bool* found) const {
+  for (const auto& [n, v] : constants) {
+    if (n == name) {
+      if (found != nullptr) *found = true;
+      return v;
+    }
+  }
+  if (found != nullptr) *found = false;
+  return 0.0;
+}
+
+Expected<std::string> expand_template(const std::string& tmpl,
+                                      const std::string& parameter,
+                                      int value) {
+  std::string out;
+  std::size_t i = 0;
+  const std::string needle = "{" + parameter + "}";
+  while (i < tmpl.size()) {
+    if (tmpl.compare(i, needle.size(), needle) == 0) {
+      const std::size_t atom_len = trailing_atom_token_length(out, out.size());
+      if (atom_len == 0) {
+        return semantic_error(
+            "variant placeholder '" + needle +
+            "' must directly follow an atom token in the SMILES template");
+      }
+      const std::string atom = out.substr(out.size() - atom_len);
+      for (int rep = 1; rep < value; ++rep) out += atom;
+      i += needle.size();
+      continue;
+    }
+    if (tmpl[i] == '{') {
+      return semantic_error("unknown placeholder in SMILES template '" + tmpl +
+                            "' (expected {" + parameter + "})");
+    }
+    out += tmpl[i];
+    ++i;
+  }
+  return out;
+}
+
+Expected<CompiledModel> analyze(const Program& program) {
+  CompiledModel model;
+
+  // ---- Constants (define-before-use evaluation). ----
+  std::unordered_map<std::string, double> env;
+  for (const ConstDecl& decl : program.constants) {
+    if (env.count(decl.name) != 0) {
+      return located(decl.location,
+                     "constant '" + decl.name + "' redefined");
+    }
+    ConstantDef def;
+    def.name = decl.name;
+    if (decl.is_arrhenius()) {
+      auto prefactor = evaluate_const(*decl.arrhenius_prefactor, env);
+      if (!prefactor.is_ok()) return prefactor.status();
+      auto energy = evaluate_const(*decl.arrhenius_energy, env);
+      if (!energy.is_ok()) return energy.status();
+      if (*prefactor <= 0.0) {
+        return located(decl.location,
+                       "arrhenius prefactor must be positive");
+      }
+      def.is_arrhenius = true;
+      def.prefactor = *prefactor;
+      def.activation_energy = *energy;
+      def.value = *prefactor *
+                  std::exp(-*energy /
+                           (kGasConstant * kReferenceTemperature));
+    } else {
+      auto value = evaluate_const(*decl.value, env);
+      if (!value.is_ok()) return value.status();
+      def.value = *value;
+    }
+    env[decl.name] = def.value;
+    model.constants.emplace_back(def.name, def.value);
+    model.constant_defs.push_back(std::move(def));
+  }
+
+  // ---- Species (with variant expansion). ----
+  std::unordered_set<std::string> names;
+  std::unordered_map<std::string, std::string> canonical_owner;
+  for (const SpeciesDecl& decl : program.species) {
+    const int lo = decl.variant ? decl.variant->lo : 0;
+    const int hi = decl.variant ? decl.variant->hi : 0;
+    for (int v = lo; v <= hi; ++v) {
+      CompiledSpecies species;
+      species.base_name = decl.name;
+      species.variant_value = v;
+      std::string smiles = decl.smiles_template;
+      if (decl.variant) {
+        species.name = decl.name + "_" + support::str_format("%d", v);
+        auto expanded = expand_template(decl.smiles_template,
+                                        decl.variant->parameter, v);
+        if (!expanded.is_ok()) return expanded.status();
+        smiles = *expanded;
+      } else {
+        species.name = decl.name;
+      }
+      if (!names.insert(species.name).second) {
+        return located(decl.location,
+                       "species '" + species.name + "' redefined");
+      }
+      auto mol = chem::parse_smiles(smiles);
+      if (!mol.is_ok()) {
+        return located(decl.location, "species '" + species.name +
+                                          "': " + mol.status().message());
+      }
+      species.molecule = std::move(mol).value();
+      species.canonical = chem::canonical_smiles(species.molecule);
+      auto [it, inserted] =
+          canonical_owner.emplace(species.canonical, species.name);
+      if (!inserted) {
+        return located(decl.location, "species '" + species.name +
+                                          "' is structurally identical to '" +
+                                          it->second + "'");
+      }
+      model.species.push_back(std::move(species));
+      if (!decl.variant) break;
+    }
+  }
+
+  // ---- Initial concentrations. ----
+  for (const InitDecl& decl : program.inits) {
+    auto value = evaluate_const(*decl.value, env);
+    if (!value.is_ok()) return value.status();
+    bool found = false;
+    for (CompiledSpecies& s : model.species) {
+      if (s.name == decl.species_name || s.base_name == decl.species_name) {
+        s.init_concentration = *value;
+        found = true;
+      }
+    }
+    if (!found) {
+      return located(decl.location, "init names unknown species '" +
+                                        decl.species_name + "'");
+    }
+  }
+
+  // ---- Rules. ----
+  for (const RuleDecl& decl : program.rules) {
+    CompiledRule rule;
+    rule.name = decl.name;
+    rule.rate_name = decl.rate_name;
+
+    if (env.count(decl.rate_name) == 0) {
+      return located(decl.location, "rule '" + decl.name +
+                                        "' uses undefined rate constant '" +
+                                        decl.rate_name + "'");
+    }
+
+    std::unordered_map<std::string, std::uint32_t> site_index;
+    for (const SiteDecl& site : decl.sites) {
+      chem::AtomConstraint constraint;
+      if (site.element != "*") {
+        auto element = chem::parse_element(site.element);
+        if (!element.has_value()) {
+          return located(site.location, "unknown element '" + site.element +
+                                            "' in site '" + site.name + "'");
+        }
+        constraint.element = *element;
+      }
+      for (const SiteConstraintAst& c : site.constraints) {
+        switch (c.kind) {
+          case SiteConstraintAst::Kind::kRadical:
+            constraint.min_free_valence = 1;
+            break;
+          case SiteConstraintAst::Kind::kMinDepth:
+            constraint.min_chain_depth = c.argument;
+            break;
+          case SiteConstraintAst::Kind::kMinHydrogens:
+            constraint.min_hydrogens = c.argument;
+            break;
+          case SiteConstraintAst::Kind::kExactDegree:
+            constraint.exact_degree = c.argument;
+            break;
+          case SiteConstraintAst::Kind::kExactFreeValence:
+            constraint.exact_free_valence = c.argument;
+            break;
+        }
+      }
+      const std::uint32_t idx = rule.pattern.add_atom(constraint);
+      if (!site_index.emplace(site.name, idx).second) {
+        return located(site.location,
+                       "site '" + site.name + "' redefined in rule '" +
+                           decl.name + "'");
+      }
+      rule.site_names.push_back(site.name);
+    }
+
+    auto resolve_site = [&](const std::string& name,
+                            const SourceLocation& loc,
+                            std::uint32_t& out) -> Status {
+      auto it = site_index.find(name);
+      if (it == site_index.end()) {
+        return located(loc, "unknown site '" + name + "' in rule '" +
+                                decl.name + "'");
+      }
+      out = it->second;
+      return Status::ok();
+    };
+
+    for (const BondDecl& bond : decl.bonds) {
+      std::uint32_t a = 0;
+      std::uint32_t b = 0;
+      RMS_RETURN_IF_ERROR(resolve_site(bond.site_a, bond.location, a));
+      RMS_RETURN_IF_ERROR(resolve_site(bond.site_b, bond.location, b));
+      if (a == b) {
+        return located(bond.location, "bond endpoints must differ");
+      }
+      rule.pattern.add_bond(a, b, static_cast<std::uint8_t>(bond.order));
+    }
+
+    for (const ActionDecl& action : decl.actions) {
+      CompiledAction compiled;
+      compiled.kind = action.kind;
+      compiled.argument = action.argument;
+      RMS_RETURN_IF_ERROR(
+          resolve_site(action.site_a, action.location, compiled.site_a));
+      const bool binary = action.kind == ActionDecl::Kind::kDisconnect ||
+                          action.kind == ActionDecl::Kind::kConnect ||
+                          action.kind == ActionDecl::Kind::kIncBond ||
+                          action.kind == ActionDecl::Kind::kDecBond;
+      if (binary) {
+        RMS_RETURN_IF_ERROR(
+            resolve_site(action.site_b, action.location, compiled.site_b));
+        if (compiled.site_a == compiled.site_b) {
+          return located(action.location, "action endpoints must differ");
+        }
+      }
+      rule.actions.push_back(compiled);
+    }
+
+    rule.molecularity = pattern_component_count(rule.pattern);
+    if (rule.molecularity > 2) {
+      return located(decl.location,
+                     "rule '" + decl.name +
+                         "' has more than two pattern components; at most "
+                         "bimolecular reactions are supported");
+    }
+    model.rules.push_back(std::move(rule));
+  }
+
+  // ---- Forbidden forms. ----
+  for (const ForbidDecl& decl : program.forbids) {
+    auto mol = chem::parse_smiles(decl.smiles);
+    if (!mol.is_ok()) {
+      return located(decl.location,
+                     "forbid: " + mol.status().message());
+    }
+    if (decl.substructure) {
+      model.forbidden_substructures.push_back(chem::substructure_pattern(*mol));
+    } else {
+      model.forbidden_canonical.push_back(chem::canonical_smiles(*mol));
+    }
+  }
+
+  return model;
+}
+
+Expected<CompiledModel> compile_rdl(std::string_view source) {
+  auto program = parse_program(source);
+  if (!program.is_ok()) return program.status();
+  return analyze(*program);
+}
+
+}  // namespace rms::rdl

@@ -1,0 +1,100 @@
+// Semantic analysis: turns a parsed RDL program into a compiled model.
+//
+// Responsibilities:
+//  - evaluate rate-constant definition expressions (define-before-use),
+//  - expand compact variant families into concrete species ("S{n}" chain
+//    templates -> one species per chain length, named e.g. "Ax_3"),
+//  - parse and canonicalize every species' structure (duplicates rejected),
+//  - compile rule site/bond clauses into substructure Patterns and resolve
+//    action site references,
+//  - resolve init declarations and forbidden forms.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "chem/molecule.hpp"
+#include "chem/pattern.hpp"
+#include "rdl/ast.hpp"
+#include "support/status.hpp"
+
+namespace rms::rdl {
+
+struct CompiledSpecies {
+  std::string name;         ///< instance name (variants: "base_<n>")
+  std::string base_name;    ///< declared family name
+  int variant_value = 0;    ///< chain length for variants, 0 otherwise
+  chem::Molecule molecule;
+  std::string canonical;    ///< canonical SMILES — the species identity
+  double init_concentration = 0.0;
+};
+
+struct CompiledAction {
+  ActionDecl::Kind kind = ActionDecl::Kind::kDisconnect;
+  std::uint32_t site_a = 0;
+  std::uint32_t site_b = 0;  ///< unused for unary actions
+  int argument = 1;          ///< connect order / add_h count
+};
+
+struct CompiledRule {
+  std::string name;
+  chem::Pattern pattern;
+  std::vector<std::string> site_names;   ///< pattern atom i = site_names[i]
+  std::vector<CompiledAction> actions;
+  std::string rate_name;
+  /// Number of connected components of the pattern graph: 1 = unimolecular
+  /// site, 2 = bimolecular (sites live in two distinct molecules).
+  int molecularity = 1;
+};
+
+/// Gas constant [J/(mol K)] and the reference temperature at which plain
+/// constant values of Arrhenius-form definitions are reported.
+inline constexpr double kGasConstant = 8.314462618;
+inline constexpr double kReferenceTemperature = 298.15;
+
+struct ConstantDef {
+  std::string name;
+  /// Value at the reference temperature (Arrhenius) or the plain value.
+  double value = 0.0;
+  bool is_arrhenius = false;
+  double prefactor = 0.0;          ///< A in k(T) = A exp(-Ea/(R T))
+  double activation_energy = 0.0;  ///< Ea [J/mol]
+};
+
+struct CompiledModel {
+  std::vector<CompiledSpecies> species;
+  std::vector<CompiledRule> rules;
+  /// Rate-constant definitions in declaration order (value at the
+  /// reference temperature for Arrhenius constants).
+  std::vector<std::pair<std::string, double>> constants;
+  /// Full definitions including Arrhenius parameters; parallel to
+  /// `constants`.
+  std::vector<ConstantDef> constant_defs;
+  /// Canonical SMILES of exact-molecule forbids: producing one of these
+  /// exact species is rejected during network generation.
+  std::vector<std::string> forbidden_canonical;
+  /// Substructure forbids: any product containing one of these patterns as
+  /// a subgraph is rejected ("forbid substructure \"...\";").
+  std::vector<chem::Pattern> forbidden_substructures;
+
+  [[nodiscard]] const CompiledSpecies* find_species(
+      const std::string& name) const;
+  [[nodiscard]] double constant_value(const std::string& name, bool* found =
+                                          nullptr) const;
+};
+
+/// Runs semantic analysis on a parsed program.
+support::Expected<CompiledModel> analyze(const Program& program);
+
+/// Convenience: parse + analyze.
+support::Expected<CompiledModel> compile_rdl(std::string_view source);
+
+/// Expands a SMILES variant template: every "E{param}" (E a bare element
+/// symbol, possibly two letters, or a [bracket atom]) is replaced by `value`
+/// consecutive copies of E. Exposed for tests.
+support::Expected<std::string> expand_template(const std::string& tmpl,
+                                               const std::string& parameter,
+                                               int value);
+
+}  // namespace rms::rdl

@@ -1,0 +1,71 @@
+// Tokens for the Reaction Description Language (RDL) dialect.
+//
+// The language follows the structure of Prickett & Mavrovouniotis' RDL as
+// adopted by the paper: species declarations (with compact chain-length
+// variant families), rate-constant definitions, reaction rules built from
+// the six edit primitives with context-sensitive site constraints, and
+// forbidden forms.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace rms::rdl {
+
+enum class TokenKind : std::uint8_t {
+  kEof,
+  kIdent,
+  kNumber,
+  kString,
+  // Keywords.
+  kSpecies,
+  kConst,
+  kRule,
+  kForbid,
+  kSite,
+  kBond,
+  kRate,
+  kInit,
+  kDisconnect,
+  kConnect,
+  kIncBond,
+  kDecBond,
+  kRemoveH,
+  kAddH,
+  kWhere,
+  // Punctuation / operators.
+  kLBrace,
+  kRBrace,
+  kLParen,
+  kRParen,
+  kSemicolon,
+  kComma,
+  kColon,
+  kAssign,
+  kPlus,
+  kMinus,
+  kStar,
+  kSlash,
+  kDotDot,
+  kGreaterEqual,
+  kLessEqual,
+  kEqualEqual,
+};
+
+struct SourceLocation {
+  std::uint32_t line = 1;
+  std::uint32_t column = 1;
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  std::string text;        ///< identifier name / string payload
+  double number = 0.0;     ///< numeric payload for kNumber
+  SourceLocation location;
+};
+
+/// Human-readable token kind name for diagnostics.
+std::string_view token_kind_name(TokenKind kind);
+
+}  // namespace rms::rdl

@@ -1,0 +1,37 @@
+#include "rms/suite.hpp"
+
+namespace rms {
+
+support::Expected<models::BuiltModel> Suite::compile(
+    std::string_view rdl_source,
+    const network::GeneratorOptions& generator_options) {
+  models::BuiltModel built;
+  auto model = rdl::compile_rdl(rdl_source);
+  if (!model.is_ok()) return model.status();
+  built.model = std::move(model).value();
+
+  auto net = network::generate_network(built.model, generator_options);
+  if (!net.is_ok()) return net.status();
+  built.network = std::move(net).value();
+
+  auto rates = rcip::process_rate_constants(built.model, built.network);
+  if (!rates.is_ok()) return rates.status();
+  built.rates = std::move(rates).value();
+
+  auto odes = odegen::generate_odes(built.network, built.rates,
+                                    odegen::OdeGenOptions{true});
+  if (!odes.is_ok()) return odes.status();
+  built.odes = std::move(odes).value();
+
+  auto raw = odegen::generate_odes(built.network, built.rates,
+                                   odegen::OdeGenOptions{false});
+  if (!raw.is_ok()) return raw.status();
+  built.odes_raw = std::move(raw).value();
+
+  RMS_RETURN_IF_ERROR(models::finish_pipeline(built));
+  return built;
+}
+
+const char* Suite::version() { return "1.0.0"; }
+
+}  // namespace rms

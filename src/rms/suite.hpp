@@ -1,0 +1,35 @@
+// ReactionModelingSuite: the high-level public API.
+//
+// One call runs the paper's full tool chain (Fig. 2): RDL source ->
+// chemical compiler (reaction network) -> rate constant information
+// processor -> equation generator -> algebraic optimizer + CSE -> code
+// generation; the result bundles every intermediate plus executable
+// bytecode for both the unoptimized and optimized ODE right-hand sides.
+//
+//   auto built = rms::Suite::compile(source);
+//   vm::Interpreter rhs(built->program_optimized);
+//
+// For parameter estimation against experimental data files, see
+// estimator/objective.hpp and estimator/estimator.hpp; for the prepackaged
+// vulcanization models and Table 1 test cases, see models/.
+#pragma once
+
+#include <string_view>
+
+#include "models/vulcanization.hpp"
+#include "support/status.hpp"
+
+namespace rms {
+
+class Suite {
+ public:
+  /// Compiles an RDL program through the entire pipeline.
+  static support::Expected<models::BuiltModel> compile(
+      std::string_view rdl_source,
+      const network::GeneratorOptions& generator_options = {});
+
+  /// Library version string.
+  static const char* version();
+};
+
+}  // namespace rms

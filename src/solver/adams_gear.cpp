@@ -1,0 +1,433 @@
+#include "solver/adams_gear.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/gmres.hpp"
+#include "solver/fornberg.hpp"
+#include "support/strings.hpp"
+
+namespace rms::solver {
+
+namespace {
+
+constexpr double kSafety = 0.9;
+constexpr double kMinShrink = 0.25;
+constexpr double kMaxGrow = 4.0;
+constexpr int kMaxNewtonIterations = 7;
+constexpr int kMaxStepAttempts = 64;
+
+}  // namespace
+
+AdamsGear::AdamsGear(OdeSystem system, IntegrationOptions options)
+    : system_(std::move(system)), options_(options) {
+  options_.max_order = std::clamp(options_.max_order, 1, 5);
+  const std::size_t n = system_.dimension;
+  // The dense n x n Jacobian is allocated lazily in compute_jacobian(): the
+  // matrix-free Krylov path must not pay n^2 memory.
+  f_work_.resize(n);
+  g_work_.resize(n);
+  delta_.resize(n);
+}
+
+support::Status AdamsGear::initialize(double t0, const std::vector<double>& y0) {
+  if (y0.size() != system_.dimension) {
+    return support::invalid_argument("initial state dimension mismatch");
+  }
+  history_.clear();
+  history_.push_front(HistoryPoint{t0, y0});
+  stats_ = IntegrationStats{};
+  order_ = 1;
+  accepts_at_order_ = 0;
+  consecutive_rejects_ = 0;
+  have_jacobian_ = false;
+  jacobian_fresh_ = false;
+
+  if (options_.initial_step > 0.0) {
+    h_ = options_.initial_step;
+  } else {
+    system_.rhs(t0, y0.data(), f_work_.data());
+    ++stats_.rhs_evaluations;
+    const double ynorm = error_norm(y0, y0, options_.relative_tolerance,
+                                    options_.absolute_tolerance);
+    const double fnorm = error_norm(f_work_, y0, options_.relative_tolerance,
+                                    options_.absolute_tolerance);
+    h_ = fnorm > 1e-12 ? 0.001 * ynorm / fnorm : 1e-6;
+    if (!(h_ > options_.min_step)) h_ = 1e-6;
+  }
+  initialized_ = true;
+  return support::Status::ok();
+}
+
+void AdamsGear::compute_jacobian(double t, const std::vector<double>& y) {
+  const std::size_t n = system_.dimension;
+  if (jacobian_.rows() != n) jacobian_ = linalg::Matrix(n, n);
+  if (system_.jacobian) {
+    system_.jacobian(t, y.data(), jacobian_.data());
+    ++stats_.jacobian_evaluations;
+    jacobian_fresh_ = true;
+    have_jacobian_ = true;
+    return;
+  }
+  std::vector<double> y_pert = y;
+  std::vector<double> f0(n);
+  system_.rhs(t, y.data(), f0.data());
+  ++stats_.rhs_evaluations;
+  for (std::size_t j = 0; j < n; ++j) {
+    const double delta =
+        std::sqrt(1e-16) * std::max(std::fabs(y[j]), 1e-5);
+    y_pert[j] = y[j] + delta;
+    system_.rhs(t, y_pert.data(), f_work_.data());
+    ++stats_.rhs_evaluations;
+    y_pert[j] = y[j];
+    const double inv_delta = 1.0 / delta;
+    for (std::size_t i = 0; i < n; ++i) {
+      jacobian_(i, j) = (f_work_[i] - f0[i]) * inv_delta;
+    }
+  }
+  ++stats_.jacobian_evaluations;
+  jacobian_fresh_ = true;
+  have_jacobian_ = true;
+}
+
+void AdamsGear::compute_sparse_jacobian(double t,
+                                        const std::vector<double>& y) {
+  RMS_CHECK_MSG(static_cast<bool>(system_.sparse_jacobian),
+                "kSparseLu requires OdeSystem::sparse_jacobian");
+  system_.sparse_jacobian(t, y.data(), sparse_jacobian_);
+  ++stats_.jacobian_evaluations;
+  jacobian_fresh_ = true;
+  have_jacobian_ = true;
+}
+
+bool AdamsGear::factor_sparse_iteration_matrix(double d0) {
+  // M = d0*I - J, built row by row; J's per-row columns are assumed sorted
+  // (true for compiled Jacobians and from_dense conversions).
+  const std::size_t n = system_.dimension;
+  const linalg::CsrMatrix& jac = sparse_jacobian_;
+  RMS_CHECK(jac.rows == n && jac.cols == n);
+  linalg::CsrMatrix m;
+  m.rows = m.cols = n;
+  m.row_offsets.reserve(n + 1);
+  m.row_offsets.push_back(0);
+  m.col_indices.reserve(jac.nonzero_count() + n);
+  m.values.reserve(jac.nonzero_count() + n);
+  for (std::size_t r = 0; r < n; ++r) {
+    bool wrote_diagonal = false;
+    for (std::uint32_t e = jac.row_offsets[r]; e < jac.row_offsets[r + 1];
+         ++e) {
+      const std::uint32_t c = jac.col_indices[e];
+      if (!wrote_diagonal && c >= r) {
+        if (c == r) {
+          m.col_indices.push_back(c);
+          m.values.push_back(d0 - jac.values[e]);
+          wrote_diagonal = true;
+          continue;
+        }
+        m.col_indices.push_back(static_cast<std::uint32_t>(r));
+        m.values.push_back(d0);
+        wrote_diagonal = true;
+      }
+      m.col_indices.push_back(c);
+      m.values.push_back(-jac.values[e]);
+    }
+    if (!wrote_diagonal) {
+      m.col_indices.push_back(static_cast<std::uint32_t>(r));
+      m.values.push_back(d0);
+    }
+    m.row_offsets.push_back(static_cast<std::uint32_t>(m.values.size()));
+  }
+  ++stats_.factorizations;
+  if (!sparse_lu_.factor(m)) return false;
+  factored_d0_ = d0;
+  return true;
+}
+
+bool AdamsGear::factor_iteration_matrix(double d0) {
+  // M = d0 * I - J.
+  const std::size_t n = system_.dimension;
+  linalg::Matrix m = jacobian_;
+  for (std::size_t i = 0; i < n; ++i) {
+    double* row = m.row(i);
+    for (std::size_t j = 0; j < n; ++j) row[j] = -row[j];
+    row[i] += d0;
+  }
+  ++stats_.factorizations;
+  if (!lu_.factor(m)) return false;
+  factored_d0_ = d0;
+  return true;
+}
+
+void AdamsGear::predict(double t_new, std::vector<double>& y_pred) const {
+  // Extrapolate through order+1 points when available: the predictor then
+  // has the corrector's order, so corrector - predictor estimates the local
+  // truncation term.
+  const int points = static_cast<int>(std::min<std::size_t>(
+      history_.size(), static_cast<std::size_t>(order_) + 1));
+  std::vector<double> nodes(points);
+  for (int i = 0; i < points; ++i) nodes[i] = history_[i].t;
+  std::vector<double> w;
+  fornberg_weights(t_new, nodes.data(), points, 0, w);
+  const std::size_t n = system_.dimension;
+  y_pred.assign(n, 0.0);
+  for (int i = 0; i < points; ++i) {
+    const std::vector<double>& y = history_[i].y;
+    const double wi = w[i];
+    for (std::size_t j = 0; j < n; ++j) y_pred[j] += wi * y[j];
+  }
+}
+
+support::Status AdamsGear::newton_solve(double t_new,
+                                        const std::vector<double>& d,
+                                        std::vector<double>& y,
+                                        bool& converged) {
+  const std::size_t n = system_.dimension;
+  const int q_points = static_cast<int>(d.size());  // unknown + history
+  converged = false;
+
+  // Constant part of the corrector: sum_{i>=1} d_i y_{n-i}.
+  std::vector<double> history_term(n, 0.0);
+  for (int i = 1; i < q_points; ++i) {
+    const std::vector<double>& yh = history_[i - 1].y;
+    for (std::size_t j = 0; j < n; ++j) history_term[j] += d[i] * yh[j];
+  }
+
+  const bool matrix_free = options_.newton_linear_solver ==
+                           NewtonLinearSolver::kMatrixFreeGmres;
+  std::vector<double> y_pert;
+  std::vector<double> f_pert;
+  double previous_norm = 0.0;
+  for (int iteration = 0; iteration < kMaxNewtonIterations; ++iteration) {
+    system_.rhs(t_new, y.data(), f_work_.data());
+    ++stats_.rhs_evaluations;
+    ++stats_.newton_iterations;
+    for (std::size_t j = 0; j < n; ++j) {
+      g_work_[j] = -(d[0] * y[j] + history_term[j] - f_work_[j]);
+    }
+    if (matrix_free) {
+      // JFNK: M v = d0 v - J v with J v by a directional difference around
+      // the current Newton iterate.
+      const double y_norm = linalg::norm2(y);
+      auto apply = [&](const linalg::Vector& v, linalg::Vector& out) {
+        const double v_norm = linalg::norm2(v);
+        out.resize(n);
+        if (v_norm == 0.0) {
+          for (double& o : out) o = 0.0;
+          return;
+        }
+        const double sigma = 1.0e-8 * (1.0 + y_norm) / v_norm;
+        y_pert.resize(n);
+        for (std::size_t j = 0; j < n; ++j) y_pert[j] = y[j] + sigma * v[j];
+        f_pert.resize(n);
+        system_.rhs(t_new, y_pert.data(), f_pert.data());
+        ++stats_.rhs_evaluations;
+        const double inv_sigma = 1.0 / sigma;
+        for (std::size_t j = 0; j < n; ++j) {
+          out[j] = d[0] * v[j] - (f_pert[j] - f_work_[j]) * inv_sigma;
+        }
+      };
+      linalg::GmresOptions gmres_options;
+      gmres_options.tolerance = options_.krylov_tolerance;
+      delta_.assign(n, 0.0);
+      const auto gm = linalg::gmres(apply, g_work_, delta_, gmres_options);
+      if (!gm.converged && gm.relative_residual > 0.1) {
+        return support::Status::ok();  // treat as Newton failure -> retry
+      }
+    } else if (options_.newton_linear_solver ==
+               NewtonLinearSolver::kSparseLu) {
+      sparse_lu_.solve(g_work_, delta_);
+    } else {
+      lu_.solve(g_work_, delta_);
+    }
+    for (std::size_t j = 0; j < n; ++j) y[j] += delta_[j];
+
+    const double norm = error_norm(delta_, y, options_.relative_tolerance,
+                                   options_.absolute_tolerance);
+    if (!std::isfinite(norm)) return support::Status::ok();  // diverged
+    if (norm < 0.03) {
+      converged = true;
+      return support::Status::ok();
+    }
+    // Divergence check: the modified Newton contraction should shrink.
+    if (iteration > 0 && norm > 2.0 * previous_norm) return support::Status::ok();
+    previous_norm = norm;
+  }
+  return support::Status::ok();
+}
+
+support::Status AdamsGear::step() {
+  const std::size_t n = system_.dimension;
+  const double t = history_.front().t;
+  bool refreshed_jacobian_this_step = false;
+
+  for (int attempt = 0; attempt < kMaxStepAttempts; ++attempt) {
+    const int q = static_cast<int>(
+        std::min<std::size_t>(history_.size(), static_cast<std::size_t>(order_)));
+    const double t_new = t + h_;
+
+    // BDF weights on [t_new, history...] for the first derivative at t_new.
+    std::vector<double> nodes(q + 1);
+    nodes[0] = t_new;
+    for (int i = 0; i < q; ++i) nodes[i + 1] = history_[i].t;
+    fornberg_weights(t_new, nodes.data(), q + 1, 1, weights_);
+    std::vector<double> d(q + 1);
+    for (int i = 0; i <= q; ++i) d[i] = weights_[(q + 1) + i];  // derivative row
+
+    // (Re)factor the iteration matrix when d0 drifted or J was refreshed.
+    // The matrix-free path has no Jacobian or factorization at all.
+    if (options_.newton_linear_solver != NewtonLinearSolver::kMatrixFreeGmres) {
+      const bool sparse =
+          options_.newton_linear_solver == NewtonLinearSolver::kSparseLu;
+      if (!have_jacobian_) {
+        if (sparse) {
+          compute_sparse_jacobian(t, history_.front().y);
+        } else {
+          compute_jacobian(t, history_.front().y);
+        }
+      }
+      const bool d0_drifted =
+          factored_d0_ == 0.0 ||
+          std::fabs(d[0] - factored_d0_) > 0.2 * std::fabs(factored_d0_);
+      if (d0_drifted || jacobian_fresh_) {
+        jacobian_fresh_ = false;
+        const bool factored = sparse ? factor_sparse_iteration_matrix(d[0])
+                                     : factor_iteration_matrix(d[0]);
+        if (!factored) {
+          h_ *= 0.5;
+          ++stats_.rejected_steps;
+          continue;
+        }
+      }
+    }
+
+    // Predict, then correct by Newton.
+    std::vector<double> y_new;
+    predict(t_new, y_new);
+    std::vector<double> y_pred = y_new;
+    bool converged = false;
+    RMS_RETURN_IF_ERROR(newton_solve(t_new, d, y_new, converged));
+    if (!converged) {
+      // Retry once with a fresh Jacobian at the current state; afterwards
+      // only a smaller step can help. (The matrix-free path has no Jacobian
+      // to refresh, so it goes straight to the smaller step.)
+      if (!refreshed_jacobian_this_step &&
+          options_.newton_linear_solver !=
+              NewtonLinearSolver::kMatrixFreeGmres) {
+        refreshed_jacobian_this_step = true;
+        const bool sparse =
+            options_.newton_linear_solver == NewtonLinearSolver::kSparseLu;
+        if (sparse) {
+          compute_sparse_jacobian(t, history_.front().y);
+        } else {
+          compute_jacobian(t, history_.front().y);
+        }
+        const bool factored = sparse ? factor_sparse_iteration_matrix(d[0])
+                                     : factor_iteration_matrix(d[0]);
+        if (!factored) h_ *= 0.5;
+        jacobian_fresh_ = false;
+        ++stats_.rejected_steps;
+        continue;
+      }
+      h_ *= 0.5;
+      ++stats_.rejected_steps;
+      ++consecutive_rejects_;
+      if (h_ < options_.min_step) {
+        return support::numeric_error("Newton failed at minimum step size");
+      }
+      continue;
+    }
+
+    // Local error estimate: corrector minus predictor, scaled by order.
+    std::vector<double> err_vec(n);
+    const double scale = 1.0 / static_cast<double>(q + 1);
+    for (std::size_t j = 0; j < n; ++j) {
+      err_vec[j] = (y_new[j] - y_pred[j]) * scale;
+    }
+    const double err = error_norm(err_vec, y_new, options_.relative_tolerance,
+                                  options_.absolute_tolerance);
+
+    if (err <= 1.0 || h_ <= options_.min_step) {
+      // Accept the step.
+      history_.push_front(HistoryPoint{t_new, std::move(y_new)});
+      while (history_.size() >
+             static_cast<std::size_t>(options_.max_order) + 2) {
+        history_.pop_back();
+      }
+      ++stats_.steps;
+      consecutive_rejects_ = 0;
+      ++accepts_at_order_;
+
+      // Order raise heuristic: after a stretch of clean accepts at this
+      // order, try the next one (history permitting).
+      if (order_ < options_.max_order &&
+          accepts_at_order_ >= order_ + 2 &&
+          history_.size() > static_cast<std::size_t>(order_)) {
+        ++order_;
+        accepts_at_order_ = 0;
+      }
+      const double grow =
+          err > 1e-10
+              ? kSafety * std::pow(1.0 / err, 1.0 / static_cast<double>(q + 1))
+              : kMaxGrow;
+      h_ *= std::clamp(grow, kMinShrink, kMaxGrow);
+      return support::Status::ok();
+    }
+
+    // Reject: shrink, possibly drop the order.
+    ++stats_.rejected_steps;
+    ++consecutive_rejects_;
+    if (consecutive_rejects_ >= 2 && order_ > 1) {
+      --order_;
+      accepts_at_order_ = 0;
+    }
+    const double shrink =
+        kSafety * std::pow(1.0 / err, 1.0 / static_cast<double>(q + 1));
+    h_ *= std::clamp(shrink, kMinShrink, 0.9);
+    if (!(h_ > 0.0) || !std::isfinite(h_)) {
+      return support::numeric_error("step size underflow");
+    }
+  }
+  return support::numeric_error("step repeatedly rejected");
+}
+
+void AdamsGear::interpolate(double t, std::vector<double>& y_out) const {
+  const int points = static_cast<int>(std::min<std::size_t>(
+      history_.size(), static_cast<std::size_t>(order_) + 1));
+  std::vector<double> nodes(points);
+  for (int i = 0; i < points; ++i) nodes[i] = history_[i].t;
+  std::vector<double> w;
+  fornberg_weights(t, nodes.data(), points, 0, w);
+  const std::size_t n = system_.dimension;
+  y_out.assign(n, 0.0);
+  for (int i = 0; i < points; ++i) {
+    const std::vector<double>& y = history_[i].y;
+    for (std::size_t j = 0; j < n; ++j) y_out[j] += w[i] * y[j];
+  }
+}
+
+support::Status AdamsGear::advance_to(double t_target,
+                                      std::vector<double>& y_out) {
+  if (!initialized_) {
+    return support::Status(support::StatusCode::kFailedPrecondition,
+                           "initialize() must be called first");
+  }
+  std::size_t steps = 0;
+  while (history_.front().t < t_target) {
+    // Do not overshoot the target by more than one step; clamp h so the
+    // final step lands close to it (interpolation covers the interior).
+    h_ = std::min(h_, std::max(t_target - history_.front().t,
+                               options_.min_step));
+    RMS_RETURN_IF_ERROR(step());
+    if (++steps > options_.max_steps_per_call) {
+      return support::numeric_error("max_steps_per_call exceeded");
+    }
+  }
+  if (history_.front().t == t_target) {
+    y_out = history_.front().y;
+  } else {
+    interpolate(t_target, y_out);
+  }
+  return support::Status::ok();
+}
+
+}  // namespace rms::solver

@@ -1,0 +1,22 @@
+// Fornberg finite-difference weights.
+//
+// Computes the weights w[d][j] such that the d-th derivative at x0 of the
+// polynomial interpolating f at nodes x[0..n-1] equals sum_j w[d][j]*f(x[j]).
+// The variable-step BDF (Adams-Gear) solver uses the first-derivative
+// weights to build its corrector equation, and the zeroth-derivative
+// weights for dense output interpolation.
+//
+// Reference algorithm: B. Fornberg, "Generation of finite difference
+// formulas on arbitrarily spaced grids", Math. Comp. 51 (1988).
+#pragma once
+
+#include <vector>
+
+namespace rms::solver {
+
+/// weights[d * n + j] = weight of f(x[j]) for the d-th derivative at x0,
+/// for d = 0..max_derivative. Nodes must be distinct.
+void fornberg_weights(double x0, const double* x, int n, int max_derivative,
+                      std::vector<double>& weights);
+
+}  // namespace rms::solver

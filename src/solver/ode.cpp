@@ -1,0 +1,22 @@
+#include "solver/ode.hpp"
+
+#include <cmath>
+
+#include "support/assert.hpp"
+
+namespace rms::solver {
+
+double error_norm(const std::vector<double>& error, const std::vector<double>& y,
+                  double rtol, double atol) {
+  RMS_CHECK(error.size() == y.size());
+  if (error.empty()) return 0.0;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < error.size(); ++i) {
+    const double scale = atol + rtol * std::fabs(y[i]);
+    const double ratio = error[i] / scale;
+    sum += ratio * ratio;
+  }
+  return std::sqrt(sum / static_cast<double>(error.size()));
+}
+
+}  // namespace rms::solver

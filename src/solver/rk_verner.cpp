@@ -1,0 +1,188 @@
+#include "solver/rk_verner.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/assert.hpp"
+#include "support/strings.hpp"
+
+namespace rms::solver {
+
+namespace {
+
+// Verner's 8-stage 6(5) pair (the DVERK coefficients).
+constexpr int kStages = 8;
+
+constexpr double kC[kStages] = {
+    0.0, 1.0 / 6.0, 4.0 / 15.0, 2.0 / 3.0, 5.0 / 6.0, 1.0, 1.0 / 15.0, 1.0};
+
+constexpr double kA[kStages][kStages] = {
+    {},
+    {1.0 / 6.0},
+    {4.0 / 75.0, 16.0 / 75.0},
+    {5.0 / 6.0, -8.0 / 3.0, 5.0 / 2.0},
+    {-165.0 / 64.0, 55.0 / 6.0, -425.0 / 64.0, 85.0 / 96.0},
+    {12.0 / 5.0, -8.0, 4015.0 / 612.0, -11.0 / 36.0, 88.0 / 255.0},
+    {-8263.0 / 15000.0, 124.0 / 75.0, -643.0 / 680.0, -81.0 / 250.0,
+     2484.0 / 10625.0, 0.0},
+    {3501.0 / 1720.0, -300.0 / 43.0, 297275.0 / 52632.0, -319.0 / 2322.0,
+     24068.0 / 84065.0, 0.0, 3850.0 / 26703.0},
+};
+
+// Sixth-order weights (propagated solution).
+constexpr double kB6[kStages] = {3.0 / 40.0,    0.0, 875.0 / 2244.0,
+                                 23.0 / 72.0,   264.0 / 1955.0, 0.0,
+                                 125.0 / 11592.0, 43.0 / 616.0};
+
+// Embedded fifth-order weights (error estimator).
+constexpr double kB5[kStages] = {13.0 / 160.0, 0.0, 2375.0 / 5984.0,
+                                 5.0 / 16.0,   12.0 / 85.0, 3.0 / 44.0,
+                                 0.0,          0.0};
+
+constexpr double kSafety = 0.9;
+constexpr double kMinShrink = 0.2;
+constexpr double kMaxGrow = 5.0;
+
+}  // namespace
+
+RungeKuttaVerner::RungeKuttaVerner(OdeSystem system, IntegrationOptions options)
+    : system_(std::move(system)), options_(options) {
+  stages_.assign(kStages, std::vector<double>(system_.dimension));
+  work_.resize(system_.dimension);
+  y_high_.resize(system_.dimension);
+  error_.resize(system_.dimension);
+}
+
+void RungeKuttaVerner::eval_rhs(double t, const std::vector<double>& y,
+                                std::vector<double>& f) {
+  f.resize(system_.dimension);
+  system_.rhs(t, y.data(), f.data());
+  ++stats_.rhs_evaluations;
+}
+
+support::Status RungeKuttaVerner::initialize(double t0,
+                                             const std::vector<double>& y0) {
+  if (y0.size() != system_.dimension) {
+    return support::invalid_argument("initial state dimension mismatch");
+  }
+  t_ = t_prev_ = t0;
+  y_ = y_prev_ = y0;
+  stats_ = IntegrationStats{};
+  eval_rhs(t0, y_, f0_);
+  f_prev_ = f0_;
+
+  if (options_.initial_step > 0.0) {
+    h_ = options_.initial_step;
+  } else {
+    // Conservative automatic start: based on the scale of y and f.
+    const double ynorm = error_norm(y_, y_, options_.relative_tolerance,
+                                    options_.absolute_tolerance);
+    const double fnorm = error_norm(f0_, y_, options_.relative_tolerance,
+                                    options_.absolute_tolerance);
+    h_ = fnorm > 1e-12 ? 0.01 * ynorm / fnorm : 1e-6;
+    if (!(h_ > options_.min_step)) h_ = 1e-6;
+  }
+  initialized_ = true;
+  return support::Status::ok();
+}
+
+support::Status RungeKuttaVerner::step() {
+  const std::size_t n = system_.dimension;
+  for (std::size_t attempt = 0; attempt < 64; ++attempt) {
+    // Stage 0 reuses f0_.
+    stages_[0] = f0_;
+    for (int s = 1; s < kStages; ++s) {
+      for (std::size_t i = 0; i < n; ++i) {
+        double acc = 0.0;
+        for (int j = 0; j < s; ++j) acc += kA[s][j] * stages_[j][i];
+        work_[i] = y_[i] + h_ * acc;
+      }
+      eval_rhs(t_ + kC[s] * h_, work_, stages_[s]);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      double high = 0.0;
+      double low = 0.0;
+      for (int s = 0; s < kStages; ++s) {
+        high += kB6[s] * stages_[s][i];
+        low += kB5[s] * stages_[s][i];
+      }
+      y_high_[i] = y_[i] + h_ * high;
+      error_[i] = h_ * (high - low);
+    }
+    const double err = error_norm(error_, y_, options_.relative_tolerance,
+                                  options_.absolute_tolerance);
+    if (err <= 1.0 || h_ <= options_.min_step) {
+      // Accept.
+      t_prev_ = t_;
+      y_prev_ = y_;
+      f_prev_ = f0_;
+      t_ += h_;
+      y_ = y_high_;
+      eval_rhs(t_, y_, f0_);
+      ++stats_.steps;
+      const double grow =
+          err > 1e-10 ? kSafety * std::pow(1.0 / err, 1.0 / 6.0) : kMaxGrow;
+      h_ *= std::clamp(grow, kMinShrink, kMaxGrow);
+      return support::Status::ok();
+    }
+    ++stats_.rejected_steps;
+    const double shrink = kSafety * std::pow(1.0 / err, 1.0 / 6.0);
+    h_ *= std::clamp(shrink, kMinShrink, 0.9);
+    if (!(h_ > 0.0) || !std::isfinite(h_)) {
+      return support::numeric_error("step size underflow");
+    }
+  }
+  return support::numeric_error(
+      "step repeatedly rejected; the system may be stiff — use the "
+      "Adams-Gear solver");
+}
+
+void RungeKuttaVerner::interpolate(double t, std::vector<double>& y_out) const {
+  // Cubic Hermite over [t_prev_, t_] using endpoint values and derivatives.
+  const double dt = t_ - t_prev_;
+  if (dt == 0.0) {
+    y_out = y_;
+    return;
+  }
+  const double s = (t - t_prev_) / dt;
+  const double h00 = (1 + 2 * s) * (1 - s) * (1 - s);
+  const double h10 = s * (1 - s) * (1 - s);
+  const double h01 = s * s * (3 - 2 * s);
+  const double h11 = s * s * (s - 1);
+  y_out.resize(system_.dimension);
+  for (std::size_t i = 0; i < system_.dimension; ++i) {
+    y_out[i] = h00 * y_prev_[i] + h10 * dt * f_prev_[i] + h01 * y_[i] +
+               h11 * dt * f0_[i];
+  }
+}
+
+support::Status RungeKuttaVerner::advance_to(double t_target,
+                                             std::vector<double>& y_out) {
+  if (!initialized_) {
+    return support::Status(support::StatusCode::kFailedPrecondition,
+                           "initialize() must be called first");
+  }
+  if (t_target < t_prev_) {
+    return support::invalid_argument(
+        support::str_format("cannot integrate backwards: target %g < %g",
+                            t_target, t_prev_));
+  }
+  std::size_t steps = 0;
+  while (t_ < t_target) {
+    // Never step far past the target (allow 1 step overshoot for
+    // interpolation, but cap the step to reach the target region).
+    h_ = std::min(h_, std::max(t_target - t_, options_.min_step) * 1.0);
+    RMS_RETURN_IF_ERROR(step());
+    if (++steps > options_.max_steps_per_call) {
+      return support::numeric_error("max_steps_per_call exceeded");
+    }
+  }
+  if (t_target >= t_) {
+    y_out = y_;
+  } else {
+    interpolate(t_target, y_out);
+  }
+  return support::Status::ok();
+}
+
+}  // namespace rms::solver

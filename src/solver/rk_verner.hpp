@@ -1,0 +1,56 @@
+// Runge-Kutta-Verner 6(5) solver.
+//
+// The eight-stage embedded pair of J. H. Verner (the method behind the
+// DVERK code and IMSL's imsl_f_ode_runge_kutta, which the paper describes
+// as "the Runge Kutta Verner fifth order and sixth order method"). The
+// sixth-order solution propagates; the difference against the embedded
+// fifth-order solution drives the adaptive step controller. Efficient for
+// non-stiff systems; the Adams-Gear solver handles the stiff ones.
+#pragma once
+
+#include "solver/ode.hpp"
+
+namespace rms::solver {
+
+class RungeKuttaVerner final : public OdeSolver {
+ public:
+  RungeKuttaVerner(OdeSystem system, IntegrationOptions options = {});
+
+  support::Status initialize(double t0, const std::vector<double>& y0) override;
+  support::Status advance_to(double t_target,
+                             std::vector<double>& y_out) override;
+  [[nodiscard]] double current_time() const override { return t_; }
+  [[nodiscard]] const IntegrationStats& stats() const override { return stats_; }
+  [[nodiscard]] std::string name() const override {
+    return "runge-kutta-verner-6(5)";
+  }
+
+ private:
+  /// One accepted internal step; updates t_, y_, f0_ and proposes h_.
+  support::Status step();
+
+  /// Cubic Hermite interpolation within the last accepted step.
+  void interpolate(double t, std::vector<double>& y_out) const;
+
+  void eval_rhs(double t, const std::vector<double>& y, std::vector<double>& f);
+
+  OdeSystem system_;
+  IntegrationOptions options_;
+  IntegrationStats stats_;
+  double t_ = 0.0;
+  double h_ = 0.0;
+  std::vector<double> y_;
+  std::vector<double> f0_;  ///< f(t_, y_)
+  // Previous accepted step endpoints for interpolation.
+  double t_prev_ = 0.0;
+  std::vector<double> y_prev_;
+  std::vector<double> f_prev_;
+  // Stage storage.
+  std::vector<std::vector<double>> stages_;
+  std::vector<double> work_;
+  std::vector<double> y_high_;
+  std::vector<double> error_;
+  bool initialized_ = false;
+};
+
+}  // namespace rms::solver

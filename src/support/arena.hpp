@@ -1,0 +1,90 @@
+// Bump-pointer arena allocator.
+//
+// The equation generator and the algebraic optimizer allocate millions of
+// short-lived term nodes whose lifetime ends together (when the optimized
+// program has been emitted). An arena turns that churn into pointer bumps
+// and one bulk free.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace rms::support {
+
+class Arena {
+ public:
+  static constexpr std::size_t kDefaultBlockBytes = 1 << 20;  // 1 MiB
+
+  explicit Arena(std::size_t block_bytes = kDefaultBlockBytes)
+      : block_bytes_(block_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+  Arena(Arena&&) = default;
+  Arena& operator=(Arena&&) = default;
+
+  /// Allocates `bytes` with the given alignment. Never returns nullptr.
+  void* allocate(std::size_t bytes, std::size_t align = alignof(std::max_align_t)) {
+    RMS_DCHECK(align != 0 && (align & (align - 1)) == 0);
+    std::uintptr_t p = (cursor_ + (align - 1)) & ~(std::uintptr_t(align) - 1);
+    if (p + bytes > limit_) {
+      grow(bytes + align);
+      p = (cursor_ + (align - 1)) & ~(std::uintptr_t(align) - 1);
+    }
+    cursor_ = p + bytes;
+    bytes_allocated_ += bytes;
+    return reinterpret_cast<void*>(p);
+  }
+
+  /// Constructs a T in the arena. T must be trivially destructible, or the
+  /// caller must accept that destructors never run.
+  template <typename T, typename... Args>
+  T* create(Args&&... args) {
+    void* mem = allocate(sizeof(T), alignof(T));
+    return ::new (mem) T(std::forward<Args>(args)...);
+  }
+
+  /// Allocates an uninitialized array of n Ts.
+  template <typename T>
+  T* allocate_array(std::size_t n) {
+    return static_cast<T*>(allocate(n * sizeof(T), alignof(T)));
+  }
+
+  /// Total payload bytes handed out (excludes block overhead/padding).
+  [[nodiscard]] std::size_t bytes_allocated() const { return bytes_allocated_; }
+
+  /// Total bytes reserved from the system.
+  [[nodiscard]] std::size_t bytes_reserved() const { return bytes_reserved_; }
+
+  /// Frees every block; all previously returned pointers become invalid.
+  void reset() {
+    blocks_.clear();
+    cursor_ = limit_ = 0;
+    bytes_allocated_ = 0;
+    bytes_reserved_ = 0;
+  }
+
+ private:
+  void grow(std::size_t min_bytes) {
+    std::size_t size = block_bytes_;
+    while (size < min_bytes) size *= 2;
+    blocks_.push_back(std::make_unique<std::byte[]>(size));
+    bytes_reserved_ += size;
+    cursor_ = reinterpret_cast<std::uintptr_t>(blocks_.back().get());
+    limit_ = cursor_ + size;
+  }
+
+  std::size_t block_bytes_;
+  std::vector<std::unique_ptr<std::byte[]>> blocks_;
+  std::uintptr_t cursor_ = 0;
+  std::uintptr_t limit_ = 0;
+  std::size_t bytes_allocated_ = 0;
+  std::size_t bytes_reserved_ = 0;
+};
+
+}  // namespace rms::support

@@ -1,0 +1,45 @@
+// Lightweight runtime-check macros used across the Reaction Modeling Suite.
+//
+// RMS_CHECK(cond)  - always-on invariant check; aborts with location info.
+// RMS_DCHECK(cond) - debug-only check, compiled out in NDEBUG builds.
+// RMS_UNREACHABLE  - marks impossible control flow.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace rms::support::detail {
+
+[[noreturn]] inline void check_failed(const char* cond, const char* file,
+                                      int line, const char* msg) {
+  std::fprintf(stderr, "RMS_CHECK failed: %s at %s:%d%s%s\n", cond, file, line,
+               msg[0] ? " — " : "", msg);
+  std::abort();
+}
+
+}  // namespace rms::support::detail
+
+#define RMS_CHECK(cond)                                                \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      ::rms::support::detail::check_failed(#cond, __FILE__, __LINE__,  \
+                                           "");                        \
+    }                                                                  \
+  } while (0)
+
+#define RMS_CHECK_MSG(cond, msg)                                       \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      ::rms::support::detail::check_failed(#cond, __FILE__, __LINE__,  \
+                                           (msg));                     \
+    }                                                                  \
+  } while (0)
+
+#ifdef NDEBUG
+#define RMS_DCHECK(cond) ((void)0)
+#else
+#define RMS_DCHECK(cond) RMS_CHECK(cond)
+#endif
+
+#define RMS_UNREACHABLE()                                                     \
+  ::rms::support::detail::check_failed("unreachable", __FILE__, __LINE__, "")

@@ -1,0 +1,71 @@
+// String interner: maps strings to dense 32-bit symbols and back.
+//
+// Species names, rate-constant names and SMILES canonical codes are interned
+// so the rest of the pipeline compares and hashes integers.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "support/assert.hpp"
+
+namespace rms::support {
+
+/// Dense handle for an interned string. Value 0 is reserved as invalid.
+class Symbol {
+ public:
+  Symbol() = default;
+  explicit Symbol(std::uint32_t raw) : raw_(raw) {}
+
+  [[nodiscard]] bool valid() const { return raw_ != 0; }
+  [[nodiscard]] std::uint32_t raw() const { return raw_; }
+
+  friend bool operator==(Symbol a, Symbol b) { return a.raw_ == b.raw_; }
+  friend bool operator!=(Symbol a, Symbol b) { return a.raw_ != b.raw_; }
+  friend bool operator<(Symbol a, Symbol b) { return a.raw_ < b.raw_; }
+
+ private:
+  std::uint32_t raw_ = 0;
+};
+
+class Interner {
+ public:
+  /// Returns the symbol for `s`, interning it if new.
+  Symbol intern(std::string_view s) {
+    auto it = map_.find(std::string(s));
+    if (it != map_.end()) return it->second;
+    strings_.emplace_back(s);
+    Symbol sym(static_cast<std::uint32_t>(strings_.size()));  // 1-based
+    map_.emplace(strings_.back(), sym);
+    return sym;
+  }
+
+  /// Returns the symbol for `s` if already interned, else an invalid Symbol.
+  [[nodiscard]] Symbol find(std::string_view s) const {
+    auto it = map_.find(std::string(s));
+    return it == map_.end() ? Symbol() : it->second;
+  }
+
+  [[nodiscard]] std::string_view text(Symbol sym) const {
+    RMS_CHECK(sym.valid() && sym.raw() <= strings_.size());
+    return strings_[sym.raw() - 1];
+  }
+
+  [[nodiscard]] std::size_t size() const { return strings_.size(); }
+
+ private:
+  std::deque<std::string> strings_;  // deque: stable references for the map keys
+  std::unordered_map<std::string, Symbol> map_;
+};
+
+}  // namespace rms::support
+
+template <>
+struct std::hash<rms::support::Symbol> {
+  std::size_t operator()(rms::support::Symbol s) const noexcept {
+    return std::hash<std::uint32_t>()(s.raw());
+  }
+};

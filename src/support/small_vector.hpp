@@ -1,0 +1,190 @@
+// SmallVector<T, N>: vector with inline storage for the first N elements.
+//
+// Products in the generated ODEs typically have 2-4 factors; storing them
+// inline avoids a heap allocation per term.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <initializer_list>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "support/assert.hpp"
+
+namespace rms::support {
+
+template <typename T, std::size_t N>
+class SmallVector {
+  static_assert(N > 0, "inline capacity must be positive");
+
+ public:
+  using value_type = T;
+  using iterator = T*;
+  using const_iterator = const T*;
+
+  SmallVector() = default;
+
+  SmallVector(std::initializer_list<T> init) {
+    reserve(init.size());
+    for (const T& v : init) push_back(v);
+  }
+
+  SmallVector(const SmallVector& other) {
+    reserve(other.size_);
+    for (std::size_t i = 0; i < other.size_; ++i) push_back(other[i]);
+  }
+
+  SmallVector(SmallVector&& other) noexcept { move_from(std::move(other)); }
+
+  SmallVector& operator=(const SmallVector& other) {
+    if (this != &other) {
+      clear();
+      reserve(other.size_);
+      for (std::size_t i = 0; i < other.size_; ++i) push_back(other[i]);
+    }
+    return *this;
+  }
+
+  SmallVector& operator=(SmallVector&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      move_from(std::move(other));
+    }
+    return *this;
+  }
+
+  ~SmallVector() { destroy(); }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+  T& operator[](std::size_t i) {
+    RMS_DCHECK(i < size_);
+    return data()[i];
+  }
+  const T& operator[](std::size_t i) const {
+    RMS_DCHECK(i < size_);
+    return data()[i];
+  }
+
+  T* data() { return heap_ ? heap_ : inline_data(); }
+  const T* data() const { return heap_ ? heap_ : inline_data(); }
+
+  iterator begin() { return data(); }
+  iterator end() { return data() + size_; }
+  const_iterator begin() const { return data(); }
+  const_iterator end() const { return data() + size_; }
+
+  T& front() { return (*this)[0]; }
+  const T& front() const { return (*this)[0]; }
+  T& back() { return (*this)[size_ - 1]; }
+  const T& back() const { return (*this)[size_ - 1]; }
+
+  void push_back(const T& v) { emplace_back(v); }
+  void push_back(T&& v) { emplace_back(std::move(v)); }
+
+  template <typename... Args>
+  T& emplace_back(Args&&... args) {
+    if (size_ == capacity_) reserve(capacity_ * 2);
+    T* slot = data() + size_;
+    ::new (static_cast<void*>(slot)) T(std::forward<Args>(args)...);
+    ++size_;
+    return *slot;
+  }
+
+  void pop_back() {
+    RMS_DCHECK(size_ > 0);
+    data()[--size_].~T();
+  }
+
+  void clear() {
+    T* d = data();
+    for (std::size_t i = 0; i < size_; ++i) d[i].~T();
+    size_ = 0;
+  }
+
+  void reserve(std::size_t cap) {
+    if (cap <= capacity_) return;
+    std::size_t new_cap = std::max(cap, capacity_ * 2);
+    T* new_heap =
+        static_cast<T*>(::operator new(new_cap * sizeof(T), std::align_val_t(alignof(T))));
+    T* d = data();
+    for (std::size_t i = 0; i < size_; ++i) {
+      ::new (static_cast<void*>(new_heap + i)) T(std::move(d[i]));
+      d[i].~T();
+    }
+    release_heap();
+    heap_ = new_heap;
+    capacity_ = new_cap;
+  }
+
+  void resize(std::size_t n) {
+    if (n < size_) {
+      T* d = data();
+      for (std::size_t i = n; i < size_; ++i) d[i].~T();
+      size_ = n;
+    } else {
+      reserve(n);
+      while (size_ < n) emplace_back();
+    }
+  }
+
+  void erase(iterator pos) {
+    RMS_DCHECK(pos >= begin() && pos < end());
+    std::move(pos + 1, end(), pos);
+    pop_back();
+  }
+
+  friend bool operator==(const SmallVector& a, const SmallVector& b) {
+    return std::equal(a.begin(), a.end(), b.begin(), b.end());
+  }
+
+ private:
+  T* inline_data() { return std::launder(reinterpret_cast<T*>(inline_storage_)); }
+  const T* inline_data() const {
+    return std::launder(reinterpret_cast<const T*>(inline_storage_));
+  }
+
+  void release_heap() {
+    if (heap_ != nullptr) {
+      ::operator delete(heap_, std::align_val_t(alignof(T)));
+      heap_ = nullptr;
+    }
+  }
+
+  void destroy() {
+    clear();
+    release_heap();
+    capacity_ = N;
+  }
+
+  void move_from(SmallVector&& other) {
+    if (other.heap_ != nullptr) {
+      heap_ = other.heap_;
+      size_ = other.size_;
+      capacity_ = other.capacity_;
+      other.heap_ = nullptr;
+      other.size_ = 0;
+      other.capacity_ = N;
+    } else {
+      heap_ = nullptr;
+      capacity_ = N;
+      size_ = 0;
+      for (std::size_t i = 0; i < other.size_; ++i) {
+        emplace_back(std::move(other.inline_data()[i]));
+      }
+      other.clear();
+    }
+  }
+
+  alignas(T) std::byte inline_storage_[N * sizeof(T)];
+  T* heap_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t capacity_ = N;
+};
+
+}  // namespace rms::support

@@ -1,0 +1,31 @@
+#include "support/status.hpp"
+
+namespace rms::support {
+
+const char* status_code_name(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "ok";
+    case StatusCode::kInvalidArgument: return "invalid argument";
+    case StatusCode::kNotFound: return "not found";
+    case StatusCode::kOutOfRange: return "out of range";
+    case StatusCode::kFailedPrecondition: return "failed precondition";
+    case StatusCode::kResourceExhausted: return "resource exhausted";
+    case StatusCode::kParseError: return "parse error";
+    case StatusCode::kSemanticError: return "semantic error";
+    case StatusCode::kNumericError: return "numeric error";
+    case StatusCode::kInternal: return "internal error";
+  }
+  return "unknown";
+}
+
+std::string Status::to_string() const {
+  if (is_ok()) return "ok";
+  std::string out = status_code_name(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace rms::support

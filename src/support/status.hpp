@@ -1,0 +1,125 @@
+// Status / Expected<T>: error propagation without exceptions on hot paths.
+//
+// The front end (lexer/parser/semantic analysis) reports user-facing errors
+// through Status values carrying a code, a message and an optional source
+// location. Expected<T> couples a Status with a payload.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "support/assert.hpp"
+
+namespace rms::support {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kResourceExhausted,
+  kParseError,
+  kSemanticError,
+  kNumericError,
+  kInternal,
+};
+
+/// Human-readable name of a status code ("ok", "parse error", ...).
+const char* status_code_name(StatusCode code);
+
+/// A success-or-error result. Cheap to copy on success (empty message).
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status ok() { return Status(); }
+
+  [[nodiscard]] bool is_ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
+
+  /// Formats as "<code name>: <message>" (or "ok").
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline Status invalid_argument(std::string msg) {
+  return Status(StatusCode::kInvalidArgument, std::move(msg));
+}
+inline Status parse_error(std::string msg) {
+  return Status(StatusCode::kParseError, std::move(msg));
+}
+inline Status semantic_error(std::string msg) {
+  return Status(StatusCode::kSemanticError, std::move(msg));
+}
+inline Status not_found(std::string msg) {
+  return Status(StatusCode::kNotFound, std::move(msg));
+}
+inline Status numeric_error(std::string msg) {
+  return Status(StatusCode::kNumericError, std::move(msg));
+}
+inline Status resource_exhausted(std::string msg) {
+  return Status(StatusCode::kResourceExhausted, std::move(msg));
+}
+inline Status internal_error(std::string msg) {
+  return Status(StatusCode::kInternal, std::move(msg));
+}
+
+/// Value-or-Status. Access to value() requires is_ok().
+template <typename T>
+class Expected {
+ public:
+  Expected(T value) : payload_(std::move(value)) {}     // NOLINT(google-explicit-constructor)
+  Expected(Status status) : payload_(std::move(status)) {  // NOLINT
+    RMS_CHECK_MSG(!std::get<Status>(payload_).is_ok(),
+                  "Expected constructed from OK status without a value");
+  }
+
+  [[nodiscard]] bool is_ok() const {
+    return std::holds_alternative<T>(payload_);
+  }
+
+  [[nodiscard]] Status status() const {
+    if (is_ok()) return Status::ok();
+    return std::get<Status>(payload_);
+  }
+
+  [[nodiscard]] const T& value() const& {
+    RMS_CHECK_MSG(is_ok(), status_message_for_check());
+    return std::get<T>(payload_);
+  }
+  [[nodiscard]] T& value() & {
+    RMS_CHECK_MSG(is_ok(), status_message_for_check());
+    return std::get<T>(payload_);
+  }
+  [[nodiscard]] T&& value() && {
+    RMS_CHECK_MSG(is_ok(), status_message_for_check());
+    return std::get<T>(std::move(payload_));
+  }
+
+  [[nodiscard]] const T& operator*() const& { return value(); }
+  [[nodiscard]] T& operator*() & { return value(); }
+  [[nodiscard]] const T* operator->() const { return &value(); }
+  [[nodiscard]] T* operator->() { return &value(); }
+
+ private:
+  const char* status_message_for_check() const {
+    return is_ok() ? "" : std::get<Status>(payload_).message().c_str();
+  }
+  std::variant<T, Status> payload_;
+};
+
+#define RMS_RETURN_IF_ERROR(expr)                   \
+  do {                                              \
+    ::rms::support::Status _rms_status = (expr);    \
+    if (!_rms_status.is_ok()) return _rms_status;   \
+  } while (0)
+
+}  // namespace rms::support

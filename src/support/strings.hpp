@@ -1,0 +1,31 @@
+// Small string utilities shared by the RDL front end and data file I/O.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rms::support {
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view trim(std::string_view s);
+
+/// Splits on `sep`, trimming each piece; empty pieces are kept.
+std::vector<std::string_view> split(std::string_view s, char sep);
+
+/// Splits on runs of ASCII whitespace; empty pieces are dropped.
+std::vector<std::string_view> split_whitespace(std::string_view s);
+
+/// True if `s` starts with `prefix`.
+bool starts_with(std::string_view s, std::string_view prefix);
+
+/// Parses a double; returns false on malformed or trailing input.
+bool parse_double(std::string_view s, double& out);
+
+/// Parses a non-negative integer; returns false on malformed input.
+bool parse_uint(std::string_view s, unsigned long& out);
+
+/// printf-style formatting into a std::string.
+std::string str_format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace rms::support

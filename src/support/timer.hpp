@@ -1,0 +1,27 @@
+// Wall-clock timing helpers used by the benchmarks and the dynamic load
+// balancer (which records the solve time of each data file, paper §4.4).
+#pragma once
+
+#include <chrono>
+
+namespace rms::support {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last restart().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double milliseconds() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace rms::support

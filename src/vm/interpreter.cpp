@@ -1,0 +1,57 @@
+#include "vm/interpreter.hpp"
+
+#include "support/assert.hpp"
+
+namespace rms::vm {
+
+Interpreter::Interpreter(const Program& program) : program_(&program) {
+  registers_.resize(program.register_count);
+}
+
+void Interpreter::run(double t, const double* y, const double* k,
+                      double* ydot) {
+  double* regs = registers_.data();
+  const double* consts = program_->consts.data();
+  for (const Instr& instr : program_->code) {
+    switch (instr.op) {
+      case Op::kLoadY:
+        regs[instr.dst] = y[instr.a];
+        break;
+      case Op::kLoadK:
+        regs[instr.dst] = k[instr.a];
+        break;
+      case Op::kLoadT:
+        regs[instr.dst] = t;
+        break;
+      case Op::kLoadConst:
+        regs[instr.dst] = consts[instr.a];
+        break;
+      case Op::kAdd:
+        regs[instr.dst] = regs[instr.a] + regs[instr.b];
+        break;
+      case Op::kSub:
+        regs[instr.dst] = regs[instr.a] - regs[instr.b];
+        break;
+      case Op::kMul:
+        regs[instr.dst] = regs[instr.a] * regs[instr.b];
+        break;
+      case Op::kNeg:
+        regs[instr.dst] = -regs[instr.a];
+        break;
+      case Op::kStoreOut:
+        ydot[instr.a] = instr.b == kNoReg ? 0.0 : regs[instr.b];
+        break;
+    }
+  }
+}
+
+void Interpreter::run(double t, const std::vector<double>& y,
+                      const std::vector<double>& k, std::vector<double>& ydot) {
+  RMS_CHECK(y.size() == program_->species_count);
+  RMS_CHECK(k.size() >= program_->rate_count);
+  ydot.resize(program_->output_count != 0 ? program_->output_count
+                                          : program_->species_count);
+  run(t, y.data(), k.data(), ydot.data());
+}
+
+}  // namespace rms::vm

@@ -1,0 +1,32 @@
+// Bytecode interpreter for ODE right-hand-side programs.
+//
+// The register file is allocated once and reused across calls — the ODE
+// solver calls the RHS millions of times, so per-call allocation would
+// dominate. Not thread-safe by design: each worker owns an Interpreter.
+#pragma once
+
+#include <vector>
+
+#include "vm/program.hpp"
+
+namespace rms::vm {
+
+class Interpreter {
+ public:
+  explicit Interpreter(const Program& program);
+
+  /// Evaluates ydot = f(t, y, k). Sizes must match the program's counts.
+  void run(double t, const double* y, const double* k, double* ydot);
+
+  /// Vector-friendly overload.
+  void run(double t, const std::vector<double>& y, const std::vector<double>& k,
+           std::vector<double>& ydot);
+
+  [[nodiscard]] const Program& program() const { return *program_; }
+
+ private:
+  const Program* program_;
+  std::vector<double> registers_;
+};
+
+}  // namespace rms::vm

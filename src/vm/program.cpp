@@ -1,0 +1,68 @@
+#include "vm/program.hpp"
+
+#include "support/strings.hpp"
+
+namespace rms::vm {
+
+ArithCount Program::count_arith() const {
+  ArithCount count;
+  for (const Instr& instr : code) {
+    switch (instr.op) {
+      case Op::kAdd:
+      case Op::kSub:
+        ++count.add_subs;
+        break;
+      case Op::kMul:
+        ++count.multiplies;
+        break;
+      default:
+        break;
+    }
+  }
+  return count;
+}
+
+std::string Program::disassemble() const {
+  std::string out;
+  for (const Instr& instr : code) {
+    switch (instr.op) {
+      case Op::kLoadY:
+        out += support::str_format("r%u = y[%u]\n", instr.dst, instr.a);
+        break;
+      case Op::kLoadK:
+        out += support::str_format("r%u = k[%u]\n", instr.dst, instr.a);
+        break;
+      case Op::kLoadT:
+        out += support::str_format("r%u = t\n", instr.dst);
+        break;
+      case Op::kLoadConst:
+        out += support::str_format("r%u = %g\n", instr.dst, consts[instr.a]);
+        break;
+      case Op::kAdd:
+        out += support::str_format("r%u = r%u + r%u\n", instr.dst, instr.a,
+                                   instr.b);
+        break;
+      case Op::kSub:
+        out += support::str_format("r%u = r%u - r%u\n", instr.dst, instr.a,
+                                   instr.b);
+        break;
+      case Op::kMul:
+        out += support::str_format("r%u = r%u * r%u\n", instr.dst, instr.a,
+                                   instr.b);
+        break;
+      case Op::kNeg:
+        out += support::str_format("r%u = -r%u\n", instr.dst, instr.a);
+        break;
+      case Op::kStoreOut:
+        if (instr.b == kNoReg) {
+          out += support::str_format("ydot[%u] = 0\n", instr.a);
+        } else {
+          out += support::str_format("ydot[%u] = r%u\n", instr.a, instr.b);
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace rms::vm

@@ -1,0 +1,64 @@
+// Bytecode programs for ODE right-hand-side evaluation.
+//
+// The chemical compiler's final output in the paper is a C function that the
+// platform compiler turns into machine code. This repository additionally
+// targets a register bytecode executed by rms::vm::Interpreter, so the full
+// pipeline (including the Table 1 execution-time comparisons) runs without
+// shelling out to a system C compiler. The instruction set is 3-address
+// code over an unbounded register file — the same form the reference
+// backend ("commercial compiler" model) consumes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rms::vm {
+
+enum class Op : std::uint8_t {
+  kLoadY,      ///< reg[dst] = y[a]
+  kLoadK,      ///< reg[dst] = k[a]
+  kLoadT,      ///< reg[dst] = t
+  kLoadConst,  ///< reg[dst] = consts[a]
+  kAdd,        ///< reg[dst] = reg[a] + reg[b]
+  kSub,        ///< reg[dst] = reg[a] - reg[b]
+  kMul,        ///< reg[dst] = reg[a] * reg[b]
+  kNeg,        ///< reg[dst] = -reg[a]
+  kStoreOut,   ///< ydot[a] = reg[b] (b may be kNoReg for 0.0)
+};
+
+inline constexpr std::uint32_t kNoReg = ~std::uint32_t{0};
+
+struct Instr {
+  Op op = Op::kLoadConst;
+  std::uint32_t dst = 0;
+  std::uint32_t a = 0;
+  std::uint32_t b = 0;
+};
+
+struct ArithCount {
+  std::size_t multiplies = 0;
+  std::size_t add_subs = 0;
+
+  [[nodiscard]] std::size_t total() const { return multiplies + add_subs; }
+};
+
+struct Program {
+  std::vector<Instr> code;
+  std::vector<double> consts;
+  std::size_t register_count = 0;
+  std::size_t species_count = 0;  ///< input dimension (y)
+  std::size_t rate_count = 0;     ///< input dimension (k)
+  /// Output slots written by kStoreOut. RHS programs have output_count ==
+  /// species_count; Jacobian programs write one slot per nonzero entry.
+  std::size_t output_count = 0;
+
+  /// Arithmetic operation counts (loads/stores/negations excluded, matching
+  /// the operation-count conventions of opt::OperationCount).
+  [[nodiscard]] ArithCount count_arith() const;
+
+  /// Human-readable disassembly (debugging / goldens).
+  [[nodiscard]] std::string disassemble() const;
+};
+
+}  // namespace rms::vm

@@ -1,0 +1,421 @@
+// Tests for the chemistry substrate: molecular graphs, SMILES subset,
+// canonicalization (permutation invariance), patterns and the six edit
+// operations.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "chem/canonical.hpp"
+#include "chem/edit.hpp"
+#include "chem/molecule.hpp"
+#include "chem/pattern.hpp"
+#include "chem/smiles.hpp"
+#include "support/rng.hpp"
+
+namespace rms::chem {
+namespace {
+
+Molecule must_parse(std::string_view smiles) {
+  auto result = parse_smiles(smiles);
+  EXPECT_TRUE(result.is_ok()) << result.status().to_string() << " for "
+                              << smiles;
+  return result.value();
+}
+
+/// Rebuilds `mol` with atoms relabelled by the permutation.
+Molecule permute(const Molecule& mol, const std::vector<AtomIndex>& perm) {
+  Molecule out;
+  std::vector<AtomIndex> inverse(perm.size());
+  for (AtomIndex i = 0; i < perm.size(); ++i) inverse[perm[i]] = i;
+  // Add atoms in permuted order.
+  for (AtomIndex new_idx = 0; new_idx < perm.size(); ++new_idx) {
+    const Atom& a = mol.atom(perm[new_idx]);
+    out.add_atom(a.element, a.hydrogens, a.charge);
+  }
+  for (BondIndex bi = 0; bi < mol.bond_count(); ++bi) {
+    const Bond& b = mol.bond(bi);
+    out.add_bond(inverse[b.a], inverse[b.b], b.order);
+  }
+  return out;
+}
+
+TEST(Element, SymbolsRoundTrip) {
+  for (int e = 0; e < static_cast<int>(Element::kCount); ++e) {
+    const Element el = static_cast<Element>(e);
+    auto parsed = parse_element(element_symbol(el));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, el);
+  }
+  EXPECT_FALSE(parse_element("Xx").has_value());
+}
+
+TEST(Element, Valences) {
+  EXPECT_EQ(default_valence(Element::kC), 4);
+  EXPECT_EQ(default_valence(Element::kS), 2);
+  EXPECT_EQ(default_valence(Element::kN), 3);
+  EXPECT_EQ(default_valence(Element::kH), 1);
+}
+
+TEST(Molecule, AddAtomsAndBonds) {
+  Molecule m;
+  AtomIndex c = m.add_atom(Element::kC);
+  AtomIndex o = m.add_atom(Element::kO);
+  m.add_bond(c, o, 2);
+  EXPECT_EQ(m.atom_count(), 2u);
+  EXPECT_EQ(m.bond_count(), 1u);
+  EXPECT_EQ(m.degree(c), 1u);
+  EXPECT_EQ(m.bond_order_sum(c), 2);
+  EXPECT_NE(m.bond_between(c, o), kNoBond);
+}
+
+TEST(Molecule, FreeValenceAndSaturation) {
+  Molecule m;
+  AtomIndex c = m.add_atom(Element::kC);
+  EXPECT_EQ(m.free_valence(c), 4);
+  EXPECT_TRUE(m.is_radical());
+  m.saturate_with_hydrogens();
+  EXPECT_EQ(m.free_valence(c), 0);
+  EXPECT_EQ(m.atom(c).hydrogens, 4);
+  EXPECT_FALSE(m.is_radical());
+}
+
+TEST(Molecule, RemoveBondShiftsIndices) {
+  Molecule m;
+  AtomIndex a = m.add_atom(Element::kC);
+  AtomIndex b = m.add_atom(Element::kC);
+  AtomIndex c = m.add_atom(Element::kC);
+  m.add_bond(a, b);
+  BondIndex bc = m.add_bond(b, c);
+  m.remove_bond(m.bond_between(a, b));
+  EXPECT_EQ(m.bond_count(), 1u);
+  EXPECT_EQ(m.bond_between(a, b), kNoBond);
+  bc = m.bond_between(b, c);
+  ASSERT_NE(bc, kNoBond);
+  EXPECT_EQ(m.bond(bc).order, 1);
+}
+
+TEST(Molecule, FormulaHillOrder) {
+  Molecule ethanol = must_parse("CCO");
+  EXPECT_EQ(ethanol.formula(), "C2H6O");
+  Molecule sulfide = must_parse("SS");
+  EXPECT_EQ(sulfide.formula(), "H2S2");
+}
+
+TEST(Molecule, ConnectedComponentsAndFragments) {
+  Molecule m = must_parse("CC.O.S");
+  std::vector<std::uint32_t> labels;
+  EXPECT_EQ(m.connected_components(labels), 3u);
+  auto fragments = m.split_fragments();
+  ASSERT_EQ(fragments.size(), 3u);
+  EXPECT_EQ(fragments[0].formula(), "C2H6");
+  EXPECT_EQ(fragments[1].formula(), "H2O");
+  EXPECT_EQ(fragments[2].formula(), "H2S");
+}
+
+TEST(Smiles, ParsesLinearChain) {
+  Molecule m = must_parse("CCS");
+  EXPECT_EQ(m.atom_count(), 3u);
+  EXPECT_EQ(m.bond_count(), 2u);
+  EXPECT_EQ(m.total_hydrogens(), 6);  // CH3-CH2-SH
+}
+
+TEST(Smiles, ParsesBondOrders) {
+  Molecule m = must_parse("C=C");
+  EXPECT_EQ(m.bond(0).order, 2);
+  Molecule m2 = must_parse("C#N");
+  EXPECT_EQ(m2.bond(0).order, 3);
+}
+
+TEST(Smiles, ParsesBranches) {
+  Molecule m = must_parse("CC(C)C");  // isobutane
+  EXPECT_EQ(m.atom_count(), 4u);
+  EXPECT_EQ(m.degree(1), 3u);
+}
+
+TEST(Smiles, ParsesRings) {
+  Molecule m = must_parse("C1CCCCC1");  // cyclohexane
+  EXPECT_EQ(m.atom_count(), 6u);
+  EXPECT_EQ(m.bond_count(), 6u);
+  for (AtomIndex i = 0; i < 6; ++i) EXPECT_EQ(m.degree(i), 2u);
+}
+
+TEST(Smiles, ParsesPercentRingClosure) {
+  Molecule m = must_parse("C%12CCCCC%12");
+  EXPECT_EQ(m.bond_count(), 6u);
+}
+
+TEST(Smiles, BracketAtomHydrogensAreExplicit) {
+  Molecule m = must_parse("[SH]");  // thiyl radical: one H, free valence 1
+  EXPECT_EQ(m.atom(0).hydrogens, 1);
+  EXPECT_EQ(m.free_valence(0), 1);
+  EXPECT_TRUE(m.is_radical());
+
+  Molecule m2 = must_parse("[S]");  // diradical sulfur atom
+  EXPECT_EQ(m2.free_valence(0), 2);
+}
+
+TEST(Smiles, BracketCharges) {
+  Molecule m = must_parse("[S-]");
+  EXPECT_EQ(m.atom(0).charge, -1);
+  Molecule m2 = must_parse("[N+2]");
+  EXPECT_EQ(m2.atom(0).charge, 2);
+}
+
+TEST(Smiles, PseudoElementR) {
+  Molecule m = must_parse("[R]S[R]");  // monosulfidic crosslink stub
+  EXPECT_EQ(m.atom(0).element, Element::kR);
+  EXPECT_EQ(m.atom(1).element, Element::kS);
+}
+
+TEST(Smiles, KekuleBenzothiazole) {
+  // 2-mercaptobenzothiazole core in Kekulé form (MBT, the accelerator
+  // fragment in benzothiazolesulfenamide chemistry).
+  Molecule m = must_parse("C1=CC=C2C(=C1)N=C(S2)[SH]");
+  EXPECT_EQ(m.atom_count(), 10u);
+  EXPECT_FALSE(write_smiles(m).empty());
+}
+
+TEST(Smiles, RejectsAromaticLowercase) {
+  EXPECT_FALSE(parse_smiles("c1ccccc1").is_ok());
+}
+
+TEST(Smiles, RejectsDuplicateRingClosureBond) {
+  // Found by the fuzzer: a ring closure between atoms that are already
+  // bonded must be a parse error, not a crash.
+  EXPECT_FALSE(parse_smiles("C1C1").is_ok());
+  EXPECT_FALSE(parse_smiles("C1=C1").is_ok());
+}
+
+TEST(Smiles, RejectsMalformedInputs) {
+  EXPECT_FALSE(parse_smiles("C(").is_ok());          // unclosed branch
+  EXPECT_FALSE(parse_smiles("C)").is_ok());          // stray close
+  EXPECT_FALSE(parse_smiles("C1CC").is_ok());        // unmatched ring digit
+  EXPECT_FALSE(parse_smiles("[Q]").is_ok());         // unknown element
+  EXPECT_FALSE(parse_smiles("[C").is_ok());          // unterminated bracket
+  EXPECT_FALSE(parse_smiles("C==C").is_ok());        // double bond symbol
+  EXPECT_FALSE(parse_smiles("=C").is_ok() && false); // leading bond: parser may accept or reject; at minimum no crash
+}
+
+TEST(Smiles, RoundTripPreservesStructure) {
+  const char* cases[] = {
+      "CCO",       "C=C",          "C#N",           "CC(C)C",
+      "C1CCCCC1",  "SSSSS",        "[SH]",          "[R]SS[R]",
+      "CC.O",      "C1=CC=CC=C1",  "C(C)(C)(C)C",   "[Zn]",
+  };
+  for (const char* s : cases) {
+    Molecule m = must_parse(s);
+    const std::string out = write_smiles(m);
+    Molecule back = must_parse(out);
+    EXPECT_EQ(canonical_smiles(m), canonical_smiles(back))
+        << s << " -> " << out;
+    EXPECT_EQ(m.formula(), back.formula()) << s << " -> " << out;
+  }
+}
+
+TEST(Canonical, InvariantUnderPermutation) {
+  const char* cases[] = {
+      "CCO", "CC(C)C", "C1CCCCC1", "SSSSSSSS", "C1=CC=C2C(=C1)N=C(S2)[SH]",
+      "[R]SSSS[R]", "CC(=O)O",
+  };
+  support::Xoshiro256 rng(2026);
+  for (const char* s : cases) {
+    Molecule m = must_parse(s);
+    const std::string canon = canonical_smiles(m);
+    std::vector<AtomIndex> perm(m.atom_count());
+    std::iota(perm.begin(), perm.end(), 0);
+    for (int trial = 0; trial < 10; ++trial) {
+      // Fisher-Yates shuffle.
+      for (std::size_t i = perm.size(); i > 1; --i) {
+        std::swap(perm[i - 1], perm[rng.below(i)]);
+      }
+      Molecule shuffled = permute(m, perm);
+      EXPECT_EQ(canonical_smiles(shuffled), canon) << s;
+    }
+  }
+}
+
+TEST(Canonical, DistinguishesIsomers) {
+  EXPECT_NE(canonical_smiles(must_parse("CCCO")),
+            canonical_smiles(must_parse("CC(C)O")));
+  EXPECT_NE(canonical_smiles(must_parse("C=CC")),
+            canonical_smiles(must_parse("CC=C")) == canonical_smiles(must_parse("C=CC"))
+                ? "x"
+                : canonical_smiles(must_parse("CCC")));
+}
+
+TEST(Canonical, SameMoleculeDifferentSmilesAgree) {
+  // Propan-2-ol written three ways.
+  const std::string a = canonical_smiles(must_parse("CC(O)C"));
+  const std::string b = canonical_smiles(must_parse("C(C)(O)C"));
+  const std::string c = canonical_smiles(must_parse("OC(C)C"));
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a, c);
+}
+
+TEST(Canonical, MorganRanksRespectSymmetry) {
+  Molecule m = must_parse("CC(C)C");  // isobutane: three equivalent methyls
+  auto ranks = morgan_ranks(m);
+  EXPECT_EQ(ranks[0], ranks[2]);
+  EXPECT_EQ(ranks[0], ranks[3]);
+  EXPECT_NE(ranks[0], ranks[1]);
+}
+
+TEST(Canonical, RoundTripOfCanonicalString) {
+  const char* cases[] = {"CC(C)C", "SSSSSSSS", "C1=CC=C2C(=C1)N=C(S2)[SH]"};
+  for (const char* s : cases) {
+    const std::string canon = canonical_smiles(must_parse(s));
+    EXPECT_EQ(canonical_smiles(must_parse(canon)), canon) << s;
+  }
+}
+
+TEST(ChainDepth, LinearSulfurChain) {
+  Molecule m = must_parse("[R]SSSSS[R]");  // R-S5-R
+  // Atoms: 0=R, 1..5=S, 6=R.
+  EXPECT_EQ(chain_depth(m, 1), 0);
+  EXPECT_EQ(chain_depth(m, 2), 1);
+  EXPECT_EQ(chain_depth(m, 3), 2);
+  EXPECT_EQ(chain_depth(m, 4), 1);
+  EXPECT_EQ(chain_depth(m, 5), 0);
+}
+
+TEST(ChainDepth, SulfurRingIsInfinitelyDeep) {
+  Molecule s8 = must_parse("S1SSSSSSS1");
+  EXPECT_GE(chain_depth(s8, 0), 8);
+}
+
+TEST(Pattern, MatchesElementAndBond) {
+  Molecule m = must_parse("CSO");
+  Pattern p;
+  auto s = p.add_atom({.element = Element::kS});
+  auto o = p.add_atom({.element = Element::kO});
+  p.add_bond(s, o, 1);
+  auto embeddings = p.match(m);
+  ASSERT_EQ(embeddings.size(), 1u);
+  EXPECT_EQ(m.atom(embeddings[0][0]).element, Element::kS);
+  EXPECT_EQ(m.atom(embeddings[0][1]).element, Element::kO);
+}
+
+TEST(Pattern, WildcardElementMatchesAll) {
+  Molecule m = must_parse("CCO");
+  Pattern p;
+  p.add_atom({});  // any atom
+  EXPECT_EQ(p.match(m).size(), 3u);
+}
+
+TEST(Pattern, MinFreeValenceSelectsRadicals) {
+  Molecule m = must_parse("C[SH].[S]");  // saturated-ish + diradical S
+  Pattern p;
+  p.add_atom({.element = Element::kS, .min_free_valence = 2});
+  auto embeddings = p.match(m);
+  ASSERT_EQ(embeddings.size(), 1u);
+  EXPECT_EQ(m.free_valence(embeddings[0][0]), 2);
+}
+
+TEST(Pattern, MinHydrogensConstraint) {
+  Molecule m = must_parse("CC=C");  // propene: CH3, CH, CH2
+  Pattern p;
+  p.add_atom({.element = Element::kC, .min_hydrogens = 3});
+  EXPECT_EQ(p.match(m).size(), 1u);
+}
+
+TEST(Pattern, ChainDepthContextCondition) {
+  // Paper's example: only S-S bonds at least 3 atoms from the chain end.
+  Molecule shallow = must_parse("[R]SSSSS[R]");   // max depth 2
+  Molecule deep = must_parse("[R]SSSSSSSSS[R]");  // S9: middle depth 4
+  Pattern p;
+  auto s1 = p.add_atom({.element = Element::kS, .min_chain_depth = 3});
+  auto s2 = p.add_atom({.element = Element::kS, .min_chain_depth = 3});
+  p.add_bond(s1, s2, 1);
+  EXPECT_TRUE(p.match(shallow).empty());
+  EXPECT_FALSE(p.match(deep).empty());
+}
+
+TEST(Pattern, MatchLimitedStopsEarly) {
+  Molecule m = must_parse("CCCCCCCC");
+  Pattern p;
+  p.add_atom({.element = Element::kC});
+  EXPECT_EQ(p.match_limited(m, 3).size(), 3u);
+}
+
+TEST(Pattern, TwoAtomPatternEnumeratesBothDirections) {
+  Molecule m = must_parse("SS");
+  Pattern p;
+  auto a = p.add_atom({.element = Element::kS});
+  auto b = p.add_atom({.element = Element::kS});
+  p.add_bond(a, b, 1);
+  // Symmetric pattern matches in both orientations.
+  EXPECT_EQ(p.match(m).size(), 2u);
+}
+
+TEST(Edit, DisconnectCreatesRadicals) {
+  Molecule m = must_parse("CS");
+  ASSERT_TRUE(disconnect(m, 0, 1).is_ok());
+  EXPECT_EQ(m.bond_count(), 0u);
+  EXPECT_EQ(m.free_valence(0), 1);
+  EXPECT_EQ(m.free_valence(1), 1);
+  EXPECT_FALSE(disconnect(m, 0, 1).is_ok());  // already gone
+}
+
+TEST(Edit, ConnectConsumesFreeValence) {
+  Molecule m = must_parse("[SH].[SH]");
+  ASSERT_TRUE(connect(m, 0, 1).is_ok());
+  EXPECT_EQ(m.bond_count(), 1u);
+  EXPECT_FALSE(m.is_radical());
+  // No free valence left: connecting again must fail.
+  Molecule m2 = must_parse("S.S");  // both saturated
+  EXPECT_FALSE(connect(m2, 0, 1).is_ok());
+}
+
+TEST(Edit, ConnectRejectsSelfAndDuplicate) {
+  Molecule m = must_parse("[S].[S]");
+  EXPECT_FALSE(connect(m, 0, 0).is_ok());
+  ASSERT_TRUE(connect(m, 0, 1).is_ok());
+  EXPECT_FALSE(connect(m, 0, 1).is_ok());
+}
+
+TEST(Edit, BondOrderUpAndDown) {
+  Molecule m = must_parse("[CH2]=[CH2]");  // wait: this is just C=C written oddly
+  // Use explicit construction to keep free valences controlled.
+  Molecule n;
+  AtomIndex a = n.add_atom(Element::kC, 2);
+  AtomIndex b = n.add_atom(Element::kC, 2);
+  n.add_bond(a, b, 1);  // CH2-CH2 diradical
+  ASSERT_TRUE(increase_bond_order(n, a, b).is_ok());  // -> ethene
+  EXPECT_EQ(n.bond(0).order, 2);
+  EXPECT_FALSE(n.is_radical());
+  EXPECT_FALSE(increase_bond_order(n, a, b).is_ok());  // no free valence
+  ASSERT_TRUE(decrease_bond_order(n, a, b).is_ok());
+  EXPECT_EQ(n.bond(0).order, 1);
+  ASSERT_TRUE(decrease_bond_order(n, a, b).is_ok());  // removes the bond
+  EXPECT_EQ(n.bond_count(), 0u);
+}
+
+TEST(Edit, HydrogenAddRemove) {
+  Molecule m = must_parse("C");  // CH4
+  ASSERT_TRUE(remove_hydrogen(m, 0).is_ok());
+  EXPECT_EQ(m.atom(0).hydrogens, 3);
+  EXPECT_EQ(m.free_valence(0), 1);
+  ASSERT_TRUE(add_hydrogen(m, 0).is_ok());
+  EXPECT_EQ(m.free_valence(0), 0);
+  EXPECT_FALSE(add_hydrogen(m, 0).is_ok());  // saturated
+  Molecule bare;
+  bare.add_atom(Element::kH, 0);
+  // Removing from an H-count-zero atom fails.
+  Molecule no_h = must_parse("[S]");
+  EXPECT_FALSE(remove_hydrogen(no_h, 0).is_ok());
+}
+
+TEST(Edit, VulcanizationMicroSequence) {
+  // Break an S-S bond in a polysulfide, then crosslink the radicals onto a
+  // fresh rubber site: the core chemistry of the paper's models.
+  Molecule m = must_parse("[R]SSSS[R]");
+  ASSERT_TRUE(disconnect(m, 2, 3).is_ok());  // homolysis in the middle
+  EXPECT_TRUE(m.is_radical());
+  auto fragments = m.split_fragments();
+  ASSERT_EQ(fragments.size(), 2u);
+  EXPECT_EQ(canonical_smiles(fragments[0]), canonical_smiles(fragments[1]));
+}
+
+}  // namespace
+}  // namespace rms::chem

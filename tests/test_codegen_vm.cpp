@@ -1,0 +1,283 @@
+// Tests for bytecode emission, the interpreter, the C emitter, and the
+// reference "commercial compiler" backend model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+
+#include "codegen/bytecode_emitter.hpp"
+#include "codegen/c_emitter.hpp"
+#include "codegen/reference_backend.hpp"
+#include "expr/product.hpp"
+#include "odegen/equation_table.hpp"
+#include "opt/pipeline.hpp"
+#include "support/rng.hpp"
+#include "vm/interpreter.hpp"
+
+namespace rms::codegen {
+namespace {
+
+using expr::Product;
+using expr::SumOfProducts;
+using expr::VarId;
+
+const VarId A = VarId::species(0);
+const VarId B = VarId::species(1);
+const VarId C = VarId::species(2);
+const VarId K1 = VarId::rate_const(0);
+const VarId K2 = VarId::rate_const(1);
+
+odegen::EquationTable small_table() {
+  SumOfProducts eq0;
+  eq0.add_combining(Product(-1.0, {K1, A, B}));
+  eq0.add_combining(Product(2.0, {K2, C}));
+  SumOfProducts eq1;
+  eq1.add_combining(Product(1.0, {K1, A, B}));
+  SumOfProducts eq2;
+  eq2.add_combining(Product(1.0, {K1, A, B}));
+  eq2.add_combining(Product(-2.0, {K2, C}));
+  odegen::EquationTable table(3);
+  table.equation(0) = eq0;
+  table.equation(1) = eq1;
+  table.equation(2) = eq2;
+  return table;
+}
+
+odegen::EquationTable random_table(std::uint64_t seed, std::size_t n_eq,
+                                   std::size_t n_species, std::size_t n_rates) {
+  support::Xoshiro256 rng(seed);
+  odegen::EquationTable table(n_eq);
+  for (std::size_t e = 0; e < n_eq; ++e) {
+    const int terms = 1 + static_cast<int>(rng.below(12));
+    for (int i = 0; i < terms; ++i) {
+      Product p;
+      p.coeff = std::floor(rng.uniform(-3.0, 4.0));
+      if (p.coeff == 0.0) p.coeff = 1.0;
+      p.factors.push_back(
+          VarId::rate_const(static_cast<std::uint32_t>(rng.below(n_rates))));
+      const int nf = 1 + static_cast<int>(rng.below(2));
+      for (int f = 0; f < nf; ++f) {
+        p.factors.push_back(
+            VarId::species(static_cast<std::uint32_t>(rng.below(n_species))));
+      }
+      p.normalize();
+      table.equation(e).add_combining(std::move(p));
+    }
+    table.equation(e).sort_canonical();
+  }
+  return table;
+}
+
+TEST(BytecodeUnoptimized, MatchesTreeEvaluation) {
+  odegen::EquationTable table = small_table();
+  vm::Program program = emit_unoptimized(table, 3, 2);
+  vm::Interpreter interp(program);
+  std::vector<double> y = {1.5, 2.0, 0.5};
+  std::vector<double> k = {0.25, 3.0};
+  std::vector<double> expected;
+  table.evaluate(y, k, 0.0, expected);
+  std::vector<double> actual;
+  interp.run(0.0, y, k, actual);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(actual[i], expected[i], 1e-14) << i;
+  }
+}
+
+TEST(BytecodeUnoptimized, ArithCountMatchesSymbolicCounts) {
+  odegen::EquationTable table = small_table();
+  vm::Program program = emit_unoptimized(table, 3, 2);
+  vm::ArithCount count = program.count_arith();
+  EXPECT_EQ(count.multiplies, table.multiply_count());
+  EXPECT_EQ(count.add_subs, table.add_sub_count());
+}
+
+TEST(BytecodeOptimized, MatchesTreeEvaluationAndCounts) {
+  odegen::EquationTable table = small_table();
+  opt::OptimizationReport report;
+  opt::OptimizedSystem system =
+      opt::optimize(table, 3, 2, opt::OptimizerOptions::full(), &report);
+  vm::Program program = emit_optimized(system);
+  EXPECT_EQ(program.count_arith().multiplies, report.after.multiplies);
+  EXPECT_EQ(program.count_arith().add_subs, report.after.add_subs);
+
+  vm::Interpreter interp(program);
+  std::vector<double> y = {1.5, 2.0, 0.5};
+  std::vector<double> k = {0.25, 3.0};
+  std::vector<double> expected;
+  table.evaluate(y, k, 0.0, expected);
+  std::vector<double> actual;
+  interp.run(0.0, y, k, actual);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(actual[i], expected[i], 1e-14) << i;
+  }
+}
+
+TEST(BytecodeOptimized, ZeroEquationStoresZero) {
+  odegen::EquationTable table(2);  // both zero
+  opt::OptimizedSystem system = opt::optimize(table, 2, 0);
+  vm::Program program = emit_optimized(system);
+  vm::Interpreter interp(program);
+  std::vector<double> y = {1.0, 2.0};
+  std::vector<double> k;
+  std::vector<double> dydt = {99.0, 99.0};
+  interp.run(0.0, y, k, dydt);
+  EXPECT_DOUBLE_EQ(dydt[0], 0.0);
+  EXPECT_DOUBLE_EQ(dydt[1], 0.0);
+}
+
+// Property: for random systems, unoptimized VM == optimized VM == symbolic,
+// and instruction counts equal symbolic counts exactly.
+class EmissionProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EmissionProperty, AllPathsAgree) {
+  const std::size_t n_species = 6;
+  const std::size_t n_rates = 3;
+  odegen::EquationTable table =
+      random_table(GetParam(), n_species, n_species, n_rates);
+  opt::OptimizationReport report;
+  opt::OptimizedSystem system = opt::optimize(
+      table, n_species, n_rates, opt::OptimizerOptions::full(), &report);
+  vm::Program unopt = emit_unoptimized(table, n_species, n_rates);
+  vm::Program opt_prog = emit_optimized(system);
+
+  EXPECT_EQ(unopt.count_arith().multiplies, report.before.multiplies);
+  EXPECT_EQ(unopt.count_arith().add_subs, report.before.add_subs);
+  EXPECT_EQ(opt_prog.count_arith().multiplies, report.after.multiplies);
+  EXPECT_EQ(opt_prog.count_arith().add_subs, report.after.add_subs);
+
+  support::Xoshiro256 rng(GetParam() + 1);
+  std::vector<double> y(n_species);
+  for (double& v : y) v = rng.uniform(0.1, 2.0);
+  std::vector<double> k = {0.5, 2.0, 1.25};
+  std::vector<double> expected;
+  table.evaluate(y, k, 0.25, expected);
+
+  vm::Interpreter i1(unopt);
+  vm::Interpreter i2(opt_prog);
+  std::vector<double> r1;
+  std::vector<double> r2;
+  i1.run(0.25, y, k, r1);
+  i2.run(0.25, y, k, r2);
+  for (std::size_t i = 0; i < n_species; ++i) {
+    const double tolerance = 1e-10 * std::max(1.0, std::fabs(expected[i]));
+    EXPECT_NEAR(r1[i], expected[i], tolerance);
+    EXPECT_NEAR(r2[i], expected[i], tolerance);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EmissionProperty,
+                         ::testing::Values(3, 14, 15, 92, 65, 35, 89, 79));
+
+TEST(CEmitter, UnoptimizedContainsExpressions) {
+  odegen::EquationTable table = small_table();
+  const std::string source = emit_c_unoptimized(table);
+  EXPECT_NE(source.find("void rms_ode_rhs"), std::string::npos);
+  EXPECT_NE(source.find("ydot[0] = "), std::string::npos);
+  EXPECT_NE(source.find("k[0]"), std::string::npos);
+  EXPECT_NE(source.find("y[1]"), std::string::npos);
+}
+
+TEST(CEmitter, OptimizedDeclaresTemps) {
+  odegen::EquationTable table = small_table();
+  opt::OptimizedSystem system = opt::optimize(table, 3, 2);
+  const std::string source = emit_c_optimized(system);
+  EXPECT_NE(source.find("const double temp0 = "), std::string::npos);
+  EXPECT_NE(source.find("ydot[2] = "), std::string::npos);
+}
+
+TEST(CEmitter, GeneratedCodeCompilesWithRealCompiler) {
+  // The emitted C must be accepted by the system C compiler — this is the
+  // paper's actual output path.
+  odegen::EquationTable table = small_table();
+  opt::OptimizedSystem system = opt::optimize(table, 3, 2);
+  const std::string source = emit_c_optimized(system) +
+                             emit_c_unoptimized(table, {"rms_ode_rhs_raw"});
+  const char* path = "/tmp/rms_codegen_test.c";
+  FILE* f = fopen(path, "w");
+  ASSERT_NE(f, nullptr);
+  fputs(source.c_str(), f);
+  fclose(f);
+  const int rc = std::system(
+      "cc -std=c11 -c /tmp/rms_codegen_test.c -o /tmp/rms_codegen_test.o "
+      "-Wall -Werror");
+  EXPECT_EQ(rc, 0);
+}
+
+TEST(ReferenceBackend, PreservesSemantics) {
+  odegen::EquationTable table = random_table(7, 8, 6, 3);
+  vm::Program unopt = emit_unoptimized(table, 6, 3);
+  auto result = reference_compile(unopt);
+  ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+  vm::Interpreter i1(unopt);
+  vm::Interpreter i2(result->program);
+  std::vector<double> y = {1.0, 0.5, 2.0, 0.1, 0.7, 1.3};
+  std::vector<double> k = {0.5, 2.0, 1.25};
+  std::vector<double> r1;
+  std::vector<double> r2;
+  i1.run(0.0, y, k, r1);
+  i2.run(0.0, y, k, r2);
+  for (std::size_t i = 0; i < 6; ++i) EXPECT_NEAR(r1[i], r2[i], 1e-13);
+}
+
+TEST(ReferenceBackend, ValueNumberingRemovesSomeRedundancy) {
+  odegen::EquationTable table = random_table(11, 20, 6, 2);
+  vm::Program unopt = emit_unoptimized(table, 6, 2);
+  auto result = reference_compile(unopt);
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_LT(result->output_ops.total(), result->input_ops.total());
+}
+
+TEST(ReferenceBackend, WindowLimitsRedundancyScope) {
+  odegen::EquationTable table = random_table(13, 40, 6, 2);
+  vm::Program unopt = emit_unoptimized(table, 6, 2);
+  BackendOptions wide;
+  wide.window = 1u << 20;
+  BackendOptions narrow;
+  narrow.window = 8;
+  auto wide_result = reference_compile(unopt, wide);
+  auto narrow_result = reference_compile(unopt, narrow);
+  ASSERT_TRUE(wide_result.is_ok());
+  ASSERT_TRUE(narrow_result.is_ok());
+  EXPECT_LE(wide_result->output_ops.total(), narrow_result->output_ops.total());
+}
+
+TEST(ReferenceBackend, OutOfMemoryOnHugePrograms) {
+  odegen::EquationTable table = random_table(17, 50, 6, 2);
+  vm::Program unopt = emit_unoptimized(table, 6, 2);
+  BackendOptions tiny;
+  tiny.memory_budget_bytes = 1024;  // guaranteed too small
+  auto result = reference_compile(unopt, tiny);
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_EQ(result.status().code(), support::StatusCode::kResourceExhausted);
+  EXPECT_NE(result.status().message().find("lack of space"),
+            std::string::npos);
+}
+
+TEST(ReferenceBackend, OptimizingModeNeedsMoreMemory) {
+  odegen::EquationTable table = random_table(19, 10, 6, 2);
+  vm::Program unopt = emit_unoptimized(table, 6, 2);
+  BackendOptions optimizing;
+  const std::size_t opt_bytes = required_ir_bytes(unopt, optimizing);
+  const std::size_t plain_bytes =
+      required_ir_bytes(unopt, BackendOptions::no_optimization());
+  EXPECT_GT(opt_bytes, plain_bytes);
+}
+
+TEST(ReferenceBackend, NoOptimizationPreservesOpCount) {
+  odegen::EquationTable table = random_table(23, 10, 6, 2);
+  vm::Program unopt = emit_unoptimized(table, 6, 2);
+  auto result = reference_compile(unopt, BackendOptions::no_optimization());
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_EQ(result->output_ops.total(), result->input_ops.total());
+}
+
+TEST(Disassembler, ProducesReadableText) {
+  odegen::EquationTable table = small_table();
+  vm::Program program = emit_unoptimized(table, 3, 2);
+  const std::string text = program.disassemble();
+  EXPECT_NE(text.find("y[0]"), std::string::npos);
+  EXPECT_NE(text.find("ydot[0]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rms::codegen

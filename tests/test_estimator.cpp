@@ -1,0 +1,266 @@
+// Tests for the parallel objective function (Fig. 9) and the parameter
+// estimator: residual layouts, parallel == sequential, load-balanced
+// schedules, and ground-truth parameter recovery on synthetic data.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "codegen/bytecode_emitter.hpp"
+#include "data/synthetic.hpp"
+#include "estimator/estimator.hpp"
+#include "estimator/objective.hpp"
+#include "expr/product.hpp"
+#include "odegen/equation_table.hpp"
+#include "opt/pipeline.hpp"
+#include "vm/interpreter.hpp"
+
+namespace rms::estimator {
+namespace {
+
+using expr::Product;
+using expr::VarId;
+
+/// Tiny kinetic model: A -k0-> B -k1-> C. Observable: [C].
+struct TinyModel {
+  vm::Program program;
+  data::Observable observable;
+  std::vector<double> true_rates = {1.2, 0.6};
+
+  TinyModel() {
+    odegen::EquationTable table(3);
+    table.equation(0).add_combining(
+        Product(-1.0, {VarId::rate_const(0), VarId::species(0)}));
+    table.equation(1).add_combining(
+        Product(1.0, {VarId::rate_const(0), VarId::species(0)}));
+    table.equation(1).add_combining(
+        Product(-1.0, {VarId::rate_const(1), VarId::species(1)}));
+    table.equation(2).add_combining(
+        Product(1.0, {VarId::rate_const(1), VarId::species(1)}));
+    opt::OptimizedSystem system = opt::optimize(table, 3, 2);
+    program = codegen::emit_optimized(system);
+    observable.weighted_species = {{2, 1.0}};
+  }
+
+  /// Synthesizes an experiment for a formulation with initial [A] = a0.
+  Experiment make_experiment(double a0, std::size_t records,
+                             double noise = 0.0, std::uint64_t seed = 1) {
+    vm::Interpreter interp(program);
+    const std::vector<double> rates = true_rates;
+    solver::OdeSystem system{3, [&](double t, const double* y, double* ydot) {
+                               interp.run(t, y, rates.data(), ydot);
+                             }};
+    data::SyntheticOptions options;
+    options.t_end = 5.0;
+    options.record_count = records;
+    options.noise_level = noise;
+    options.noise_seed = seed;
+    Experiment e;
+    e.initial_state = {a0, 0.0, 0.0};
+    auto result = data::synthesize_experiment(system, e.initial_state,
+                                              observable, options);
+    EXPECT_TRUE(result.is_ok()) << result.status().to_string();
+    e.data = std::move(result).value();
+    return e;
+  }
+};
+
+TEST(Objective, ZeroResidualAtTrueParameters) {
+  TinyModel model;
+  std::vector<Experiment> experiments;
+  experiments.push_back(model.make_experiment(1.0, 60));
+  experiments.push_back(model.make_experiment(0.5, 60));
+  ObjectiveFunction objective(model.program, model.observable,
+                              std::move(experiments), {0, 1},
+                              model.true_rates);
+  linalg::Vector r;
+  ASSERT_TRUE(
+      objective.evaluate({model.true_rates[0], model.true_rates[1]}, r)
+          .is_ok());
+  EXPECT_EQ(r.size(), objective.residual_size());
+  for (double v : r) EXPECT_NEAR(v, 0.0, 1e-4);
+}
+
+TEST(Objective, WrongParametersGiveNonzeroResiduals) {
+  TinyModel model;
+  std::vector<Experiment> experiments;
+  experiments.push_back(model.make_experiment(1.0, 60));
+  ObjectiveFunction objective(model.program, model.observable,
+                              std::move(experiments), {0, 1},
+                              model.true_rates);
+  linalg::Vector r;
+  ASSERT_TRUE(objective.evaluate({2.5, 0.1}, r).is_ok());
+  double norm = 0.0;
+  for (double v : r) norm += v * v;
+  EXPECT_GT(norm, 1e-4);
+}
+
+TEST(Objective, GlobalPerTimestepLayoutSumsAcrossFiles) {
+  TinyModel model;
+  std::vector<Experiment> experiments;
+  experiments.push_back(model.make_experiment(1.0, 40));
+  experiments.push_back(model.make_experiment(1.0, 40));  // identical file
+  ObjectiveOptions options;
+  options.layout = ResidualLayout::kGlobalPerTimestep;
+  ObjectiveFunction objective(model.program, model.observable, experiments,
+                              {0, 1}, model.true_rates, options);
+  EXPECT_EQ(objective.residual_size(), 40u);
+  linalg::Vector r;
+  ASSERT_TRUE(objective.evaluate({2.0, 0.3}, r).is_ok());
+
+  // One identical file alone gives exactly half the summed error.
+  ObjectiveFunction single(model.program, model.observable,
+                           {experiments[0]}, {0, 1}, model.true_rates,
+                           options);
+  linalg::Vector r1;
+  ASSERT_TRUE(single.evaluate({2.0, 0.3}, r1).is_ok());
+  for (std::size_t j = 0; j < 40; ++j) {
+    EXPECT_NEAR(r[j], 2.0 * r1[j], 1e-9);
+  }
+}
+
+TEST(Objective, RecordsPerFileSolveTimes) {
+  TinyModel model;
+  std::vector<Experiment> experiments;
+  for (int i = 0; i < 4; ++i) {
+    experiments.push_back(model.make_experiment(0.5 + 0.25 * i, 50));
+  }
+  ObjectiveFunction objective(model.program, model.observable,
+                              std::move(experiments), {0, 1},
+                              model.true_rates);
+  linalg::Vector r;
+  ASSERT_TRUE(objective.evaluate({1.0, 0.5}, r).is_ok());
+  ASSERT_EQ(objective.last_file_times().size(), 4u);
+  for (double t : objective.last_file_times()) EXPECT_GT(t, 0.0);
+}
+
+TEST(Objective, ParallelRanksMatchSequential) {
+  TinyModel model;
+  std::vector<Experiment> experiments;
+  for (int i = 0; i < 6; ++i) {
+    experiments.push_back(model.make_experiment(0.4 + 0.2 * i, 40));
+  }
+  ObjectiveFunction sequential(model.program, model.observable, experiments,
+                               {0, 1}, model.true_rates);
+  ObjectiveOptions parallel_options;
+  parallel_options.ranks = 3;
+  ObjectiveFunction parallel(model.program, model.observable, experiments,
+                             {0, 1}, model.true_rates, parallel_options);
+  linalg::Vector r_seq;
+  linalg::Vector r_par;
+  ASSERT_TRUE(sequential.evaluate({1.5, 0.4}, r_seq).is_ok());
+  ASSERT_TRUE(parallel.evaluate({1.5, 0.4}, r_par).is_ok());
+  ASSERT_EQ(r_seq.size(), r_par.size());
+  for (std::size_t i = 0; i < r_seq.size(); ++i) {
+    EXPECT_NEAR(r_seq[i], r_par[i], 1e-9);
+  }
+}
+
+TEST(Objective, DynamicLoadBalancingUsesRecordedTimes) {
+  TinyModel model;
+  std::vector<Experiment> experiments;
+  // Files with very different sizes -> very different solve times.
+  experiments.push_back(model.make_experiment(1.0, 400));
+  experiments.push_back(model.make_experiment(1.0, 40));
+  experiments.push_back(model.make_experiment(1.0, 40));
+  experiments.push_back(model.make_experiment(1.0, 400));
+  ObjectiveOptions options;
+  options.ranks = 2;
+  options.dynamic_load_balancing = true;
+  ObjectiveFunction objective(model.program, model.observable,
+                              std::move(experiments), {0, 1},
+                              model.true_rates, options);
+  linalg::Vector r;
+  // First call: block schedule (no times yet) puts both heavy files on
+  // opposite... block puts {0,1} on rank0 and {2,3} on rank1.
+  ASSERT_TRUE(objective.evaluate({1.0, 0.5}, r).is_ok());
+  const auto first = objective.last_assignment();
+  EXPECT_EQ(first[0], 0);
+  EXPECT_EQ(first[3], 1);
+  // Second call: LPT on the recorded times must separate the two heavy
+  // files onto different ranks.
+  ASSERT_TRUE(objective.evaluate({1.0, 0.5}, r).is_ok());
+  const auto second = objective.last_assignment();
+  EXPECT_NE(second[0], second[3]);
+}
+
+TEST(Objective, ParameterCountValidated) {
+  TinyModel model;
+  std::vector<Experiment> experiments;
+  experiments.push_back(model.make_experiment(1.0, 30));
+  ObjectiveFunction objective(model.program, model.observable,
+                              std::move(experiments), {0, 1},
+                              model.true_rates);
+  linalg::Vector r;
+  EXPECT_FALSE(objective.evaluate({1.0}, r).is_ok());
+}
+
+TEST(Estimator, RecoversGroundTruthParameters) {
+  TinyModel model;
+  std::vector<Experiment> experiments;
+  experiments.push_back(model.make_experiment(1.0, 80));
+  experiments.push_back(model.make_experiment(0.5, 80));
+  ObjectiveFunction objective(model.program, model.observable,
+                              std::move(experiments), {0, 1},
+                              model.true_rates);
+  auto result = estimate_parameters(objective, {0.5, 0.2}, {0.01, 0.01},
+                                    {10.0, 10.0});
+  ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+  EXPECT_NEAR(result->rate_constants[0], model.true_rates[0], 5e-3);
+  EXPECT_NEAR(result->rate_constants[1], model.true_rates[1], 5e-3);
+  EXPECT_LT(result->final_cost, 1e-6);
+}
+
+TEST(Estimator, RecoveryWithNoisyData) {
+  TinyModel model;
+  std::vector<Experiment> experiments;
+  for (int i = 0; i < 4; ++i) {
+    experiments.push_back(
+        model.make_experiment(0.5 + 0.3 * i, 120, 0.005, 100 + i));
+  }
+  ObjectiveFunction objective(model.program, model.observable,
+                              std::move(experiments), {0, 1},
+                              model.true_rates);
+  auto result = estimate_parameters(objective, {2.0, 0.2}, {0.01, 0.01},
+                                    {10.0, 10.0});
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_NEAR(result->rate_constants[0], model.true_rates[0], 0.05);
+  EXPECT_NEAR(result->rate_constants[1], model.true_rates[1], 0.05);
+}
+
+TEST(Estimator, BoundsConstrainTheFit) {
+  TinyModel model;
+  std::vector<Experiment> experiments;
+  experiments.push_back(model.make_experiment(1.0, 60));
+  ObjectiveFunction objective(model.program, model.observable,
+                              std::move(experiments), {0, 1},
+                              model.true_rates);
+  // [C](t) in the A->B->C cascade is symmetric under k0<->k1, so capping
+  // only k0 would just select the swapped exact solution. Cap BOTH below
+  // the true fast constant (1.2): no exact fit exists inside the box, so
+  // the optimizer must end on the boundary with a nonzero cost.
+  auto result =
+      estimate_parameters(objective, {0.5, 0.5}, {0.01, 0.01}, {0.8, 0.8});
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_LE(result->rate_constants[0], 0.8 + 1e-12);
+  EXPECT_LE(result->rate_constants[1], 0.8 + 1e-12);
+  const double max_k =
+      std::max(result->rate_constants[0], result->rate_constants[1]);
+  EXPECT_NEAR(max_k, 0.8, 0.05);
+  EXPECT_GT(result->final_cost, 1e-8);
+}
+
+TEST(Estimator, SubsetOfParametersEstimated) {
+  TinyModel model;
+  std::vector<Experiment> experiments;
+  experiments.push_back(model.make_experiment(1.0, 80));
+  // Only k1 estimated; k0 fixed at the true value via base rates.
+  ObjectiveFunction objective(model.program, model.observable,
+                              std::move(experiments), {1},
+                              model.true_rates);
+  auto result = estimate_parameters(objective, {0.1}, {0.01}, {10.0});
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_NEAR(result->rate_constants[0], model.true_rates[1], 5e-3);
+}
+
+}  // namespace
+}  // namespace rms::estimator

@@ -1,0 +1,319 @@
+// Unit and property tests for the expression core: products,
+// sums-of-products with §3.1 like-term combining, and factored trees.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "expr/factored.hpp"
+#include "expr/product.hpp"
+#include "expr/varid.hpp"
+#include "support/rng.hpp"
+
+namespace rms::expr {
+namespace {
+
+const VarId A = VarId::species(0);
+const VarId B = VarId::species(1);
+const VarId C = VarId::species(2);
+const VarId D = VarId::species(3);
+const VarId K1 = VarId::rate_const(0);
+const VarId K2 = VarId::rate_const(1);
+
+TEST(VarId, CanonicalOrderSpeciesBeforeConstants) {
+  EXPECT_TRUE(A < K1);
+  EXPECT_TRUE(K1 < VarId::temp(0));
+  EXPECT_TRUE(VarId::temp(5) < VarId::time());
+  EXPECT_TRUE(A < B);
+  EXPECT_FALSE(B < A);
+}
+
+TEST(VarId, EqualityAndHash) {
+  EXPECT_EQ(A, VarId::species(0));
+  EXPECT_NE(A, B);
+  EXPECT_NE(A, K1);
+  std::hash<VarId> h;
+  EXPECT_EQ(h(A), h(VarId::species(0)));
+}
+
+TEST(Product, NormalizeSortsFactors) {
+  Product p(2.0, {K1, B, A});
+  EXPECT_EQ(p.factors[0], A);
+  EXPECT_EQ(p.factors[1], B);
+  EXPECT_EQ(p.factors[2], K1);
+}
+
+TEST(Product, ContainsAndDivide) {
+  Product p(1.0, {K1, A, B});
+  EXPECT_TRUE(p.contains(A));
+  EXPECT_FALSE(p.contains(C));
+  p.divide_by(B);
+  EXPECT_FALSE(p.contains(B));
+  EXPECT_EQ(p.factors.size(), 2u);
+}
+
+TEST(Product, DivideRemovesOneOccurrenceOnly) {
+  Product p(1.0, {A, A, K1});
+  p.divide_by(A);
+  EXPECT_TRUE(p.contains(A));
+  EXPECT_EQ(p.factors.size(), 2u);
+}
+
+TEST(Product, MultiplyCountConventions) {
+  // k*A*B: two multiplies.
+  EXPECT_EQ(Product(1.0, {K1, A, B}).multiply_count(), 2u);
+  // -k*A*B: coefficient -1 folds into a subtraction, still two multiplies.
+  EXPECT_EQ(Product(-1.0, {K1, A, B}).multiply_count(), 2u);
+  // 2*k*A: coefficient multiply plus one factor multiply.
+  EXPECT_EQ(Product(2.0, {K1, A}).multiply_count(), 2u);
+  // Single variable: no multiply.
+  EXPECT_EQ(Product(1.0, {A}).multiply_count(), 0u);
+  // Bare constant: no multiply.
+  EXPECT_EQ(Product(3.0, {}).multiply_count(), 0u);
+}
+
+TEST(Product, ToStringRendering) {
+  EXPECT_EQ(Product(1.0, {K1, A, B}).to_string(), "y0*y1*k0");
+  EXPECT_EQ(Product(-1.0, {A}).to_string(), "-y0");
+  EXPECT_EQ(Product(5.0, {K1}).to_string(), "5*k0");
+  EXPECT_EQ(Product(2.5, {}).to_string(), "2.5");
+}
+
+TEST(Product, CompareIsTotalOrder) {
+  Product p1(1.0, {A, B});
+  Product p2(1.0, {A, C});
+  Product p3(2.0, {A, B});
+  EXPECT_LT(p1.compare(p2), 0);
+  EXPECT_GT(p2.compare(p1), 0);
+  EXPECT_LT(p1.compare(p3), 0);  // same vars, smaller coeff first
+  EXPECT_EQ(p1.compare(p1), 0);
+}
+
+// Paper §3.1: dA/dt = 2*k1*B*C + ... + 3*k1*B*C + ...  ==>  5*k1*B*C + ...
+TEST(SumOfProducts, CombiningMatchesPaperExample) {
+  SumOfProducts sop;
+  sop.add_combining(Product(2.0, {K1, B, C}));
+  sop.add_combining(Product(3.0, {K1, B, C}));
+  ASSERT_EQ(sop.size(), 1u);
+  EXPECT_DOUBLE_EQ(sop.terms()[0].coeff, 5.0);
+}
+
+TEST(SumOfProducts, CombiningKeepsDistinctVariableParts) {
+  SumOfProducts sop;
+  sop.add_combining(Product(1.0, {K1, A}));
+  sop.add_combining(Product(1.0, {K1, B}));
+  sop.add_combining(Product(1.0, {K2, A}));
+  EXPECT_EQ(sop.size(), 3u);
+}
+
+TEST(SumOfProducts, ExactCancellationCompactsAway) {
+  SumOfProducts sop;
+  sop.add_combining(Product(1.0, {K1, A}));
+  sop.add_combining(Product(-1.0, {K1, A}));
+  sop.add_combining(Product(1.0, {K2, B}));
+  sop.compact();
+  ASSERT_EQ(sop.size(), 1u);
+  EXPECT_TRUE(sop.terms()[0].contains(K2));
+}
+
+TEST(SumOfProducts, AddRawNeverCombines) {
+  SumOfProducts sop;
+  sop.add_raw(Product(2.0, {K1, B, C}));
+  sop.add_raw(Product(3.0, {K1, B, C}));
+  EXPECT_EQ(sop.size(), 2u);
+}
+
+TEST(SumOfProducts, EvaluateMatchesManual) {
+  SumOfProducts sop;
+  sop.add_combining(Product(2.0, {K1, A, B}));
+  sop.add_combining(Product(-1.0, {K2, C}));
+  std::vector<double> species = {1.5, 2.0, 3.0, 0.0};
+  std::vector<double> ks = {0.5, 4.0};
+  // 2*0.5*1.5*2.0 - 4.0*3.0 = 3 - 12 = -9
+  EXPECT_DOUBLE_EQ(sop.evaluate(species, ks, 0.0), -9.0);
+}
+
+TEST(SumOfProducts, OpCounts) {
+  SumOfProducts sop;
+  sop.add_raw(Product(1.0, {K1, B, C}));  // 2 muls
+  sop.add_raw(Product(1.0, {K1, B, D}));  // 2 muls
+  sop.add_raw(Product(2.0, {K1, A}));     // 2 muls (coeff + factor)
+  EXPECT_EQ(sop.multiply_count(), 6u);
+  EXPECT_EQ(sop.add_sub_count(), 2u);
+}
+
+TEST(SumOfProducts, ToStringUsesSignsNotPlusMinus) {
+  SumOfProducts sop;
+  sop.add_raw(Product(1.0, {K1, A}));
+  sop.add_raw(Product(-1.0, {K2, B}));
+  sop.sort_canonical();
+  EXPECT_EQ(sop.to_string(), "y0*k0 - y1*k1");
+}
+
+TEST(SumOfProducts, SortCanonicalIsDeterministic) {
+  SumOfProducts a;
+  a.add_combining(Product(1.0, {K2, B}));
+  a.add_combining(Product(1.0, {K1, A}));
+  SumOfProducts b;
+  b.add_combining(Product(1.0, {K1, A}));
+  b.add_combining(Product(1.0, {K2, B}));
+  a.sort_canonical();
+  b.sort_canonical();
+  EXPECT_EQ(a.to_string(), b.to_string());
+}
+
+// Property: insertion order never changes the combined result.
+class SumCombineProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SumCombineProperty, OrderInvariantCombining) {
+  support::Xoshiro256 rng(GetParam());
+  std::vector<Product> products;
+  for (int i = 0; i < 50; ++i) {
+    Product p;
+    p.coeff = std::floor(rng.uniform(-3.0, 4.0));
+    if (p.coeff == 0.0) p.coeff = 1.0;
+    const int nf = 1 + static_cast<int>(rng.below(3));
+    for (int f = 0; f < nf; ++f) {
+      p.factors.push_back(VarId::species(static_cast<std::uint32_t>(rng.below(4))));
+    }
+    p.factors.push_back(VarId::rate_const(static_cast<std::uint32_t>(rng.below(2))));
+    p.normalize();
+    products.push_back(std::move(p));
+  }
+  SumOfProducts forward;
+  for (const auto& p : products) forward.add_combining(p);
+  SumOfProducts backward;
+  for (auto it = products.rbegin(); it != products.rend(); ++it) {
+    backward.add_combining(*it);
+  }
+  forward.sort_canonical();
+  backward.sort_canonical();
+  EXPECT_EQ(forward.to_string(), backward.to_string());
+
+  // And combining preserves value.
+  std::vector<double> species = {1.1, 0.7, 2.3, 0.4};
+  std::vector<double> ks = {3.0, 0.25};
+  SumOfProducts raw;
+  for (const auto& p : products) raw.add_raw(p);
+  EXPECT_NEAR(forward.evaluate(species, ks, 0.0), raw.evaluate(species, ks, 0.0),
+              1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SumCombineProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(FactoredSum, FromSumOfProductsPreservesValue) {
+  SumOfProducts sop;
+  sop.add_combining(Product(2.0, {K1, A, B}));
+  sop.add_combining(Product(-1.0, {K2, C}));
+  FactoredSum fs = FactoredSum::from_sum_of_products(sop);
+  std::vector<double> species = {1.5, 2.0, 3.0, 0.0};
+  std::vector<double> ks = {0.5, 4.0};
+  EvalEnv env{&species, &ks, nullptr, 0.0};
+  EXPECT_DOUBLE_EQ(fs.evaluate(env), sop.evaluate(species, ks, 0.0));
+}
+
+TEST(FactoredSum, NestedEvaluation) {
+  // k1 * (B * (C + D) + A)
+  FactoredSum inner_cd;
+  {
+    FactoredTerm tc;
+    tc.factors.push_back(C);
+    inner_cd.terms().push_back(std::move(tc));
+    FactoredTerm td;
+    td.factors.push_back(D);
+    inner_cd.terms().push_back(std::move(td));
+  }
+  FactoredSum mid;
+  {
+    FactoredTerm tb;
+    tb.factors.push_back(B);
+    tb.sub = std::make_unique<FactoredSum>(std::move(inner_cd));
+    mid.terms().push_back(std::move(tb));
+    FactoredTerm ta;
+    ta.factors.push_back(A);
+    mid.terms().push_back(std::move(ta));
+  }
+  FactoredSum root;
+  {
+    FactoredTerm t;
+    t.factors.push_back(K1);
+    t.sub = std::make_unique<FactoredSum>(std::move(mid));
+    root.terms().push_back(std::move(t));
+  }
+  std::vector<double> species = {10.0, 2.0, 3.0, 4.0};
+  std::vector<double> ks = {0.5};
+  EvalEnv env{&species, &ks, nullptr, 0.0};
+  // 0.5 * (2*(3+4) + 10) = 0.5 * 24 = 12
+  EXPECT_DOUBLE_EQ(root.evaluate(env), 12.0);
+  // ops: root term: k1 * sub -> 1 mul; mid: B*(C+D) -> 1 mul; adds: (C+D)=1,
+  // mid sum=1.
+  EXPECT_EQ(root.multiply_count(), 2u);
+  EXPECT_EQ(root.add_sub_count(), 2u);
+}
+
+TEST(FactoredSum, DeepCopyIsIndependent) {
+  FactoredSum original;
+  FactoredTerm t;
+  t.factors.push_back(A);
+  t.sub = std::make_unique<FactoredSum>();
+  FactoredTerm inner;
+  inner.factors.push_back(B);
+  t.sub->terms().push_back(std::move(inner));
+  original.terms().push_back(std::move(t));
+
+  FactoredSum copy = original;  // deep copy via FactoredTerm copy ctor
+  copy.terms()[0].sub->terms()[0].factors[0] = C;
+  EXPECT_EQ(original.terms()[0].sub->terms()[0].factors[0], B);
+}
+
+TEST(FactoredSum, StructuralEqualityAndHash) {
+  SumOfProducts sop;
+  sop.add_combining(Product(1.0, {K1, A}));
+  sop.add_combining(Product(2.0, {K2, B}));
+  FactoredSum f1 = FactoredSum::from_sum_of_products(sop);
+  FactoredSum f2 = FactoredSum::from_sum_of_products(sop);
+  EXPECT_TRUE(f1.equals(f2));
+  EXPECT_EQ(f1.hash(), f2.hash());
+  f2.terms()[0].coeff = 9.0;
+  EXPECT_FALSE(f1.equals(f2));
+}
+
+TEST(FactoredSum, SortCanonicalOrdersTerms) {
+  FactoredSum fs;
+  FactoredTerm t1;
+  t1.factors.push_back(B);
+  FactoredTerm t2;
+  t2.factors.push_back(A);
+  fs.terms().push_back(std::move(t1));
+  fs.terms().push_back(std::move(t2));
+  fs.sort_canonical();
+  EXPECT_EQ(fs.terms()[0].factors[0], A);
+  EXPECT_EQ(fs.terms()[1].factors[0], B);
+}
+
+TEST(FactoredSum, ToStringNestedParens) {
+  FactoredSum inner;
+  FactoredTerm tc;
+  tc.factors.push_back(C);
+  inner.terms().push_back(std::move(tc));
+  FactoredTerm td;
+  td.factors.push_back(D);
+  inner.terms().push_back(std::move(td));
+
+  FactoredSum root;
+  FactoredTerm t;
+  t.factors.push_back(K1);
+  t.sub = std::make_unique<FactoredSum>(std::move(inner));
+  root.terms().push_back(std::move(t));
+  EXPECT_EQ(root.to_string(), "k0*(y2 + y3)");
+}
+
+TEST(EvalEnv, TempLookup) {
+  std::vector<double> temps = {42.0};
+  EvalEnv env{nullptr, nullptr, &temps, 1.5};
+  EXPECT_DOUBLE_EQ(env.value_of(VarId::temp(0)), 42.0);
+  EXPECT_DOUBLE_EQ(env.value_of(VarId::time()), 1.5);
+}
+
+}  // namespace
+}  // namespace rms::expr

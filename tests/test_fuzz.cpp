@@ -1,0 +1,136 @@
+// Robustness (fuzz-style) tests: hostile inputs must produce Status errors,
+// never crashes, hangs, or silent corruption. All generators are seeded, so
+// failures reproduce deterministically.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "chem/canonical.hpp"
+#include "chem/smiles.hpp"
+#include "data/experiment.hpp"
+#include "rdl/parser.hpp"
+#include "rdl/sema.hpp"
+#include "support/rng.hpp"
+
+namespace rms {
+namespace {
+
+std::string random_text(support::Xoshiro256& rng, std::size_t max_len,
+                        const std::string& alphabet) {
+  const std::size_t len = rng.below(max_len);
+  std::string out;
+  out.reserve(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    out += alphabet[rng.below(alphabet.size())];
+  }
+  return out;
+}
+
+class FuzzSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzSeeds, SmilesParserNeverCrashes) {
+  support::Xoshiro256 rng(GetParam());
+  const std::string alphabet = "CNOSPH[]()=#123456789.%+-clnoZRrB ";
+  for (int trial = 0; trial < 400; ++trial) {
+    const std::string input = random_text(rng, 40, alphabet);
+    auto result = chem::parse_smiles(input);
+    if (result.is_ok()) {
+      // Anything accepted must canonicalize and round-trip.
+      const std::string canon = chem::canonical_smiles(*result);
+      auto back = chem::parse_smiles(canon);
+      ASSERT_TRUE(back.is_ok()) << input << " -> " << canon;
+      EXPECT_EQ(chem::canonical_smiles(*back), canon) << input;
+    }
+  }
+}
+
+TEST_P(FuzzSeeds, RdlParserNeverCrashes) {
+  support::Xoshiro256 rng(GetParam() + 1000);
+  const std::string alphabet =
+      "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
+      " \t\n{}();:=.,*+-/\"#<>";
+  for (int trial = 0; trial < 300; ++trial) {
+    const std::string input = random_text(rng, 120, alphabet);
+    auto program = rdl::parse_program(input);
+    if (program.is_ok()) {
+      // Whatever parses must survive semantic analysis without crashing.
+      (void)rdl::analyze(*program);
+    }
+  }
+}
+
+TEST_P(FuzzSeeds, RdlKeywordSoupNeverCrashes) {
+  // Token-level fuzz: random sequences of VALID tokens stress the parser's
+  // recovery paths harder than random characters do.
+  support::Xoshiro256 rng(GetParam() + 2000);
+  const char* tokens[] = {
+      "species", "const",  "rule",   "forbid", "site",   "bond", "rate",
+      "init",    "where",  "radical", "depth",  "h",      "{",    "}",
+      "(",       ")",      ";",      ",",      ":",      "=",    "..",
+      ">=",      "==",     "*",      "+",      "-",      "/",    "1",
+      "2.5",     "name",   "S",      "C",      "\"CS\"", "\"[R]\"",
+      "substructure", "arrhenius",
+  };
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string input;
+    const std::size_t len = rng.below(60);
+    for (std::size_t i = 0; i < len; ++i) {
+      input += tokens[rng.below(std::size(tokens))];
+      input += ' ';
+    }
+    auto program = rdl::parse_program(input);
+    if (program.is_ok()) (void)rdl::analyze(*program);
+  }
+}
+
+TEST_P(FuzzSeeds, ExperimentParserNeverCrashes) {
+  support::Xoshiro256 rng(GetParam() + 3000);
+  const std::string alphabet = "0123456789.eE+- \n#:abcname";
+  for (int trial = 0; trial < 400; ++trial) {
+    (void)data::parse_experiment(random_text(rng, 200, alphabet));
+  }
+}
+
+TEST_P(FuzzSeeds, RandomMoleculeCanonicalInvariance) {
+  // Structured fuzz: random valid molecules (random tree + extra ring
+  // bonds), shuffled, must canonicalize identically.
+  support::Xoshiro256 rng(GetParam() + 4000);
+  for (int trial = 0; trial < 60; ++trial) {
+    chem::Molecule mol;
+    const int atoms = 2 + static_cast<int>(rng.below(10));
+    const chem::Element elements[] = {chem::Element::kC, chem::Element::kN,
+                                      chem::Element::kO, chem::Element::kS};
+    for (int i = 0; i < atoms; ++i) {
+      mol.add_atom(elements[rng.below(4)]);
+    }
+    // Random spanning tree.
+    for (int i = 1; i < atoms; ++i) {
+      const auto parent = static_cast<chem::AtomIndex>(rng.below(i));
+      if (mol.free_valence(parent) >= 1) {
+        mol.add_bond(static_cast<chem::AtomIndex>(i), parent, 1);
+      }
+    }
+    // A few extra ring bonds where valence allows.
+    for (int extra = 0; extra < 2; ++extra) {
+      const auto a = static_cast<chem::AtomIndex>(rng.below(atoms));
+      const auto b = static_cast<chem::AtomIndex>(rng.below(atoms));
+      if (a != b && mol.bond_between(a, b) == chem::kNoBond &&
+          mol.free_valence(a) >= 1 && mol.free_valence(b) >= 1) {
+        mol.add_bond(a, b, 1);
+      }
+    }
+    mol.saturate_with_hydrogens();
+
+    const std::string canon = chem::canonical_smiles(mol);
+    // Round-trip.
+    auto back = chem::parse_smiles(canon);
+    ASSERT_TRUE(back.is_ok()) << canon;
+    EXPECT_EQ(chem::canonical_smiles(*back), canon);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeeds,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+}  // namespace
+}  // namespace rms

@@ -1,0 +1,200 @@
+// Tests for GMRES and the Jacobian-free Newton-Krylov path of the
+// Adams-Gear solver.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/gmres.hpp"
+#include "linalg/lu.hpp"
+#include "solver/adams_gear.hpp"
+#include "support/rng.hpp"
+
+namespace rms::linalg {
+namespace {
+
+LinearOperator dense_operator(const Matrix& a) {
+  return [&a](const Vector& x, Vector& y) { a.multiply(x, y); };
+}
+
+TEST(Gmres, SolvesSmallDenseSystem) {
+  Matrix a(3, 3);
+  a(0, 0) = 4; a(0, 1) = 1; a(0, 2) = 0;
+  a(1, 0) = 1; a(1, 1) = 3; a(1, 2) = 1;
+  a(2, 0) = 0; a(2, 1) = 1; a(2, 2) = 5;
+  Vector b = {1.0, 2.0, 3.0};
+  Vector x;
+  auto result = gmres(dense_operator(a), b, x);
+  ASSERT_TRUE(result.converged);
+  Vector ax;
+  a.multiply(x, ax);
+  for (int i = 0; i < 3; ++i) EXPECT_NEAR(ax[i], b[i], 1e-7);
+}
+
+TEST(Gmres, ZeroRhsGivesZeroSolution) {
+  Matrix a = Matrix::identity(4);
+  Vector b(4, 0.0);
+  Vector x = {1, 1, 1, 1};  // nonzero guess
+  auto result = gmres(dense_operator(a), b, x);
+  EXPECT_TRUE(result.converged);
+  for (double v : x) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(Gmres, ConvergesWithinRestartForSmallSystems) {
+  // n <= restart: full GMRES is exact in at most n iterations.
+  support::Xoshiro256 rng(4);
+  const std::size_t n = 20;
+  Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) a(i, j) = rng.uniform(-1.0, 1.0);
+    a(i, i) += 6.0;
+  }
+  Vector b(n);
+  for (double& v : b) v = rng.uniform(-1.0, 1.0);
+  Vector x;
+  GmresOptions options;
+  options.restart = 30;
+  options.tolerance = 1e-10;
+  auto result = gmres(dense_operator(a), b, x, options);
+  ASSERT_TRUE(result.converged);
+  EXPECT_LE(result.iterations, n + 1);
+  Vector ax;
+  a.multiply(x, ax);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(ax[i], b[i], 1e-8);
+}
+
+TEST(Gmres, RestartedSolveOnLargerSystem) {
+  support::Xoshiro256 rng(9);
+  const std::size_t n = 120;
+  Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      a(i, j) = std::fabs(static_cast<double>(i) - static_cast<double>(j)) <= 2
+                    ? rng.uniform(-0.5, 0.5)
+                    : 0.0;
+    }
+    a(i, i) += 4.0;
+  }
+  Vector b(n);
+  for (double& v : b) v = rng.uniform(-1.0, 1.0);
+  Vector x;
+  GmresOptions options;
+  options.restart = 12;  // force restarts
+  auto result = gmres(dense_operator(a), b, x, options);
+  ASSERT_TRUE(result.converged);
+  Vector ax;
+  a.multiply(x, ax);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(ax[i], b[i], 1e-5);
+}
+
+TEST(Gmres, JacobiPreconditionerAgreesWithUnpreconditioned) {
+  Matrix a(3, 3);
+  a(0, 0) = 10; a(0, 1) = 1;  a(0, 2) = 0;
+  a(1, 0) = 1;  a(1, 1) = 20; a(1, 2) = 2;
+  a(2, 0) = 0;  a(2, 1) = 2;  a(2, 2) = 30;
+  Vector b = {1.0, 2.0, 3.0};
+  Vector inverse_diagonal = {0.1, 0.05, 1.0 / 30.0};
+  Vector x_plain;
+  Vector x_precond;
+  ASSERT_TRUE(gmres(dense_operator(a), b, x_plain).converged);
+  ASSERT_TRUE(gmres(dense_operator(a), b, x_precond, {}, inverse_diagonal)
+                  .converged);
+  for (int i = 0; i < 3; ++i) EXPECT_NEAR(x_plain[i], x_precond[i], 1e-6);
+}
+
+TEST(Gmres, AgreesWithLuOnRandomSystems) {
+  support::Xoshiro256 rng(17);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t n = 15;
+    Matrix a(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) a(i, j) = rng.uniform(-1.0, 1.0);
+      a(i, i) += 5.0;
+    }
+    Vector b(n);
+    for (double& v : b) v = rng.uniform(-1.0, 1.0);
+    Vector x_lu;
+    ASSERT_TRUE(solve_linear_system(a, b, x_lu));
+    Vector x_gm;
+    GmresOptions options;
+    options.tolerance = 1e-12;
+    ASSERT_TRUE(gmres(dense_operator(a), b, x_gm, options).converged);
+    for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x_gm[i], x_lu[i], 1e-7);
+  }
+}
+
+}  // namespace
+}  // namespace rms::linalg
+
+namespace rms::solver {
+namespace {
+
+OdeSystem stiff_linear_chain(std::size_t n) {
+  // y_0' = -1000 y_0; y_i' = y_{i-1} - (i+1) y_i: stiff, banded coupling.
+  return OdeSystem{n, [n](double, const double* y, double* ydot) {
+                     ydot[0] = -1000.0 * y[0];
+                     for (std::size_t i = 1; i < n; ++i) {
+                       ydot[i] = y[i - 1] -
+                                 static_cast<double>(i + 1) * y[i];
+                     }
+                   }};
+}
+
+TEST(AdamsGearKrylov, MatchesDenseSolver) {
+  const std::size_t n = 40;
+  IntegrationOptions dense_options;
+  IntegrationOptions krylov_options;
+  krylov_options.newton_linear_solver = NewtonLinearSolver::kMatrixFreeGmres;
+
+  std::vector<double> y0(n, 1.0);
+  std::vector<double> y_dense;
+  std::vector<double> y_krylov;
+
+  AdamsGear dense_solver(stiff_linear_chain(n), dense_options);
+  ASSERT_TRUE(dense_solver.initialize(0.0, y0).is_ok());
+  ASSERT_TRUE(dense_solver.advance_to(2.0, y_dense).is_ok());
+
+  AdamsGear krylov_solver(stiff_linear_chain(n), krylov_options);
+  ASSERT_TRUE(krylov_solver.initialize(0.0, y0).is_ok());
+  auto status = krylov_solver.advance_to(2.0, y_krylov);
+  ASSERT_TRUE(status.is_ok()) << status.to_string();
+
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(y_krylov[i], y_dense[i],
+                1e-4 * std::max(1.0, std::fabs(y_dense[i])))
+        << i;
+  }
+}
+
+TEST(AdamsGearKrylov, NoJacobianEvaluationsOrFactorizations) {
+  IntegrationOptions options;
+  options.newton_linear_solver = NewtonLinearSolver::kMatrixFreeGmres;
+  AdamsGear solver(stiff_linear_chain(30), options);
+  ASSERT_TRUE(solver.initialize(0.0, std::vector<double>(30, 1.0)).is_ok());
+  std::vector<double> y;
+  ASSERT_TRUE(solver.advance_to(1.0, y).is_ok());
+  EXPECT_EQ(solver.stats().jacobian_evaluations, 0u);
+  EXPECT_EQ(solver.stats().factorizations, 0u);
+  EXPECT_GT(solver.stats().steps, 0u);
+}
+
+TEST(AdamsGearKrylov, HandlesRobertsonKinetics) {
+  OdeSystem robertson{3, [](double, const double* y, double* ydot) {
+                        ydot[0] = -0.04 * y[0] + 1.0e4 * y[1] * y[2];
+                        ydot[2] = 3.0e7 * y[1] * y[1];
+                        ydot[1] = -ydot[0] - ydot[2];
+                      }};
+  IntegrationOptions options;
+  options.newton_linear_solver = NewtonLinearSolver::kMatrixFreeGmres;
+  options.relative_tolerance = 1e-6;
+  options.absolute_tolerance = 1e-10;
+  AdamsGear solver(robertson, options);
+  ASSERT_TRUE(solver.initialize(0.0, {1.0, 0.0, 0.0}).is_ok());
+  std::vector<double> y;
+  auto status = solver.advance_to(100.0, y);
+  ASSERT_TRUE(status.is_ok()) << status.to_string();
+  EXPECT_NEAR(y[0], 0.6172, 5e-3);
+  EXPECT_NEAR(y[0] + y[1] + y[2], 1.0, 1e-5);
+}
+
+}  // namespace
+}  // namespace rms::solver

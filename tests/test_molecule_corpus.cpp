@@ -1,0 +1,143 @@
+// Canonicalization corpus: real molecules (Kekulé-form SMILES) covering
+// fused rings, heteroatoms, branching, charges and symmetry. Every entry
+// must parse, round-trip through canonical SMILES, and canonicalize
+// identically under random atom permutations.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "chem/canonical.hpp"
+#include "chem/molecule.hpp"
+#include "chem/smiles.hpp"
+#include "support/rng.hpp"
+
+namespace rms::chem {
+namespace {
+
+struct CorpusEntry {
+  const char* name;
+  const char* smiles;
+  const char* formula;
+};
+
+// Kekulé forms (the SMILES subset rejects aromatic lowercase by design).
+const CorpusEntry kCorpus[] = {
+    {"methane", "C", "CH4"},
+    {"ethanol", "CCO", "C2H6O"},
+    {"acetic acid", "CC(=O)O", "C2H4O2"},
+    {"acetone", "CC(=O)C", "C3H6O"},
+    {"isobutane", "CC(C)C", "C4H10"},
+    {"neopentane", "CC(C)(C)C", "C5H12"},
+    {"cyclohexane", "C1CCCCC1", "C6H12"},
+    {"benzene (Kekulé)", "C1=CC=CC=C1", "C6H6"},
+    {"toluene", "CC1=CC=CC=C1", "C7H8"},
+    {"phenol", "OC1=CC=CC=C1", "C6H6O"},
+    {"naphthalene", "C1=CC=C2C=CC=CC2=C1", "C10H8"},
+    {"pyridine", "C1=CC=NC=C1", "C5H5N"},
+    {"pyrrole (NH)", "N1C=CC=C1", "C4H5N"},
+    {"furan", "O1C=CC=C1", "C4H4O"},
+    {"thiophene", "S1C=CC=C1", "C4H4S"},
+    {"benzothiazole", "C1=CC=C2C(=C1)N=CS2", "C7H5NS"},
+    {"2-mercaptobenzothiazole", "C1=CC=C2C(=C1)N=C(S2)S", "C7H5NS2"},
+    {"octasulfur ring", "S1SSSSSSS1", "S8"},
+    {"dimethyl disulfide", "CSSC", "C2H6S2"},
+    {"cysteamine", "NCCS", "C2H7NS"},
+    {"taurine-like sulfide", "NCCSCC", "C4H11NS"},
+    {"isoprene", "CC(=C)C=C", "C5H8"},
+    {"2-butyne", "CC#CC", "C4H6"},
+    {"acrylonitrile", "C=CC#N", "C3H3N"},
+    {"urea", "NC(=O)N", "CH4N2O"},
+    {"glycine", "NCC(=O)O", "C2H5NO2"},
+    {"ammonium", "[NH4+]", "H4N"},
+    {"thiolate", "CC[S-]", "C2H5S"},
+    {"bicyclobutane", "C1C2CC12", "C4H6"},
+    {"spiropentane", "C1CC12CC2", "C5H8"},
+    {"adamantane", "C1C2CC3CC1CC(C2)C3", "C10H16"},
+    {"chloroform", "ClC(Cl)Cl", "CHCl3"},
+    {"bromobenzene", "BrC1=CC=CC=C1", "C6H5Br"},
+    {"zinc dimethyl", "C[Zn]C", "C2H6Zn"},
+};
+
+Molecule permute(const Molecule& mol, const std::vector<AtomIndex>& perm) {
+  Molecule out;
+  std::vector<AtomIndex> inverse(perm.size());
+  for (AtomIndex i = 0; i < perm.size(); ++i) inverse[perm[i]] = i;
+  for (AtomIndex idx = 0; idx < perm.size(); ++idx) {
+    const Atom& a = mol.atom(perm[idx]);
+    out.add_atom(a.element, a.hydrogens, a.charge);
+  }
+  for (BondIndex b = 0; b < mol.bond_count(); ++b) {
+    const Bond& bond = mol.bond(b);
+    out.add_bond(inverse[bond.a], inverse[bond.b], bond.order);
+  }
+  return out;
+}
+
+class Corpus : public ::testing::TestWithParam<CorpusEntry> {};
+
+TEST_P(Corpus, ParsesWithExpectedFormula) {
+  const CorpusEntry& entry = GetParam();
+  auto mol = parse_smiles(entry.smiles);
+  ASSERT_TRUE(mol.is_ok()) << entry.name << ": "
+                           << mol.status().to_string();
+  EXPECT_EQ(mol->formula(), entry.formula) << entry.name;
+}
+
+TEST_P(Corpus, CanonicalRoundTrip) {
+  const CorpusEntry& entry = GetParam();
+  auto mol = parse_smiles(entry.smiles);
+  ASSERT_TRUE(mol.is_ok());
+  const std::string canon = canonical_smiles(*mol);
+  auto back = parse_smiles(canon);
+  ASSERT_TRUE(back.is_ok()) << entry.name << " canon=" << canon;
+  EXPECT_EQ(canonical_smiles(*back), canon) << entry.name;
+  EXPECT_EQ(back->formula(), entry.formula) << entry.name;
+}
+
+TEST_P(Corpus, PermutationInvariance) {
+  const CorpusEntry& entry = GetParam();
+  auto mol = parse_smiles(entry.smiles);
+  ASSERT_TRUE(mol.is_ok());
+  const std::string canon = canonical_smiles(*mol);
+  support::Xoshiro256 rng(
+      std::hash<std::string>{}(entry.name));
+  std::vector<AtomIndex> perm(mol->atom_count());
+  std::iota(perm.begin(), perm.end(), 0);
+  for (int trial = 0; trial < 5; ++trial) {
+    for (std::size_t i = perm.size(); i > 1; --i) {
+      std::swap(perm[i - 1], perm[rng.below(i)]);
+    }
+    EXPECT_EQ(canonical_smiles(permute(*mol, perm)), canon)
+        << entry.name << " trial " << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RealMolecules, Corpus, ::testing::ValuesIn(kCorpus),
+                         [](const auto& info) {
+                           std::string name = info.param.name;
+                           for (char& c : name) {
+                             if (!std::isalnum(static_cast<unsigned char>(c))) {
+                               c = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+TEST(CorpusCross, AllCanonicalFormsDistinct) {
+  // No two (non-identical) corpus molecules may collide.
+  std::vector<std::string> canons;
+  for (const CorpusEntry& entry : kCorpus) {
+    auto mol = parse_smiles(entry.smiles);
+    ASSERT_TRUE(mol.is_ok()) << entry.name;
+    canons.push_back(canonical_smiles(*mol));
+  }
+  for (std::size_t i = 0; i < canons.size(); ++i) {
+    for (std::size_t j = i + 1; j < canons.size(); ++j) {
+      EXPECT_NE(canons[i], canons[j])
+          << kCorpus[i].name << " vs " << kCorpus[j].name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rms::chem

@@ -1,0 +1,224 @@
+// Tests for reaction network generation: registry dedup, rule application,
+// fixed-point expansion, forbidden forms, multiplicities.
+#include <gtest/gtest.h>
+
+#include "chem/smiles.hpp"
+#include "network/generator.hpp"
+#include "rdl/sema.hpp"
+
+namespace rms::network {
+namespace {
+
+ReactionNetwork must_generate(std::string_view rdl_source,
+                              GeneratorOptions options = {}) {
+  auto model = rdl::compile_rdl(rdl_source);
+  EXPECT_TRUE(model.is_ok()) << model.status().to_string();
+  auto network = generate_network(*model, options);
+  EXPECT_TRUE(network.is_ok()) << network.status().to_string();
+  return std::move(network).value();
+}
+
+TEST(Registry, DeduplicatesByCanonicalForm) {
+  SpeciesRegistry registry;
+  auto m1 = chem::parse_smiles("CCO");
+  auto m2 = chem::parse_smiles("OCC");
+  const SpeciesId a = registry.add(*m1, "ethanol");
+  const SpeciesId b = registry.add(*m2, "other");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(registry.size(), 1u);
+  EXPECT_EQ(registry.entry(a).name, "ethanol");  // first name wins
+}
+
+TEST(Registry, AutoNamesDiscoveredSpecies) {
+  SpeciesRegistry registry;
+  auto m = chem::parse_smiles("CC");
+  const SpeciesId id = registry.add(*m);
+  EXPECT_EQ(registry.entry(id).name, "X0");
+}
+
+TEST(Registry, FindCanonical) {
+  SpeciesRegistry registry;
+  auto m = chem::parse_smiles("CS");
+  registry.add(*m, "MT");
+  SpeciesId found = 99;
+  EXPECT_TRUE(registry.find_canonical(registry.entry(0).canonical, found));
+  EXPECT_EQ(found, 0u);
+  EXPECT_FALSE(registry.find_canonical("nope", found));
+}
+
+TEST(Generator, UnimolecularScission) {
+  // CH3-SH -> CH3. + .SH via C-S bond scission.
+  ReactionNetwork net = must_generate(
+      "species A = \"CS\";\n"
+      "const k = 1;\n"
+      "rule scission { site c: C; site s: S; bond c s 1; disconnect c s;\n"
+      "                rate k; }\n");
+  // Species: A, methyl radical, thiyl radical.
+  EXPECT_EQ(net.species.size(), 3u);
+  ASSERT_EQ(net.reactions.size(), 1u);
+  const Reaction& r = net.reactions[0];
+  EXPECT_EQ(r.reactants.size(), 1u);
+  EXPECT_EQ(r.products.size(), 2u);
+  EXPECT_DOUBLE_EQ(r.multiplicity, 1.0);
+  EXPECT_EQ(r.rate_name, "k");
+}
+
+TEST(Generator, SymmetricBondGivesMultiplicityTwo) {
+  // Ethane C-C scission: both pattern orientations are embeddings.
+  ReactionNetwork net = must_generate(
+      "species E = \"CC\";\n"
+      "const k = 1;\n"
+      "rule scission { site a: C; site b: C; bond a b 1; disconnect a b;\n"
+      "                rate k; }\n");
+  ASSERT_EQ(net.reactions.size(), 1u);
+  EXPECT_DOUBLE_EQ(net.reactions[0].multiplicity, 2.0);
+  // Products: two methyl radicals (one species, multiplicity 2 in products).
+  EXPECT_EQ(net.reactions[0].products.size(), 2u);
+  EXPECT_EQ(net.reactions[0].products[0], net.reactions[0].products[1]);
+}
+
+TEST(Generator, BimolecularRecombination) {
+  ReactionNetwork net = must_generate(
+      "species Me = \"[CH3]\";\n"
+      "species Sh = \"[SH]\";\n"
+      "const k = 1;\n"
+      "rule join { site a: C where radical; site b: S where radical;\n"
+      "            connect a b; rate k; }\n");
+  // Me + Sh -> CH3SH.
+  bool found = false;
+  for (const Reaction& r : net.reactions) {
+    if (r.reactants.size() == 2 && r.products.size() == 1) {
+      found = true;
+      EXPECT_NE(r.reactants[0], r.reactants[1]);
+    }
+  }
+  EXPECT_TRUE(found);
+  EXPECT_EQ(net.species.size(), 3u);
+}
+
+TEST(Generator, SelfBimolecularPairs) {
+  // 2 CH3. -> C2H6: self-pair reaction, reactants repeated.
+  ReactionNetwork net = must_generate(
+      "species Me = \"[CH3]\";\n"
+      "const k = 1;\n"
+      "rule dimerize { site a: C where radical; site b: C where radical;\n"
+      "                connect a b; rate k; }\n");
+  ASSERT_EQ(net.reactions.size(), 1u);
+  const Reaction& r = net.reactions[0];
+  ASSERT_EQ(r.reactants.size(), 2u);
+  EXPECT_EQ(r.reactants[0], r.reactants[1]);
+  EXPECT_EQ(r.products.size(), 1u);
+}
+
+TEST(Generator, FixedPointDiscoversChains) {
+  // Scission of a pentasulfide chain generates shorter radicals, which the
+  // fixed point keeps cutting.
+  ReactionNetwork net = must_generate(
+      "species P = \"[R]SSSSS[R]\";\n"
+      "const k = 1;\n"
+      "rule cut { site a: S; site b: S; bond a b 1; disconnect a b; rate k; }\n");
+  // Fragments [R]S., [R]SS., [R]SSS., [R]SSSS. plus the diradical chains
+  // .S., .SS., .SSS. produced by cutting the radicals again: 8 total.
+  EXPECT_EQ(net.species.size(), 8u);
+  // Cuts: in P (4 S-S bonds -> 2 distinct by symmetry) and in every radical
+  // fragment long enough to cut.
+  EXPECT_GE(net.reactions.size(), 5u);
+}
+
+TEST(Generator, ContextConstraintLimitsCuts) {
+  // Only cut S-S bonds at least 1 atom deep: end bonds are spared.
+  ReactionNetwork shallow = must_generate(
+      "species P = \"[R]SSSS[R]\";\n"
+      "const k = 1;\n"
+      "rule cut { site a: S where depth >= 1; site b: S where depth >= 1;\n"
+      "           bond a b 1; disconnect a b; rate k; }\n");
+  ReactionNetwork all = must_generate(
+      "species P = \"[R]SSSS[R]\";\n"
+      "const k = 1;\n"
+      "rule cut { site a: S; site b: S; bond a b 1; disconnect a b; rate k; }\n");
+  EXPECT_LT(shallow.reactions.size(), all.reactions.size());
+}
+
+TEST(Generator, ForbiddenProductBlocksReaction) {
+  ReactionNetwork net = must_generate(
+      "species A = \"CS\";\n"
+      "const k = 1;\n"
+      "rule scission { site c: C; site s: S; bond c s 1; disconnect c s;\n"
+      "                rate k; }\n"
+      "forbid \"[CH3]\";\n");
+  // The only reaction would produce the methyl radical: forbidden.
+  EXPECT_EQ(net.reactions.size(), 0u);
+  EXPECT_EQ(net.species.size(), 1u);
+}
+
+TEST(Generator, SpeciesCapReported) {
+  // Unbounded growth: radicals recombine into ever longer chains.
+  // Diradical sulfur atoms chain without bound: .S. + .S(n). -> .S(n+1). .
+  auto model = rdl::compile_rdl(
+      "species S1 = \"[S]\";\n"
+      "const k = 1;\n"
+      "rule grow { site a: S where radical; site b: S where radical;\n"
+      "            connect a b; rate k; }\n");
+  ASSERT_TRUE(model.is_ok());
+  GeneratorOptions options;
+  options.max_species = 10;
+  auto network = generate_network(*model, options);
+  ASSERT_FALSE(network.is_ok());
+  EXPECT_EQ(network.status().code(), support::StatusCode::kResourceExhausted);
+}
+
+TEST(Generator, MultiplicityStableAcrossRounds) {
+  // The watermark must prevent re-counting embeddings in later fixed-point
+  // rounds: multiplicity of the first cut stays 1 even though new species
+  // keep appearing for several rounds.
+  ReactionNetwork net = must_generate(
+      "species P = \"[R]SSSSSSS[R]\";\n"
+      "const k = 1;\n"
+      "rule cut { site a: S; site b: S; bond a b 1; disconnect a b; rate k; }\n");
+  for (const Reaction& r : net.reactions) {
+    // Each embedding counts once: a symmetric pattern contributes 2
+    // orientations per bond, and mirror-image bonds of a symmetric chain
+    // yield the same transformation, so multiplicities are 1, 2, or 4 —
+    // and stay there no matter how many fixed-point rounds ran.
+    EXPECT_GE(r.multiplicity, 1.0);
+    EXPECT_LE(r.multiplicity, 4.0);
+  }
+}
+
+TEST(Generator, InitialConcentrationsCarryThrough) {
+  ReactionNetwork net = must_generate(
+      "species A = \"CS\";\n"
+      "init A = 3.5;\n"
+      "const k = 1;\n"
+      "rule scission { site c: C; site s: S; bond c s 1; disconnect c s;\n"
+      "                rate k; }\n");
+  EXPECT_DOUBLE_EQ(net.species.entry(0).init_concentration, 3.5);
+  EXPECT_TRUE(net.species.entry(0).seed);
+  EXPECT_FALSE(net.species.entry(1).seed);
+}
+
+TEST(Generator, NetworkToStringFigure3Style) {
+  ReactionNetwork net = must_generate(
+      "species A = \"CS\";\n"
+      "const K_A = 1;\n"
+      "rule scission { site c: C; site s: S; bond c s 1; disconnect c s;\n"
+      "                rate K_A; }\n");
+  const std::string text = net.to_string();
+  // "- A + X1 + X2 \ [K_A];" modulo the discovered names.
+  EXPECT_NE(text.find("- A"), std::string::npos);
+  EXPECT_NE(text.find("\\ [K_A];"), std::string::npos);
+}
+
+TEST(Generator, NoOpTransformationsDropped) {
+  // add_h then ... a rule whose products equal its reactants is dropped.
+  // Removing and re-adding H at the same site would be a no-op; here we test
+  // a disconnect that the valence check silently skips instead.
+  ReactionNetwork net = must_generate(
+      "species A = \"C\";\n"
+      "const k = 1;\n"
+      "rule noop { site a: C where h >= 1; remove_h a; add_h a; rate k; }\n");
+  EXPECT_EQ(net.reactions.size(), 0u);
+}
+
+}  // namespace
+}  // namespace rms::network

@@ -1,0 +1,239 @@
+// Tests for network serialization and conservation-law analysis.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "codegen/bytecode_emitter.hpp"
+#include "models/test_cases.hpp"
+#include "models/vulcanization.hpp"
+#include "network/io.hpp"
+#include "odegen/conservation.hpp"
+#include "solver/adams_gear.hpp"
+#include "vm/interpreter.hpp"
+
+namespace rms::network {
+namespace {
+
+ReactionNetwork small_network() {
+  ReactionNetwork net;
+  const SpeciesId a = net.species.add_symbolic("A");
+  const SpeciesId b = net.species.add_symbolic("B");
+  const SpeciesId c = net.species.add_symbolic("C");
+  net.species.entry(a).init_concentration = 1.5;
+  net.species.entry(a).seed = true;
+  Reaction r1;
+  r1.reactants.push_back(a);
+  r1.products.push_back(b);
+  r1.products.push_back(c);
+  r1.rate_name = "k1";
+  r1.rule_name = "split";
+  r1.multiplicity = 2.0;
+  Reaction r2;
+  r2.reactants.push_back(b);
+  r2.reactants.push_back(c);
+  r2.products.push_back(a);
+  r2.rate_name = "k2";
+  net.reactions.push_back(r1);
+  net.reactions.push_back(r2);
+  return net;
+}
+
+TEST(NetworkIo, RoundTrip) {
+  ReactionNetwork net = small_network();
+  const std::string text = serialize_network(net);
+  auto back = parse_network(text);
+  ASSERT_TRUE(back.is_ok()) << back.status().to_string();
+  EXPECT_EQ(back->species.size(), 3u);
+  ASSERT_EQ(back->reactions.size(), 2u);
+  EXPECT_EQ(back->species.entry(0).name, "A");
+  EXPECT_DOUBLE_EQ(back->species.entry(0).init_concentration, 1.5);
+  EXPECT_TRUE(back->species.entry(0).seed);
+  EXPECT_FALSE(back->species.entry(1).seed);
+  EXPECT_EQ(back->reactions[0].rate_name, "k1");
+  EXPECT_EQ(back->reactions[0].rule_name, "split");
+  EXPECT_DOUBLE_EQ(back->reactions[0].multiplicity, 2.0);
+  EXPECT_EQ(back->reactions[0].reactants.size(), 1u);
+  EXPECT_EQ(back->reactions[0].products.size(), 2u);
+  // Second round trip is identical text.
+  EXPECT_EQ(serialize_network(*back), text);
+}
+
+TEST(NetworkIo, RoundTripOfGraphChemistryNetwork) {
+  models::VulcanizationConfig config;
+  config.max_chain_length = 3;
+  auto built = models::build_vulcanization_model(config);
+  ASSERT_TRUE(built.is_ok());
+  const std::string text = serialize_network(built->network);
+  auto back = parse_network(text);
+  ASSERT_TRUE(back.is_ok()) << back.status().to_string();
+  EXPECT_EQ(back->species.size(), built->network.species.size());
+  EXPECT_EQ(back->reactions.size(), built->network.reactions.size());
+  // The loaded network must produce identical ODEs.
+  auto rates = rcip::process_rate_constants(built->model, *back);
+  ASSERT_TRUE(rates.is_ok());
+  auto odes = odegen::generate_odes(*back, *rates);
+  ASSERT_TRUE(odes.is_ok());
+  EXPECT_EQ(odes->to_string(), built->odes.to_string());
+}
+
+TEST(NetworkIo, RejectsMalformedInput) {
+  EXPECT_FALSE(parse_network("species\n").is_ok());
+  EXPECT_FALSE(parse_network("species A x 0\n").is_ok());
+  EXPECT_FALSE(parse_network("reaction k - 1 : A => B\n").is_ok());  // undeclared
+  EXPECT_FALSE(
+      parse_network("species A 0 0\nreaction k - 1 : A A\n").is_ok());  // no =>
+  EXPECT_FALSE(parse_network("bogus line\n").is_ok());
+  EXPECT_FALSE(
+      parse_network("species A 0 0\nspecies A 0 0\n").is_ok());  // duplicate
+}
+
+TEST(NetworkIo, FileRoundTrip) {
+  ReactionNetwork net = small_network();
+  const std::string path = "/tmp/rms_network_io_test.txt";
+  ASSERT_TRUE(write_network_file(path, net).is_ok());
+  auto back = read_network_file(path);
+  ASSERT_TRUE(back.is_ok());
+  EXPECT_EQ(back->reactions.size(), 2u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace rms::network
+
+namespace rms::odegen {
+namespace {
+
+using network::Reaction;
+using network::ReactionNetwork;
+using network::SpeciesId;
+
+TEST(Conservation, StoichiometricMatrixSigns) {
+  ReactionNetwork net;
+  const SpeciesId a = net.species.add_symbolic("A");
+  const SpeciesId b = net.species.add_symbolic("B");
+  Reaction r;
+  r.reactants.push_back(a);
+  r.reactants.push_back(a);  // 2A -> B
+  r.products.push_back(b);
+  r.rate_name = "k";
+  net.reactions.push_back(r);
+  linalg::Matrix s = stoichiometric_matrix(net);
+  EXPECT_DOUBLE_EQ(s(0, 0), -2.0);
+  EXPECT_DOUBLE_EQ(s(1, 0), 1.0);
+}
+
+TEST(Conservation, SimpleChainConservesTotal) {
+  // A -> B -> C conserves A+B+C.
+  ReactionNetwork net;
+  const SpeciesId a = net.species.add_symbolic("A");
+  const SpeciesId b = net.species.add_symbolic("B");
+  const SpeciesId c = net.species.add_symbolic("C");
+  Reaction r1;
+  r1.reactants.push_back(a);
+  r1.products.push_back(b);
+  r1.rate_name = "k1";
+  Reaction r2;
+  r2.reactants.push_back(b);
+  r2.products.push_back(c);
+  r2.rate_name = "k2";
+  net.reactions.push_back(r1);
+  net.reactions.push_back(r2);
+
+  auto laws = conservation_laws(net);
+  ASSERT_EQ(laws.size(), 1u);
+  // The law is proportional to (1, 1, 1).
+  EXPECT_NEAR(laws[0][0], laws[0][1], 1e-12);
+  EXPECT_NEAR(laws[0][1], laws[0][2], 1e-12);
+}
+
+TEST(Conservation, DimerizationWeights) {
+  // 2A <-> B conserves A + 2B.
+  ReactionNetwork net;
+  const SpeciesId a = net.species.add_symbolic("A");
+  const SpeciesId b = net.species.add_symbolic("B");
+  Reaction fwd;
+  fwd.reactants.push_back(a);
+  fwd.reactants.push_back(a);
+  fwd.products.push_back(b);
+  fwd.rate_name = "k1";
+  Reaction rev;
+  rev.reactants.push_back(b);
+  rev.products.push_back(a);
+  rev.products.push_back(a);
+  rev.rate_name = "k2";
+  net.reactions.push_back(fwd);
+  net.reactions.push_back(rev);
+  auto laws = conservation_laws(net);
+  ASSERT_EQ(laws.size(), 1u);
+  EXPECT_NEAR(laws[0][1] / laws[0][0], 2.0, 1e-12);
+}
+
+TEST(Conservation, OpenSystemHasNoLaws) {
+  // A -> (nothing tracked): no conserved combination.
+  ReactionNetwork net;
+  const SpeciesId a = net.species.add_symbolic("A");
+  const SpeciesId b = net.species.add_symbolic("B");
+  Reaction r1;
+  r1.reactants.push_back(a);
+  r1.products.push_back(b);
+  r1.rate_name = "k1";
+  Reaction r2;  // B -> 2B (autocatalytic growth: breaks conservation)
+  r2.reactants.push_back(b);
+  r2.products.push_back(b);
+  r2.products.push_back(b);
+  r2.rate_name = "k2";
+  net.reactions.push_back(r1);
+  net.reactions.push_back(r2);
+  EXPECT_TRUE(conservation_laws(net).empty());
+}
+
+TEST(Conservation, VulcanizationModelConservesAndIntegrationRespectsIt) {
+  // Every conservation law of the graph-chemistry network must be honoured
+  // by the generated ODEs AND by the integrated trajectory.
+  models::VulcanizationConfig config;
+  config.max_chain_length = 3;
+  auto built = models::build_vulcanization_model(config);
+  ASSERT_TRUE(built.is_ok());
+  auto laws = conservation_laws(built->network);
+  ASSERT_FALSE(laws.empty());
+
+  const std::size_t n = built->equation_count();
+  vm::Interpreter rhs(built->program_optimized);
+  const std::vector<double>& rates = built->rates.values();
+
+  // (a) The RHS is orthogonal to each law at a generic state.
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) y[i] = 0.01 + 0.003 * (i % 7);
+  std::vector<double> dydt(n);
+  rhs.run(0.0, y.data(), rates.data(), dydt.data());
+  for (const auto& law : laws) {
+    EXPECT_NEAR(conserved_value(law, dydt), 0.0, 1e-9);
+  }
+
+  // (b) The integrated trajectory keeps each law constant.
+  solver::OdeSystem system{n, [&](double t, const double* yy, double* f) {
+                             rhs.run(t, yy, rates.data(), f);
+                           }};
+  solver::AdamsGear integrator(system);
+  ASSERT_TRUE(
+      integrator.initialize(0.0, built->odes.init_concentrations).is_ok());
+  std::vector<double> y_end;
+  ASSERT_TRUE(integrator.advance_to(3.0, y_end).is_ok());
+  for (const auto& law : laws) {
+    const double before =
+        conserved_value(law, built->odes.init_concentrations);
+    const double after = conserved_value(law, y_end);
+    EXPECT_NEAR(after, before, 1e-5 * std::max(1.0, std::fabs(before)));
+  }
+}
+
+TEST(Conservation, SyntheticTestCasesConserveLedgers) {
+  auto net = models::synthetic_vulcanization_network({3, 5});
+  auto laws = conservation_laws(net);
+  // The synthetic network has at least one conserved combination (the
+  // rubber-site / amine exchange ledger).
+  EXPECT_FALSE(laws.empty());
+}
+
+}  // namespace
+}  // namespace rms::odegen

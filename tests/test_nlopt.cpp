@@ -1,0 +1,181 @@
+// Tests for the bounded Levenberg-Marquardt optimizer.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nlopt/levmar.hpp"
+#include "support/rng.hpp"
+
+namespace rms::nlopt {
+namespace {
+
+using linalg::Vector;
+using support::Status;
+
+TEST(LevMar, SolvesLinearLeastSquares) {
+  // r = A x - b with known solution.
+  auto residuals = [](const Vector& x, Vector& r) -> Status {
+    r.resize(3);
+    r[0] = 2 * x[0] + x[1] - 5;   // -> x = (1, 3)
+    r[1] = x[0] + 3 * x[1] - 10;
+    r[2] = x[0] - x[1] + 2;
+    return Status::ok();
+  };
+  Vector lower = {-10, -10};
+  Vector upper = {10, 10};
+  auto result = bounded_least_squares(residuals, 3, {0.0, 0.0}, lower, upper);
+  ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+  EXPECT_TRUE(result->converged) << result->message;
+  EXPECT_NEAR(result->x[0], 1.0, 1e-5);
+  EXPECT_NEAR(result->x[1], 3.0, 1e-5);
+}
+
+TEST(LevMar, RosenbrockAsLeastSquares) {
+  // Classic: r = (10(x1 - x0^2), 1 - x0); minimum at (1, 1).
+  auto residuals = [](const Vector& x, Vector& r) -> Status {
+    r.resize(2);
+    r[0] = 10.0 * (x[1] - x[0] * x[0]);
+    r[1] = 1.0 - x[0];
+    return Status::ok();
+  };
+  Vector lower = {-5, -5};
+  Vector upper = {5, 5};
+  auto result =
+      bounded_least_squares(residuals, 2, {-1.2, 1.0}, lower, upper);
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_NEAR(result->x[0], 1.0, 1e-4);
+  EXPECT_NEAR(result->x[1], 1.0, 1e-4);
+  EXPECT_LT(result->cost, 1e-10);
+}
+
+TEST(LevMar, ExponentialFit) {
+  // Fit y = a * exp(-b t) to noiseless synthetic samples; recover (a, b).
+  std::vector<double> ts;
+  std::vector<double> ys;
+  for (int i = 0; i <= 20; ++i) {
+    const double t = 0.1 * i;
+    ts.push_back(t);
+    ys.push_back(2.5 * std::exp(-1.3 * t));
+  }
+  auto residuals = [&](const Vector& x, Vector& r) -> Status {
+    r.resize(ts.size());
+    for (std::size_t i = 0; i < ts.size(); ++i) {
+      r[i] = x[0] * std::exp(-x[1] * ts[i]) - ys[i];
+    }
+    return Status::ok();
+  };
+  Vector lower = {0.1, 0.1};
+  Vector upper = {10, 10};
+  auto result =
+      bounded_least_squares(residuals, ts.size(), {1.0, 1.0}, lower, upper);
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_NEAR(result->x[0], 2.5, 1e-4);
+  EXPECT_NEAR(result->x[1], 1.3, 1e-4);
+}
+
+TEST(LevMar, RespectsBounds) {
+  // Unconstrained minimum at x = 5, but the box caps x at 2.
+  auto residuals = [](const Vector& x, Vector& r) -> Status {
+    r.resize(1);
+    r[0] = x[0] - 5.0;
+    return Status::ok();
+  };
+  Vector lower = {0.0};
+  Vector upper = {2.0};
+  auto result = bounded_least_squares(residuals, 1, {1.0}, lower, upper);
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_NEAR(result->x[0], 2.0, 1e-9);
+  // The binding bound means the projected gradient is zero: converged.
+  EXPECT_TRUE(result->converged) << result->message;
+}
+
+TEST(LevMar, ClampsOutOfBoundsStart) {
+  auto residuals = [](const Vector& x, Vector& r) -> Status {
+    r.resize(1);
+    r[0] = x[0] - 1.0;
+    return Status::ok();
+  };
+  Vector lower = {0.0};
+  Vector upper = {3.0};
+  auto result = bounded_least_squares(residuals, 1, {99.0}, lower, upper);
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_NEAR(result->x[0], 1.0, 1e-6);
+}
+
+TEST(LevMar, RejectsBadBounds) {
+  auto residuals = [](const Vector&, Vector& r) -> Status {
+    r.resize(1);
+    r[0] = 0.0;
+    return Status::ok();
+  };
+  EXPECT_FALSE(
+      bounded_least_squares(residuals, 1, {0.0}, {1.0}, {-1.0}).is_ok());
+  EXPECT_FALSE(
+      bounded_least_squares(residuals, 1, {0.0}, {0.0, 1.0}, {1.0}).is_ok());
+}
+
+TEST(LevMar, RejectsUnderdeterminedProblem) {
+  auto residuals = [](const Vector&, Vector& r) -> Status {
+    r.resize(1);
+    r[0] = 0.0;
+    return Status::ok();
+  };
+  Vector lower = {-1, -1};
+  Vector upper = {1, 1};
+  EXPECT_FALSE(
+      bounded_least_squares(residuals, 1, {0.0, 0.0}, lower, upper).is_ok());
+}
+
+TEST(LevMar, PropagatesResidualError) {
+  auto residuals = [](const Vector&, Vector&) -> Status {
+    return support::numeric_error("solver blew up");
+  };
+  Vector lower = {-1};
+  Vector upper = {1};
+  auto result = bounded_least_squares(residuals, 1, {0.0}, lower, upper);
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_EQ(result.status().code(), support::StatusCode::kNumericError);
+}
+
+// Property sweep: random well-conditioned linear problems are solved to
+// near-exactness from random starts.
+class LevMarProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LevMarProperty, RandomLinearProblems) {
+  support::Xoshiro256 rng(GetParam());
+  const std::size_t n = 3;
+  const std::size_t m = 8;
+  std::vector<std::vector<double>> a(m, std::vector<double>(n));
+  for (auto& row : a) {
+    for (double& v : row) v = rng.uniform(-2.0, 2.0);
+  }
+  Vector x_true(n);
+  for (double& v : x_true) v = rng.uniform(-0.8, 0.8);
+  std::vector<double> b(m, 0.0);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) b[i] += a[i][j] * x_true[j];
+  }
+  auto residuals = [&](const Vector& x, Vector& r) -> Status {
+    r.assign(m, 0.0);
+    for (std::size_t i = 0; i < m; ++i) {
+      for (std::size_t j = 0; j < n; ++j) r[i] += a[i][j] * x[j];
+      r[i] -= b[i];
+    }
+    return Status::ok();
+  };
+  Vector lower(n, -1.0);
+  Vector upper(n, 1.0);
+  Vector x0(n);
+  for (double& v : x0) v = rng.uniform(-1.0, 1.0);
+  auto result = bounded_least_squares(residuals, m, x0, lower, upper);
+  ASSERT_TRUE(result.is_ok());
+  for (std::size_t j = 0; j < n; ++j) {
+    EXPECT_NEAR(result->x[j], x_true[j], 1e-4);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LevMarProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+}  // namespace
+}  // namespace rms::nlopt

@@ -1,0 +1,219 @@
+// Tests for RCIP and the equation generator (paper §2, Figs. 3-5).
+#include <gtest/gtest.h>
+
+#include "chem/smiles.hpp"
+#include "network/generator.hpp"
+#include "odegen/equation_table.hpp"
+#include "rcip/rate_table.hpp"
+#include "rdl/sema.hpp"
+
+namespace rms::odegen {
+namespace {
+
+using network::Reaction;
+using network::ReactionNetwork;
+using network::SpeciesId;
+
+/// Hand-builds a network with `n` species named A, B, C, ... (dummy distinct
+/// molecules: carbon chains of increasing length).
+ReactionNetwork make_network(std::size_t n) {
+  ReactionNetwork net;
+  std::string smiles;
+  for (std::size_t i = 0; i < n; ++i) {
+    smiles += "C";
+    auto mol = chem::parse_smiles(smiles);
+    EXPECT_TRUE(mol.is_ok());
+    net.species.add(*mol, std::string(1, static_cast<char>('A' + i)));
+  }
+  return net;
+}
+
+Reaction make_reaction(std::initializer_list<SpeciesId> reactants,
+                       std::initializer_list<SpeciesId> products,
+                       std::string rate, double multiplicity = 1.0) {
+  Reaction r;
+  for (SpeciesId id : reactants) r.reactants.push_back(id);
+  for (SpeciesId id : products) r.products.push_back(id);
+  r.rate_name = std::move(rate);
+  r.multiplicity = multiplicity;
+  return r;
+}
+
+TEST(RateTable, ValueBasedCanonicalRenaming) {
+  rcip::RateTable table;
+  const auto a = table.add("K_A", 2.5);
+  const auto b = table.add("K_B", 1.0);
+  const auto c = table.add("K_C", 2.5);  // same value as K_A
+  EXPECT_EQ(a, c);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(table.size(), 2u);
+  EXPECT_EQ(table.canonical_name(a), "K_A");
+  auto aliases = table.aliases(a);
+  EXPECT_EQ(aliases.size(), 2u);
+}
+
+TEST(RateTable, IndexLookupAndSetValue) {
+  rcip::RateTable table;
+  table.add("k1", 3.0);
+  std::uint32_t idx = 99;
+  ASSERT_TRUE(table.index_of("k1", idx));
+  EXPECT_EQ(idx, 0u);
+  table.set_value(idx, 7.0);
+  EXPECT_DOUBLE_EQ(table.value(idx), 7.0);
+  EXPECT_FALSE(table.index_of("nope", idx));
+}
+
+TEST(RateTable, ProcessValidatesReactionConstants) {
+  ReactionNetwork net = make_network(2);
+  net.reactions.push_back(make_reaction({0}, {1}, "K_MISSING"));
+  rdl::CompiledModel model;
+  model.constants.emplace_back("K_A", 1.0);
+  auto table = rcip::process_rate_constants(model, net);
+  EXPECT_FALSE(table.is_ok());
+}
+
+// Paper Figs. 3-5: the reaction network
+//   1. - A + B + B \ [K_A];
+//   2. - C - D + E \ [K_CD];
+// generates (after summing per LHS, Fig. 5):
+//   dA/dt = -K_A*A;      dB/dt = +K_A*A + K_A*A;
+//   dC/dt = -K_CD*D*C;   dD/dt = -K_CD*D*C;   dE/dt = +K_CD*D*C;
+TEST(EquationGenerator, PaperFigure5RawForm) {
+  ReactionNetwork net = make_network(5);  // A B C D E
+  net.reactions.push_back(make_reaction({0}, {1, 1}, "K_A"));
+  net.reactions.push_back(make_reaction({2, 3}, {4}, "K_CD"));
+  rcip::RateTable rates;
+  rates.add("K_A", 1.5);
+  rates.add("K_CD", 2.5);
+
+  OdeGenOptions raw;
+  raw.combine_like_terms = false;
+  auto odes = generate_odes(net, rates, raw);
+  ASSERT_TRUE(odes.is_ok()) << odes.status().to_string();
+
+  // dA/dt: one negative term.
+  EXPECT_EQ(odes->table.equation(0).size(), 1u);
+  EXPECT_DOUBLE_EQ(odes->table.equation(0).terms()[0].coeff, -1.0);
+  // dB/dt: TWO separate +K_A*A terms (Fig. 5 keeps them unmerged).
+  EXPECT_EQ(odes->table.equation(1).size(), 2u);
+  EXPECT_DOUBLE_EQ(odes->table.equation(1).terms()[0].coeff, 1.0);
+  EXPECT_DOUBLE_EQ(odes->table.equation(1).terms()[1].coeff, 1.0);
+  // dC/dt, dD/dt: -K_CD*D*C; dE/dt: +K_CD*D*C.
+  EXPECT_EQ(odes->table.equation(2).to_string(),
+            odes->table.equation(3).to_string());
+  EXPECT_EQ(odes->table.equation(2).size(), 1u);
+  EXPECT_EQ(odes->table.equation(2).terms()[0].factors.size(), 3u);
+}
+
+// §3.1: with on-the-fly simplification the two +K_A*A terms combine.
+TEST(EquationGenerator, Section31Simplification) {
+  ReactionNetwork net = make_network(2);
+  net.reactions.push_back(make_reaction({0}, {1, 1}, "K_A"));
+  rcip::RateTable rates;
+  rates.add("K_A", 1.5);
+  auto odes = generate_odes(net, rates, OdeGenOptions{});
+  ASSERT_TRUE(odes.is_ok());
+  ASSERT_EQ(odes->table.equation(1).size(), 1u);
+  EXPECT_DOUBLE_EQ(odes->table.equation(1).terms()[0].coeff, 2.0);
+}
+
+TEST(EquationGenerator, MassActionSelfReaction) {
+  // 2A -> B: rate = k*A^2, dA/dt = -2*k*A^2, dB/dt = +k*A^2.
+  ReactionNetwork net = make_network(2);
+  net.reactions.push_back(make_reaction({0, 0}, {1}, "k"));
+  rcip::RateTable rates;
+  rates.add("k", 0.5);
+  auto odes = generate_odes(net, rates);
+  ASSERT_TRUE(odes.is_ok());
+  std::vector<double> y = {3.0, 0.0};
+  std::vector<double> dydt;
+  odes->table.evaluate(y, rates.values(), 0.0, dydt);
+  EXPECT_DOUBLE_EQ(dydt[0], -2.0 * 0.5 * 9.0);
+  EXPECT_DOUBLE_EQ(dydt[1], 0.5 * 9.0);
+}
+
+TEST(EquationGenerator, MultiplicityScalesRate) {
+  ReactionNetwork net = make_network(2);
+  net.reactions.push_back(make_reaction({0}, {1}, "k", /*multiplicity=*/3.0));
+  rcip::RateTable rates;
+  rates.add("k", 1.0);
+  auto odes = generate_odes(net, rates);
+  ASSERT_TRUE(odes.is_ok());
+  std::vector<double> y = {2.0, 0.0};
+  std::vector<double> dydt;
+  odes->table.evaluate(y, rates.values(), 0.0, dydt);
+  EXPECT_DOUBLE_EQ(dydt[0], -6.0);
+  EXPECT_DOUBLE_EQ(dydt[1], 6.0);
+}
+
+TEST(EquationGenerator, MassConservationClosedSystem) {
+  // In A <-> B <-> C with conservation of total mass, sum of RHS is zero.
+  ReactionNetwork net = make_network(3);
+  net.reactions.push_back(make_reaction({0}, {1}, "k1"));
+  net.reactions.push_back(make_reaction({1}, {0}, "k2"));
+  net.reactions.push_back(make_reaction({1}, {2}, "k3"));
+  net.reactions.push_back(make_reaction({2}, {1}, "k4"));
+  rcip::RateTable rates;
+  rates.add("k1", 1.0);
+  rates.add("k2", 2.0);
+  rates.add("k3", 3.0);
+  rates.add("k4", 4.0);
+  auto odes = generate_odes(net, rates);
+  ASSERT_TRUE(odes.is_ok());
+  std::vector<double> y = {1.0, 2.0, 3.0};
+  std::vector<double> dydt;
+  odes->table.evaluate(y, rates.values(), 0.0, dydt);
+  EXPECT_NEAR(dydt[0] + dydt[1] + dydt[2], 0.0, 1e-12);
+}
+
+TEST(EquationGenerator, OperationCountsMatchStructure) {
+  // dA/dt = -k*A (0 muls? k*A = 1 mul), dB/dt = k*A: total 2 muls, 0 adds.
+  ReactionNetwork net = make_network(2);
+  net.reactions.push_back(make_reaction({0}, {1}, "k"));
+  rcip::RateTable rates;
+  rates.add("k", 1.0);
+  auto odes = generate_odes(net, rates);
+  ASSERT_TRUE(odes.is_ok());
+  EXPECT_EQ(odes->table.multiply_count(), 2u);
+  EXPECT_EQ(odes->table.add_sub_count(), 0u);
+}
+
+TEST(EquationGenerator, ToStringNamesSpecies) {
+  ReactionNetwork net = make_network(2);
+  net.reactions.push_back(make_reaction({0}, {1}, "k"));
+  rcip::RateTable rates;
+  rates.add("k", 1.0);
+  auto odes = generate_odes(net, rates);
+  ASSERT_TRUE(odes.is_ok());
+  const std::string text = odes->to_string();
+  EXPECT_NE(text.find("dA/dt = -y0*k0;"), std::string::npos);
+  EXPECT_NE(text.find("dB/dt = y0*k0;"), std::string::npos);
+}
+
+TEST(EquationGenerator, EndToEndFromRdl) {
+  auto model = rdl::compile_rdl(
+      "species A = \"CS\";\n"
+      "init A = 1.0;\n"
+      "const K_A = 0.25;\n"
+      "rule scission { site c: C; site s: S; bond c s 1; disconnect c s;\n"
+      "                rate K_A; }\n");
+  ASSERT_TRUE(model.is_ok());
+  auto net = network::generate_network(*model);
+  ASSERT_TRUE(net.is_ok());
+  auto rates = rcip::process_rate_constants(*model, *net);
+  ASSERT_TRUE(rates.is_ok());
+  auto odes = generate_odes(*net, *rates);
+  ASSERT_TRUE(odes.is_ok());
+  ASSERT_EQ(odes->table.size(), 3u);
+  // d[A]/dt = -K_A*[A]; products gain +K_A*[A].
+  std::vector<double> y = {1.0, 0.0, 0.0};
+  std::vector<double> dydt;
+  odes->table.evaluate(y, odes->rates.values(), 0.0, dydt);
+  EXPECT_DOUBLE_EQ(dydt[0], -0.25);
+  EXPECT_DOUBLE_EQ(dydt[1], 0.25);
+  EXPECT_DOUBLE_EQ(dydt[2], 0.25);
+  EXPECT_DOUBLE_EQ(odes->init_concentrations[0], 1.0);
+}
+
+}  // namespace
+}  // namespace rms::odegen

@@ -1,0 +1,178 @@
+// Golden tests reproducing the paper's worked figures and examples:
+//   Fig. 3: the intermediate reaction network
+//   Fig. 4: the initial per-term ODEs
+//   Fig. 5: the merged final ODEs
+//   §3.1:   equation simplification
+//   §3.2:   the distributive optimization example (Eq. 1 -> 3)
+//   §3.3:   the CSE example with shared prefix sums
+// plus the end-to-end suite test over the whole pipeline.
+#include <gtest/gtest.h>
+
+#include "chem/smiles.hpp"
+#include "odegen/equation_table.hpp"
+#include "opt/cse.hpp"
+#include "opt/distopt.hpp"
+#include "rms/suite.hpp"
+
+namespace rms {
+namespace {
+
+using expr::Product;
+using expr::VarId;
+using network::Reaction;
+using network::ReactionNetwork;
+using network::SpeciesId;
+
+/// The Fig. 3 network, built directly:
+///   1. - A + B + B \ [K_A];
+///   2. - C - D + E \ [K_CD];
+ReactionNetwork figure3_network() {
+  ReactionNetwork net;
+  const SpeciesId a = net.species.add_symbolic("A");
+  const SpeciesId b = net.species.add_symbolic("B");
+  const SpeciesId c = net.species.add_symbolic("C");
+  const SpeciesId d = net.species.add_symbolic("D");
+  const SpeciesId e = net.species.add_symbolic("E");
+  Reaction r1;
+  r1.reactants.push_back(a);
+  r1.products.push_back(b);
+  r1.products.push_back(b);
+  r1.rate_name = "K_A";
+  Reaction r2;
+  r2.reactants.push_back(c);
+  r2.reactants.push_back(d);
+  r2.products.push_back(e);
+  r2.rate_name = "K_CD";
+  net.reactions.push_back(r1);
+  net.reactions.push_back(r2);
+  return net;
+}
+
+rcip::RateTable figure3_rates() {
+  rcip::RateTable rates;
+  rates.add("K_A", 0.7);
+  rates.add("K_CD", 0.3);
+  return rates;
+}
+
+TEST(PaperFigure3, NetworkRendering) {
+  ReactionNetwork net = figure3_network();
+  const std::string text = net.to_string();
+  EXPECT_EQ(text,
+            "- A + B + B \\ [K_A];\n"
+            "- C - D + E \\ [K_CD];\n");
+}
+
+TEST(PaperFigure5, MergedOdes) {
+  // Fig. 5 keeps dB/dt as two identical +K_A*A terms (merging happens in
+  // §3.1); our raw mode reproduces exactly that.
+  auto odes = odegen::generate_odes(figure3_network(), figure3_rates(),
+                                    odegen::OdeGenOptions{false});
+  ASSERT_TRUE(odes.is_ok());
+  // Species order: A B C D E => y0..y4; K_A = k0, K_CD = k1.
+  EXPECT_EQ(odes->to_string(),
+            "dA/dt = -y0*k0;\n"
+            "dB/dt = y0*k0 + y0*k0;\n"
+            "dC/dt = -y2*y3*k1;\n"
+            "dD/dt = -y2*y3*k1;\n"
+            "dE/dt = y2*y3*k1;\n");
+}
+
+TEST(PaperSection31, SimplificationMergesLikeTerms) {
+  auto odes = odegen::generate_odes(figure3_network(), figure3_rates(),
+                                    odegen::OdeGenOptions{true});
+  ASSERT_TRUE(odes.is_ok());
+  EXPECT_EQ(odes->to_string(),
+            "dA/dt = -y0*k0;\n"
+            "dB/dt = 2*y0*k0;\n"
+            "dC/dt = -y2*y3*k1;\n"
+            "dD/dt = -y2*y3*k1;\n"
+            "dE/dt = y2*y3*k1;\n");
+}
+
+TEST(PaperSection32, DistributiveExample) {
+  // dA/dt = k1*B*C + k1*B*D + k1*E*F  ->  k1*(B*(C+D) + E*F)
+  // 6 multiplies + 2 adds  ->  3 multiplies + 2 adds.
+  expr::SumOfProducts equation;
+  const VarId B = VarId::species(1);
+  const VarId C = VarId::species(2);
+  const VarId D = VarId::species(3);
+  const VarId E = VarId::species(4);
+  const VarId F = VarId::species(5);
+  const VarId K1 = VarId::rate_const(0);
+  equation.add_combining(Product(1.0, {K1, B, C}));
+  equation.add_combining(Product(1.0, {K1, B, D}));
+  equation.add_combining(Product(1.0, {K1, E, F}));
+  ASSERT_EQ(equation.multiply_count(), 6u);
+  ASSERT_EQ(equation.add_sub_count(), 2u);
+  const expr::FactoredSum factored = opt::distributive_optimize(equation);
+  EXPECT_EQ(factored.multiply_count(), 3u);
+  EXPECT_EQ(factored.add_sub_count(), 2u);
+  EXPECT_EQ(factored.to_string(), "k0*(y1*(y2 + y3) + y4*y5)");
+}
+
+TEST(PaperSection33, CseTempsMatchExample) {
+  // The §3.3 example: temp[0] = A+B+C; temp[1] = temp[0]+D; equations use
+  // temp[1]*k1*E, temp[1]*k2*F, temp[0]*k3*G. (Covered structurally in
+  // test_opt; here we assert the emitted program text matches the paper's
+  // temp pattern end to end through the pipeline printer.)
+  const VarId A = VarId::species(0);
+  const VarId B = VarId::species(1);
+  const VarId C = VarId::species(2);
+  const VarId D = VarId::species(3);
+  const VarId E = VarId::species(4);
+  const VarId F = VarId::species(5);
+  const VarId G = VarId::species(6);
+  auto sum_of = [](std::initializer_list<VarId> vars) {
+    expr::FactoredSum s;
+    for (VarId v : vars) {
+      expr::FactoredTerm t;
+      t.factors.push_back(v);
+      s.terms().push_back(std::move(t));
+    }
+    return s;
+  };
+  auto wrap = [](expr::FactoredSum inner, VarId k, VarId x) {
+    expr::FactoredSum out;
+    expr::FactoredTerm t;
+    t.factors.push_back(k);
+    t.factors.push_back(x);
+    t.sub = std::make_unique<expr::FactoredSum>(std::move(inner));
+    out.terms().push_back(std::move(t));
+    return out;
+  };
+  std::vector<expr::FactoredSum> equations;
+  equations.push_back(wrap(sum_of({A, B, C, D}), VarId::rate_const(0), E));
+  equations.push_back(wrap(sum_of({A, B, C, D}), VarId::rate_const(1), F));
+  equations.push_back(wrap(sum_of({A, B, C}), VarId::rate_const(2), G));
+  opt::OptimizedSystem system = opt::build_optimized_system(equations, 7, 3);
+  const std::string text = system.to_string();
+  EXPECT_NE(text.find("temp0 = y0 + y1 + y2;"), std::string::npos) << text;
+  EXPECT_NE(text.find("temp1 = temp0 + y3;"), std::string::npos) << text;
+}
+
+TEST(PaperPipeline, EndToEndSuiteCompile) {
+  // A miniature rubber chemistry through the public facade: species,
+  // variants, rules, forbidden form, init concentrations.
+  const char* source =
+      "species P(n = 2..4) = \"[RH3]S{n}[RH3]\";\n"
+      "species RH = \"[RH4]\";\n"
+      "init P_4 = 0.1;\n"
+      "init RH = 1.0;\n"
+      "const k_cut = 0.5;\n"
+      "const k_h = 2 * k_cut;\n"
+      "rule cut { site a: S; site b: S; bond a b 1; disconnect a b;\n"
+      "           rate k_cut; }\n"
+      "rule grab { site s: S where radical; site r: R where h >= 1;\n"
+      "            remove_h r; add_h s; rate k_h; }\n";
+  auto built = Suite::compile(source);
+  ASSERT_TRUE(built.is_ok()) << built.status().to_string();
+  EXPECT_GT(built->network.species.size(), 5u);
+  EXPECT_GT(built->network.reactions.size(), 2u);
+  EXPECT_GT(built->report.before.total(), built->report.after.total());
+  EXPECT_GT(built->program_optimized.code.size(), 0u);
+  EXPECT_STREQ(Suite::version(), "1.0.0");
+}
+
+}  // namespace
+}  // namespace rms

@@ -1,0 +1,282 @@
+// Tests for the parallel runtime: MiniMpi collectives, block/LPT schedules
+// (the paper's §4.4 dynamic load balancer), and the SimCluster replay model.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "parallel/minimpi.hpp"
+#include "parallel/schedule.hpp"
+#include "parallel/sim_cluster.hpp"
+#include "support/rng.hpp"
+
+namespace rms::parallel {
+namespace {
+
+TEST(MiniMpi, RankAndSize) {
+  std::atomic<int> rank_sum{0};
+  run_parallel(4, [&](Communicator& comm) {
+    EXPECT_EQ(comm.size(), 4);
+    rank_sum += comm.rank();
+  });
+  EXPECT_EQ(rank_sum.load(), 0 + 1 + 2 + 3);
+}
+
+TEST(MiniMpi, AllReduceSumVector) {
+  run_parallel(4, [&](Communicator& comm) {
+    std::vector<double> v = {static_cast<double>(comm.rank()), 1.0};
+    comm.all_reduce_sum(v);
+    EXPECT_DOUBLE_EQ(v[0], 6.0);  // 0+1+2+3
+    EXPECT_DOUBLE_EQ(v[1], 4.0);
+  });
+}
+
+TEST(MiniMpi, AllReduceScalarRepeated) {
+  // Successive collectives must not interfere.
+  run_parallel(3, [&](Communicator& comm) {
+    for (int round = 1; round <= 10; ++round) {
+      const double sum = comm.all_reduce_sum(static_cast<double>(round));
+      EXPECT_DOUBLE_EQ(sum, 3.0 * round);
+    }
+  });
+}
+
+TEST(MiniMpi, AllReduceMax) {
+  run_parallel(4, [&](Communicator& comm) {
+    std::vector<double> v = {static_cast<double>(comm.rank())};
+    comm.all_reduce_max(v);
+    EXPECT_DOUBLE_EQ(v[0], 3.0);
+  });
+}
+
+TEST(MiniMpi, Broadcast) {
+  run_parallel(4, [&](Communicator& comm) {
+    std::vector<double> v;
+    if (comm.rank() == 2) v = {7.0, 8.0};
+    comm.broadcast(v, 2);
+    ASSERT_EQ(v.size(), 2u);
+    EXPECT_DOUBLE_EQ(v[0], 7.0);
+  });
+}
+
+TEST(MiniMpi, PointToPointRing) {
+  run_parallel(4, [&](Communicator& comm) {
+    const int next = (comm.rank() + 1) % comm.size();
+    const int prev = (comm.rank() + comm.size() - 1) % comm.size();
+    comm.send(next, 0, {static_cast<double>(comm.rank())});
+    std::vector<double> got = comm.recv(prev, 0);
+    ASSERT_EQ(got.size(), 1u);
+    EXPECT_DOUBLE_EQ(got[0], static_cast<double>(prev));
+  });
+}
+
+TEST(MiniMpi, BarrierOrdersPhases) {
+  std::atomic<int> phase_one{0};
+  std::atomic<bool> violated{false};
+  run_parallel(4, [&](Communicator& comm) {
+    ++phase_one;
+    comm.barrier();
+    if (phase_one.load() != 4) violated = true;
+  });
+  EXPECT_FALSE(violated.load());
+}
+
+TEST(MiniMpi, SingleRankDegenerate) {
+  run_parallel(1, [&](Communicator& comm) {
+    EXPECT_EQ(comm.size(), 1);
+    std::vector<double> v = {5.0};
+    comm.all_reduce_sum(v);
+    EXPECT_DOUBLE_EQ(v[0], 5.0);
+  });
+}
+
+TEST(MiniMpi, StressManyRanksMixedCollectives) {
+  // Randomized sequences of mixed collectives across 8 ranks: every rank
+  // must observe identical reduction results in every round. Exercises the
+  // generation bookkeeping of back-to-back collectives.
+  const int ranks = 8;
+  const int rounds = 40;
+  std::vector<std::vector<double>> sums(ranks);
+  run_parallel(ranks, [&](Communicator& comm) {
+    support::Xoshiro256 rng(99);  // same stream on every rank
+    for (int round = 0; round < rounds; ++round) {
+      const int which = static_cast<int>(rng.below(3));
+      if (which == 0) {
+        std::vector<double> v(3, static_cast<double>(comm.rank() + round));
+        comm.all_reduce_sum(v);
+        sums[comm.rank()].push_back(v[0]);
+      } else if (which == 1) {
+        std::vector<double> v = {static_cast<double>(comm.rank())};
+        comm.all_reduce_max(v);
+        sums[comm.rank()].push_back(v[0]);
+      } else {
+        comm.barrier();
+        sums[comm.rank()].push_back(-1.0);
+      }
+    }
+  });
+  for (int r = 1; r < ranks; ++r) {
+    EXPECT_EQ(sums[r], sums[0]) << "rank " << r << " diverged";
+  }
+}
+
+TEST(MiniMpi, PointToPointManyMessages) {
+  // Rank 0 fans out 50 tagged messages per peer; peers echo them back.
+  run_parallel(4, [&](Communicator& comm) {
+    if (comm.rank() == 0) {
+      for (int peer = 1; peer < comm.size(); ++peer) {
+        for (int m = 0; m < 50; ++m) {
+          comm.send(peer, m, {static_cast<double>(peer * 1000 + m)});
+        }
+      }
+      for (int peer = 1; peer < comm.size(); ++peer) {
+        for (int m = 0; m < 50; ++m) {
+          auto echoed = comm.recv(peer, m);
+          ASSERT_EQ(echoed.size(), 1u);
+          EXPECT_DOUBLE_EQ(echoed[0], peer * 1000 + m + 0.5);
+        }
+      }
+    } else {
+      for (int m = 0; m < 50; ++m) {
+        auto got = comm.recv(0, m);
+        comm.send(0, m, {got[0] + 0.5});
+      }
+    }
+  });
+}
+
+TEST(Schedule, BlockDistributionCoversAllTasks) {
+  const Assignment a = block_schedule(16, 4);
+  ASSERT_EQ(a.size(), 16u);
+  std::vector<int> counts(4, 0);
+  for (int r : a) {
+    ASSERT_GE(r, 0);
+    ASSERT_LT(r, 4);
+    ++counts[r];
+  }
+  for (int c : counts) EXPECT_EQ(c, 4);
+}
+
+TEST(Schedule, BlockHandlesUnevenDivision) {
+  const Assignment a = block_schedule(10, 4);
+  std::vector<int> counts(4, 0);
+  for (int r : a) ++counts[r];
+  // ceil(10/4)=3: 3,3,3,1.
+  EXPECT_EQ(counts[0], 3);
+  EXPECT_EQ(counts[3], 1);
+}
+
+TEST(Schedule, LptSingleRankTakesEverything) {
+  const std::vector<double> costs = {3, 1, 2};
+  const Assignment a = lpt_schedule(costs, 1);
+  for (int r : a) EXPECT_EQ(r, 0);
+  EXPECT_DOUBLE_EQ(makespan(costs, a, 1), 6.0);
+}
+
+TEST(Schedule, LptBalancesKnownExample) {
+  // Costs {5,4,3,3,3} on 2 ranks: LPT assigns 5|4, 3->rank1 (7), 3->rank0
+  // (8), 3->rank1 (10). The optimum is 9 ({5,4} | {3,3,3}); LPT's makespan
+  // of 10 sits inside its (4/3 - 1/(3m)) guarantee — the classic
+  // tight-ish example.
+  const std::vector<double> costs = {5, 4, 3, 3, 3};
+  const Assignment a = lpt_schedule(costs, 2);
+  EXPECT_DOUBLE_EQ(makespan(costs, a, 2), 10.0);
+}
+
+TEST(Schedule, LptBeatsBlockOnAverageRandomLoads) {
+  // LPT is a heuristic, not a pointwise winner (the paper's own Table 2 has
+  // the load-balanced 8-node run slower than the block run); but across
+  // random loads it must win decisively on average and never violate its
+  // approximation bound.
+  support::Xoshiro256 rng(42);
+  int lpt_wins_or_ties = 0;
+  int trials = 0;
+  double block_total = 0.0;
+  double lpt_total = 0.0;
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<double> costs(16);
+    for (double& c : costs) c = rng.uniform(0.5, 4.0);
+    for (int ranks : {2, 4, 8}) {
+      const double block = makespan(costs, block_schedule(16, ranks), ranks);
+      const double lpt = makespan(costs, lpt_schedule(costs, ranks), ranks);
+      block_total += block;
+      lpt_total += lpt;
+      ++trials;
+      if (lpt <= block + 1e-12) ++lpt_wins_or_ties;
+    }
+  }
+  EXPECT_LT(lpt_total, block_total);
+  EXPECT_GT(lpt_wins_or_ties, trials * 3 / 4);
+}
+
+TEST(Schedule, LptWithinGuaranteedBound) {
+  // LPT is a (4/3 - 1/(3m))-approximation of the optimal makespan; the
+  // optimum is at least max(total/m, max_cost).
+  support::Xoshiro256 rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> costs(12);
+    for (double& c : costs) c = rng.uniform(0.1, 5.0);
+    const int m = 4;
+    const double lpt = makespan(costs, lpt_schedule(costs, m), m);
+    const double total = std::accumulate(costs.begin(), costs.end(), 0.0);
+    const double lower =
+        std::max(total / m, *std::max_element(costs.begin(), costs.end()));
+    EXPECT_LE(lpt, lower * (4.0 / 3.0 - 1.0 / (3.0 * m)) + 1e-9);
+  }
+}
+
+TEST(SimCluster, PerfectBalanceGivesLinearSpeedup) {
+  SimCluster cluster;
+  std::vector<double> costs(16, 1.0);  // equal files
+  for (int ranks : {1, 2, 4, 8, 16}) {
+    const SimResult r = cluster.run_block(costs, ranks);
+    EXPECT_NEAR(r.speedup, ranks, 1e-9) << ranks;
+    EXPECT_NEAR(r.efficiency, 1.0, 1e-9);
+  }
+}
+
+TEST(SimCluster, ImbalanceCapsSpeedupAtSixteenRanks) {
+  // One file per rank at 16 ranks: speedup = total / max, strictly below 16
+  // when costs differ — the Table 2 knee.
+  std::vector<double> costs = {1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0,
+                               1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.4};
+  SimCluster cluster;
+  const SimResult r = cluster.run_block(costs, 16);
+  EXPECT_LT(r.speedup, 16.0);
+  EXPECT_GT(r.speedup, 10.0);
+  // With one task per rank, LPT cannot help: identical makespan.
+  const SimResult lpt = cluster.run_lpt(costs, 16);
+  EXPECT_DOUBLE_EQ(lpt.total_time, r.total_time);
+}
+
+TEST(SimCluster, LptBeatsBlockOnImbalancedFiles) {
+  // Costs arranged so the block split is bad at 4 ranks.
+  std::vector<double> costs = {4, 4, 4, 4, 1, 1, 1, 1,
+                               1, 1, 1, 1, 1, 1, 1, 1};
+  SimCluster cluster;
+  const SimResult block = cluster.run_block(costs, 4);
+  const SimResult lpt = cluster.run_lpt(costs, 4);
+  EXPECT_LT(lpt.total_time, block.total_time);
+  EXPECT_GT(lpt.speedup, block.speedup);
+}
+
+TEST(SimCluster, CommunicationOverheadReducesSpeedup) {
+  std::vector<double> costs(16, 1.0);
+  SimClusterOptions options;
+  options.allreduce_overhead = 0.05;
+  SimCluster with_comm(options);
+  SimCluster no_comm;
+  const SimResult a = with_comm.run_block(costs, 8);
+  const SimResult b = no_comm.run_block(costs, 8);
+  EXPECT_LT(a.speedup, b.speedup);
+}
+
+TEST(SimCluster, SingleRankSpeedupIsOne) {
+  std::vector<double> costs = {2, 3, 4};
+  SimCluster cluster;
+  const SimResult r = cluster.run_block(costs, 1);
+  EXPECT_NEAR(r.speedup, 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace rms::parallel

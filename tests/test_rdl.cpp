@@ -1,0 +1,266 @@
+// Tests for the RDL front end: lexer, parser, semantic analysis, variant
+// expansion.
+#include <gtest/gtest.h>
+
+#include "rdl/lexer.hpp"
+#include "rdl/parser.hpp"
+#include "rdl/sema.hpp"
+
+namespace rms::rdl {
+namespace {
+
+TEST(Lexer, TokenizesAllCategories) {
+  auto tokens = tokenize(
+      "species A = \"CS\"; const k = 1.5e-3; rule r { site a: S; rate k; } "
+      "# comment\n forbid \"S\"; 1..8 >= <= ==");
+  ASSERT_TRUE(tokens.is_ok()) << tokens.status().to_string();
+  const auto& t = *tokens;
+  EXPECT_EQ(t[0].kind, TokenKind::kSpecies);
+  EXPECT_EQ(t[1].kind, TokenKind::kIdent);
+  EXPECT_EQ(t[1].text, "A");
+  EXPECT_EQ(t[2].kind, TokenKind::kAssign);
+  EXPECT_EQ(t[3].kind, TokenKind::kString);
+  EXPECT_EQ(t[3].text, "CS");
+  EXPECT_EQ(t.back().kind, TokenKind::kEof);
+}
+
+TEST(Lexer, NumbersIncludingScientific) {
+  auto tokens = tokenize("1.5 2e3 0.25 7");
+  ASSERT_TRUE(tokens.is_ok());
+  EXPECT_DOUBLE_EQ((*tokens)[0].number, 1.5);
+  EXPECT_DOUBLE_EQ((*tokens)[1].number, 2000.0);
+  EXPECT_DOUBLE_EQ((*tokens)[2].number, 0.25);
+  EXPECT_DOUBLE_EQ((*tokens)[3].number, 7.0);
+}
+
+TEST(Lexer, RangeDoesNotEatNumberDots) {
+  auto tokens = tokenize("1..8");
+  ASSERT_TRUE(tokens.is_ok());
+  ASSERT_EQ(tokens->size(), 4u);  // 1, .., 8, EOF
+  EXPECT_EQ((*tokens)[1].kind, TokenKind::kDotDot);
+}
+
+TEST(Lexer, ReportsLocation) {
+  auto tokens = tokenize("species\n  badchar @");
+  ASSERT_FALSE(tokens.is_ok());
+  EXPECT_NE(tokens.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(Lexer, UnterminatedString) {
+  EXPECT_FALSE(tokenize("species A = \"CS").is_ok());
+}
+
+TEST(Parser, SpeciesAndConst) {
+  auto program = parse_program(
+      "species MBT = \"CS\";\n"
+      "const k1 = 2.5;\n"
+      "const k2 = k1 * 2 + 1;\n");
+  ASSERT_TRUE(program.is_ok()) << program.status().to_string();
+  EXPECT_EQ(program->species.size(), 1u);
+  EXPECT_EQ(program->constants.size(), 2u);
+  EXPECT_EQ(program->species[0].name, "MBT");
+  EXPECT_FALSE(program->species[0].variant.has_value());
+}
+
+TEST(Parser, SpeciesVariantRange) {
+  auto program = parse_program("species Ax(n = 1..8) = \"[R]S{n}[R]\";");
+  ASSERT_TRUE(program.is_ok()) << program.status().to_string();
+  ASSERT_TRUE(program->species[0].variant.has_value());
+  EXPECT_EQ(program->species[0].variant->parameter, "n");
+  EXPECT_EQ(program->species[0].variant->lo, 1);
+  EXPECT_EQ(program->species[0].variant->hi, 8);
+}
+
+TEST(Parser, RejectsBadVariantRange) {
+  EXPECT_FALSE(parse_program("species A(n = 0..3) = \"C\";").is_ok());
+  EXPECT_FALSE(parse_program("species A(n = 5..3) = \"C\";").is_ok());
+}
+
+TEST(Parser, FullRule) {
+  auto program = parse_program(
+      "const k = 1;\n"
+      "rule scission {\n"
+      "  site a: S where depth >= 3;\n"
+      "  site b: S where depth >= 3, radical;\n"
+      "  bond a b 1;\n"
+      "  disconnect a b;\n"
+      "  rate k;\n"
+      "}\n");
+  ASSERT_TRUE(program.is_ok()) << program.status().to_string();
+  const RuleDecl& rule = program->rules[0];
+  EXPECT_EQ(rule.sites.size(), 2u);
+  EXPECT_EQ(rule.bonds.size(), 1u);
+  EXPECT_EQ(rule.actions.size(), 1u);
+  EXPECT_EQ(rule.rate_name, "k");
+  EXPECT_EQ(rule.sites[0].constraints.size(), 1u);
+  EXPECT_EQ(rule.sites[1].constraints.size(), 2u);
+}
+
+TEST(Parser, WildcardSite) {
+  auto program = parse_program(
+      "const k = 1; rule r { site a: *; remove_h a; rate k; }");
+  ASSERT_TRUE(program.is_ok()) << program.status().to_string();
+  EXPECT_EQ(program->rules[0].sites[0].element, "*");
+}
+
+TEST(Parser, RejectsRuleWithoutRate) {
+  EXPECT_FALSE(
+      parse_program("rule r { site a: S; remove_h a; }").is_ok());
+}
+
+TEST(Parser, RejectsRuleWithoutActions) {
+  EXPECT_FALSE(parse_program("const k=1; rule r { site a: S; rate k; }").is_ok());
+}
+
+TEST(Parser, RejectsUnknownClause) {
+  EXPECT_FALSE(
+      parse_program("const k=1; rule r { bogus a; rate k; }").is_ok());
+}
+
+TEST(Parser, ConstExpressionPrecedence) {
+  auto program = parse_program("const a = 2; const b = a + 3 * 4;");
+  ASSERT_TRUE(program.is_ok());
+  auto model = analyze(*program);
+  ASSERT_TRUE(model.is_ok()) << model.status().to_string();
+  EXPECT_DOUBLE_EQ(model->constant_value("b"), 14.0);
+}
+
+TEST(Parser, ParenthesesAndNegation) {
+  auto model = compile_rdl("const a = -(2 + 3) * 2;");
+  ASSERT_TRUE(model.is_ok());
+  EXPECT_DOUBLE_EQ(model->constant_value("a"), -10.0);
+}
+
+TEST(Parser, Division) {
+  auto model = compile_rdl("const a = 7 / 2;");
+  ASSERT_TRUE(model.is_ok());
+  EXPECT_DOUBLE_EQ(model->constant_value("a"), 3.5);
+}
+
+TEST(Sema, DivisionByZeroRejected) {
+  EXPECT_FALSE(compile_rdl("const a = 1 / 0;").is_ok());
+}
+
+TEST(Sema, UndefinedConstantReference) {
+  auto result = compile_rdl("const a = b + 1;");
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_NE(result.status().message().find("before use"), std::string::npos);
+}
+
+TEST(Sema, RedefinedConstantRejected) {
+  EXPECT_FALSE(compile_rdl("const a = 1; const a = 2;").is_ok());
+}
+
+TEST(TemplateExpansion, RepeatsBareElement) {
+  auto s = expand_template("[R]S{n}[R]", "n", 4);
+  ASSERT_TRUE(s.is_ok());
+  EXPECT_EQ(*s, "[R]SSSS[R]");
+}
+
+TEST(TemplateExpansion, SingleCopyForOne) {
+  auto s = expand_template("CS{n}C", "n", 1);
+  ASSERT_TRUE(s.is_ok());
+  EXPECT_EQ(*s, "CSC");
+}
+
+TEST(TemplateExpansion, RepeatsBracketAtom) {
+  auto s = expand_template("C[SH]{n}C", "n", 3);
+  ASSERT_TRUE(s.is_ok());
+  EXPECT_EQ(*s, "C[SH][SH][SH]C");
+}
+
+TEST(TemplateExpansion, RepeatsTwoLetterElement) {
+  auto s = expand_template("CCl{n}", "n", 2);
+  ASSERT_TRUE(s.is_ok());
+  EXPECT_EQ(*s, "CClCl");
+}
+
+TEST(TemplateExpansion, RejectsPlaceholderWithoutAtom) {
+  EXPECT_FALSE(expand_template("{n}CC", "n", 2).is_ok());
+  EXPECT_FALSE(expand_template("C({n})", "n", 2).is_ok());
+}
+
+TEST(TemplateExpansion, RejectsUnknownPlaceholder) {
+  EXPECT_FALSE(expand_template("CS{m}C", "n", 2).is_ok());
+}
+
+TEST(Sema, VariantFamilyExpandsToDistinctSpecies) {
+  auto model = compile_rdl("species Px(n = 1..5) = \"CS{n}C\";");
+  ASSERT_TRUE(model.is_ok()) << model.status().to_string();
+  EXPECT_EQ(model->species.size(), 5u);
+  EXPECT_EQ(model->species[0].name, "Px_1");
+  EXPECT_EQ(model->species[4].name, "Px_5");
+  EXPECT_EQ(model->species[2].variant_value, 3);
+  // Chain lengths really differ.
+  EXPECT_EQ(model->species[0].molecule.atom_count(), 3u);
+  EXPECT_EQ(model->species[4].molecule.atom_count(), 7u);
+}
+
+TEST(Sema, StructurallyIdenticalSpeciesRejected) {
+  EXPECT_FALSE(
+      compile_rdl("species A = \"CCO\"; species B = \"OCC\";").is_ok());
+}
+
+TEST(Sema, InitAppliesToVariantFamilyOrInstance) {
+  auto model = compile_rdl(
+      "species Px(n = 1..3) = \"CS{n}C\";\n"
+      "species A = \"CC\";\n"
+      "init Px = 2.5;\n"
+      "init A = 1.0;\n");
+  ASSERT_TRUE(model.is_ok()) << model.status().to_string();
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(model->species[i].init_concentration, 2.5);
+  }
+  EXPECT_DOUBLE_EQ(model->find_species("A")->init_concentration, 1.0);
+
+  auto model2 = compile_rdl(
+      "species Px(n = 1..3) = \"CS{n}C\"; init Px_2 = 9.0;");
+  ASSERT_TRUE(model2.is_ok());
+  EXPECT_DOUBLE_EQ(model2->find_species("Px_2")->init_concentration, 9.0);
+  EXPECT_DOUBLE_EQ(model2->find_species("Px_1")->init_concentration, 0.0);
+}
+
+TEST(Sema, InitUnknownSpeciesRejected) {
+  EXPECT_FALSE(compile_rdl("species A = \"C\"; init B = 1;").is_ok());
+}
+
+TEST(Sema, RuleUndefinedRateRejected) {
+  auto result = compile_rdl(
+      "species A = \"CS\";\n"
+      "rule r { site a: S; remove_h a; rate nope; }\n");
+  EXPECT_FALSE(result.is_ok());
+}
+
+TEST(Sema, RuleUnknownSiteInActionRejected) {
+  EXPECT_FALSE(compile_rdl("const k=1; rule r { site a: S; remove_h b; rate k; }")
+                   .is_ok());
+}
+
+TEST(Sema, RuleUnknownElementRejected) {
+  EXPECT_FALSE(
+      compile_rdl("const k=1; rule r { site a: Qq; remove_h a; rate k; }")
+          .is_ok());
+}
+
+TEST(Sema, MolecularityComputedFromPatternComponents) {
+  auto model = compile_rdl(
+      "const k = 1;\n"
+      "rule uni { site a: S; site b: S; bond a b; disconnect a b; rate k; }\n"
+      "rule bi  { site a: S where radical; site b: C where radical;\n"
+      "           connect a b; rate k; }\n");
+  ASSERT_TRUE(model.is_ok()) << model.status().to_string();
+  EXPECT_EQ(model->rules[0].molecularity, 1);
+  EXPECT_EQ(model->rules[1].molecularity, 2);
+}
+
+TEST(Sema, ForbidParsesAndCanonicalizes) {
+  auto model = compile_rdl("forbid \"OCC\";");
+  ASSERT_TRUE(model.is_ok());
+  ASSERT_EQ(model->forbidden_canonical.size(), 1u);
+  // Canonical form equals that of any equivalent writing.
+  auto model2 = compile_rdl("forbid \"CCO\";");
+  EXPECT_EQ(model->forbidden_canonical[0], model2->forbidden_canonical[0]);
+}
+
+}  // namespace
+}  // namespace rms::rdl

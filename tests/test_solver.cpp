@@ -1,0 +1,312 @@
+// Numerical tests for the ODE solvers: exact-solution comparisons,
+// convergence behaviour, stiff problems, interpolated dense output, and the
+// Fornberg weight generator they are built on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "solver/adams_gear.hpp"
+#include "solver/fornberg.hpp"
+#include "solver/rk_verner.hpp"
+
+namespace rms::solver {
+namespace {
+
+TEST(Fornberg, FirstDerivativeOnUniformGrid) {
+  // Central difference weights on {-1, 0, 1} at 0: [-1/2, 0, 1/2].
+  const double x[] = {-1.0, 0.0, 1.0};
+  std::vector<double> w;
+  fornberg_weights(0.0, x, 3, 1, w);
+  EXPECT_NEAR(w[3 + 0], -0.5, 1e-14);
+  EXPECT_NEAR(w[3 + 1], 0.0, 1e-14);
+  EXPECT_NEAR(w[3 + 2], 0.5, 1e-14);
+  // Zeroth derivative at a node: delta.
+  EXPECT_NEAR(w[0], 0.0, 1e-14);
+  EXPECT_NEAR(w[1], 1.0, 1e-14);
+  EXPECT_NEAR(w[2], 0.0, 1e-14);
+}
+
+TEST(Fornberg, BackwardEulerWeights) {
+  // Nodes {t_n, t_{n-1}} = {1, 0}: derivative at 1 is y_n - y_{n-1} over h.
+  const double x[] = {1.0, 0.0};
+  std::vector<double> w;
+  fornberg_weights(1.0, x, 2, 1, w);
+  EXPECT_NEAR(w[2 + 0], 1.0, 1e-14);
+  EXPECT_NEAR(w[2 + 1], -1.0, 1e-14);
+}
+
+TEST(Fornberg, Bdf2WeightsOnUniformGrid) {
+  // BDF2: (3/2 y_n - 2 y_{n-1} + 1/2 y_{n-2}) / h.
+  const double x[] = {2.0, 1.0, 0.0};
+  std::vector<double> w;
+  fornberg_weights(2.0, x, 3, 1, w);
+  EXPECT_NEAR(w[3 + 0], 1.5, 1e-13);
+  EXPECT_NEAR(w[3 + 1], -2.0, 1e-13);
+  EXPECT_NEAR(w[3 + 2], 0.5, 1e-13);
+}
+
+TEST(Fornberg, InterpolatesPolynomialExactly) {
+  // Zeroth-derivative weights reproduce cubic interpolation exactly.
+  const double x[] = {0.0, 0.7, 1.9, 3.1};
+  auto f = [](double t) { return 2 + t - 3 * t * t + 0.5 * t * t * t; };
+  std::vector<double> w;
+  fornberg_weights(1.3, x, 4, 0, w);
+  double value = 0.0;
+  for (int i = 0; i < 4; ++i) value += w[i] * f(x[i]);
+  EXPECT_NEAR(value, f(1.3), 1e-12);
+}
+
+OdeSystem exponential_decay(double lambda) {
+  return OdeSystem{1, [lambda](double, const double* y, double* ydot) {
+                     ydot[0] = -lambda * y[0];
+                   }};
+}
+
+/// Harmonic oscillator y'' = -y as a 2-d system; exact solution cos/sin.
+OdeSystem oscillator() {
+  return OdeSystem{2, [](double, const double* y, double* ydot) {
+                     ydot[0] = y[1];
+                     ydot[1] = -y[0];
+                   }};
+}
+
+/// Classic stiff test (Prothero-Robinson-like): y' = -1000(y - cos t) - sin t,
+/// exact solution y = cos t for y(0) = 1.
+OdeSystem prothero_robinson() {
+  return OdeSystem{1, [](double t, const double* y, double* ydot) {
+                     ydot[0] = -1000.0 * (y[0] - std::cos(t)) - std::sin(t);
+                   }};
+}
+
+/// Robertson chemical kinetics: the canonical stiff chemistry benchmark.
+OdeSystem robertson() {
+  return OdeSystem{3, [](double, const double* y, double* ydot) {
+                     ydot[0] = -0.04 * y[0] + 1.0e4 * y[1] * y[2];
+                     ydot[2] = 3.0e7 * y[1] * y[1];
+                     ydot[1] = -ydot[0] - ydot[2];
+                   }};
+}
+
+class BothSolvers : public ::testing::TestWithParam<int> {
+ protected:
+  std::unique_ptr<OdeSolver> make(OdeSystem system,
+                                  IntegrationOptions options = {}) const {
+    if (GetParam() == 0) {
+      return std::make_unique<RungeKuttaVerner>(std::move(system), options);
+    }
+    return std::make_unique<AdamsGear>(std::move(system), options);
+  }
+};
+
+TEST_P(BothSolvers, ExponentialDecayExact) {
+  auto solver = make(exponential_decay(2.0));
+  ASSERT_TRUE(solver->initialize(0.0, {1.0}).is_ok());
+  std::vector<double> y;
+  auto status = solver->advance_to(1.0, y);
+  ASSERT_TRUE(status.is_ok()) << status.to_string();
+  EXPECT_NEAR(y[0], std::exp(-2.0), 5e-5);
+}
+
+TEST_P(BothSolvers, OscillatorPeriod) {
+  IntegrationOptions options;
+  options.relative_tolerance = 1e-8;
+  options.absolute_tolerance = 1e-10;
+  auto solver = make(oscillator(), options);
+  ASSERT_TRUE(solver->initialize(0.0, {1.0, 0.0}).is_ok());
+  std::vector<double> y;
+  const double two_pi = 2.0 * 3.14159265358979323846;
+  ASSERT_TRUE(solver->advance_to(two_pi, y).is_ok());
+  EXPECT_NEAR(y[0], 1.0, 2e-4);
+  EXPECT_NEAR(y[1], 0.0, 2e-4);
+}
+
+TEST_P(BothSolvers, DenseOutputMonotoneQueries) {
+  auto solver = make(exponential_decay(1.0));
+  ASSERT_TRUE(solver->initialize(0.0, {1.0}).is_ok());
+  std::vector<double> y;
+  for (int i = 1; i <= 50; ++i) {
+    const double t = 0.05 * i;
+    ASSERT_TRUE(solver->advance_to(t, y).is_ok());
+    EXPECT_NEAR(y[0], std::exp(-t), 2e-4) << t;
+  }
+}
+
+TEST_P(BothSolvers, RejectsBeforeInitialize) {
+  auto solver = make(exponential_decay(1.0));
+  std::vector<double> y;
+  EXPECT_FALSE(solver->advance_to(1.0, y).is_ok());
+}
+
+TEST_P(BothSolvers, RejectsDimensionMismatch) {
+  auto solver = make(exponential_decay(1.0));
+  EXPECT_FALSE(solver->initialize(0.0, {1.0, 2.0}).is_ok());
+}
+
+TEST_P(BothSolvers, ReinitializeRestarts) {
+  auto solver = make(exponential_decay(1.0));
+  ASSERT_TRUE(solver->initialize(0.0, {1.0}).is_ok());
+  std::vector<double> y;
+  ASSERT_TRUE(solver->advance_to(1.0, y).is_ok());
+  ASSERT_TRUE(solver->initialize(0.0, {2.0}).is_ok());
+  ASSERT_TRUE(solver->advance_to(1.0, y).is_ok());
+  EXPECT_NEAR(y[0], 2.0 * std::exp(-1.0), 1e-4);
+}
+
+TEST_P(BothSolvers, StatsAccumulate) {
+  auto solver = make(exponential_decay(1.0));
+  ASSERT_TRUE(solver->initialize(0.0, {1.0}).is_ok());
+  std::vector<double> y;
+  ASSERT_TRUE(solver->advance_to(1.0, y).is_ok());
+  EXPECT_GT(solver->stats().steps, 0u);
+  EXPECT_GT(solver->stats().rhs_evaluations, solver->stats().steps);
+}
+
+INSTANTIATE_TEST_SUITE_P(Methods, BothSolvers, ::testing::Values(0, 1),
+                         [](const auto& info) {
+                           return info.param == 0 ? "Verner" : "AdamsGear";
+                         });
+
+TEST(RungeKuttaVerner, ToleranceControlsError) {
+  // Tighter tolerance must give a smaller error on a nontrivial problem.
+  double errors[2];
+  const double tols[2] = {1e-4, 1e-9};
+  for (int i = 0; i < 2; ++i) {
+    IntegrationOptions options;
+    options.relative_tolerance = tols[i];
+    options.absolute_tolerance = tols[i] * 1e-2;
+    RungeKuttaVerner solver(oscillator(), options);
+    ASSERT_TRUE(solver.initialize(0.0, {1.0, 0.0}).is_ok());
+    std::vector<double> y;
+    ASSERT_TRUE(solver.advance_to(10.0, y).is_ok());
+    errors[i] = std::fabs(y[0] - std::cos(10.0));
+  }
+  EXPECT_LT(errors[1], errors[0]);
+}
+
+TEST(RungeKuttaVerner, SixthOrderAccuracyOnSmoothProblem) {
+  IntegrationOptions options;
+  options.relative_tolerance = 1e-10;
+  options.absolute_tolerance = 1e-12;
+  RungeKuttaVerner solver(exponential_decay(1.0), options);
+  ASSERT_TRUE(solver.initialize(0.0, {1.0}).is_ok());
+  std::vector<double> y;
+  ASSERT_TRUE(solver.advance_to(2.0, y).is_ok());
+  EXPECT_NEAR(y[0], std::exp(-2.0), 1e-9);
+}
+
+TEST(AdamsGear, StiffProtheroRobinson) {
+  IntegrationOptions options;
+  options.relative_tolerance = 1e-7;
+  options.absolute_tolerance = 1e-10;
+  AdamsGear solver(prothero_robinson(), options);
+  ASSERT_TRUE(solver.initialize(0.0, {1.0}).is_ok());
+  std::vector<double> y;
+  auto status = solver.advance_to(5.0, y);
+  ASSERT_TRUE(status.is_ok()) << status.to_string();
+  EXPECT_NEAR(y[0], std::cos(5.0), 1e-4);
+  // A stiff solver must take far fewer steps than an explicit method whose
+  // stability bound forces h ~ 2/1000.
+  EXPECT_LT(solver.stats().steps, 2000u);
+}
+
+TEST(AdamsGear, RobertsonKinetics) {
+  IntegrationOptions options;
+  options.relative_tolerance = 1e-6;
+  options.absolute_tolerance = 1e-10;
+  AdamsGear solver(robertson(), options);
+  ASSERT_TRUE(solver.initialize(0.0, {1.0, 0.0, 0.0}).is_ok());
+  std::vector<double> y;
+  auto status = solver.advance_to(100.0, y);
+  ASSERT_TRUE(status.is_ok()) << status.to_string();
+  // Reference values (well-established for the Robertson problem at t=100).
+  EXPECT_NEAR(y[0], 0.6172, 2e-3);
+  EXPECT_NEAR(y[1], 6.153e-6, 2e-6);
+  EXPECT_NEAR(y[2], 0.3828, 2e-3);
+  // Mass conservation.
+  EXPECT_NEAR(y[0] + y[1] + y[2], 1.0, 1e-6);
+}
+
+TEST(AdamsGear, OrderClimbsAboveOne) {
+  AdamsGear solver(exponential_decay(1.0));
+  ASSERT_TRUE(solver.initialize(0.0, {1.0}).is_ok());
+  std::vector<double> y;
+  ASSERT_TRUE(solver.advance_to(5.0, y).is_ok());
+  EXPECT_GT(solver.current_order(), 1);
+}
+
+TEST(AdamsGear, StiffnessEfficiencyVersusExplicit) {
+  // On a stiff problem the BDF solver needs dramatically fewer RHS
+  // evaluations than the explicit Verner method.
+  IntegrationOptions options;
+  options.relative_tolerance = 1e-6;
+  options.absolute_tolerance = 1e-9;
+  options.max_steps_per_call = 2'000'000;
+
+  AdamsGear gear(prothero_robinson(), options);
+  ASSERT_TRUE(gear.initialize(0.0, {1.0}).is_ok());
+  std::vector<double> y;
+  ASSERT_TRUE(gear.advance_to(10.0, y).is_ok());
+
+  RungeKuttaVerner rkv(prothero_robinson(), options);
+  ASSERT_TRUE(rkv.initialize(0.0, {1.0}).is_ok());
+  std::vector<double> y2;
+  ASSERT_TRUE(rkv.advance_to(10.0, y2).is_ok());
+
+  EXPECT_LT(gear.stats().rhs_evaluations, rkv.stats().rhs_evaluations / 2);
+}
+
+TEST(AdamsGear, JacobianReuse) {
+  AdamsGear solver(robertson());
+  ASSERT_TRUE(solver.initialize(0.0, {1.0, 0.0, 0.0}).is_ok());
+  std::vector<double> y;
+  ASSERT_TRUE(solver.advance_to(1.0, y).is_ok());
+  // Modified Newton: far fewer Jacobian evaluations than steps.
+  EXPECT_LT(solver.stats().jacobian_evaluations, solver.stats().steps);
+}
+
+// Property sweep: for both solvers, tightening the tolerance by 100x per
+// step must monotonically reduce the actual error on the oscillator.
+class ToleranceScaling
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(ToleranceScaling, ErrorTracksTolerance) {
+  const auto [method, exponent] = GetParam();
+  const double rtol = std::pow(10.0, -exponent);
+  IntegrationOptions options;
+  options.relative_tolerance = rtol;
+  options.absolute_tolerance = rtol * 1e-2;
+  std::unique_ptr<OdeSolver> solver;
+  if (method == 0) {
+    solver = std::make_unique<RungeKuttaVerner>(oscillator(), options);
+  } else {
+    solver = std::make_unique<AdamsGear>(oscillator(), options);
+  }
+  ASSERT_TRUE(solver->initialize(0.0, {1.0, 0.0}).is_ok());
+  std::vector<double> y;
+  ASSERT_TRUE(solver->advance_to(5.0, y).is_ok());
+  const double error = std::fabs(y[0] - std::cos(5.0));
+  // The realized error tracks the requested tolerance within a generous
+  // slack factor (local-vs-global error, order effects).
+  EXPECT_LT(error, rtol * 2e3) << "rtol=" << rtol;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ToleranceScaling,
+    ::testing::Combine(::testing::Values(0, 1), ::testing::Values(4, 6, 8)),
+    [](const auto& info) {
+      return std::string(std::get<0>(info.param) == 0 ? "Verner" : "Gear") +
+             "_rtol1em" + std::to_string(std::get<1>(info.param));
+    });
+
+TEST(ErrorNorm, WeightedRms) {
+  std::vector<double> error = {0.1, 0.2};
+  std::vector<double> y = {1.0, 1.0};
+  // scale = atol + rtol*|y| = 0.1 + 0.1 = ... with rtol=0.1, atol=0.1:
+  const double norm = error_norm(error, y, 0.1, 0.1);
+  // ratios: 0.5, 1.0 -> rms = sqrt((0.25 + 1)/2).
+  EXPECT_NEAR(norm, std::sqrt(0.625), 1e-12);
+}
+
+}  // namespace
+}  // namespace rms::solver

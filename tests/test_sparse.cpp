@@ -1,0 +1,210 @@
+// Tests for the sparse linear algebra (CSR + Gilbert-Peierls LU) and the
+// sparse-Jacobian Newton path of the Adams-Gear solver.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "codegen/jacobian.hpp"
+#include "linalg/lu.hpp"
+#include "linalg/sparse.hpp"
+#include "models/test_cases.hpp"
+#include "solver/adams_gear.hpp"
+#include "support/rng.hpp"
+#include "vm/interpreter.hpp"
+
+namespace rms::linalg {
+namespace {
+
+Matrix random_sparse_dense(std::size_t n, double density,
+                           support::Xoshiro256& rng) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (rng.uniform() < density) m(i, j) = rng.uniform(-1.0, 1.0);
+    }
+    m(i, i) += 4.0;  // diagonally dominant: nonsingular
+  }
+  return m;
+}
+
+TEST(CsrMatrix, FromDenseRoundTrip) {
+  Matrix dense(3, 3);
+  dense(0, 0) = 1.0;
+  dense(0, 2) = 2.0;
+  dense(1, 1) = 3.0;
+  dense(2, 0) = -4.0;
+  CsrMatrix sparse = CsrMatrix::from_dense(dense);
+  EXPECT_EQ(sparse.nonzero_count(), 4u);
+  Matrix back = sparse.to_dense();
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      EXPECT_DOUBLE_EQ(back(i, j), dense(i, j));
+    }
+  }
+}
+
+TEST(CsrMatrix, MultiplyMatchesDense) {
+  support::Xoshiro256 rng(1);
+  Matrix dense = random_sparse_dense(12, 0.2, rng);
+  CsrMatrix sparse = CsrMatrix::from_dense(dense);
+  Vector x(12);
+  for (double& v : x) v = rng.uniform(-1.0, 1.0);
+  Vector y_dense;
+  Vector y_sparse;
+  dense.multiply(x, y_dense);
+  sparse.multiply(x, y_sparse);
+  for (std::size_t i = 0; i < 12; ++i) {
+    EXPECT_NEAR(y_sparse[i], y_dense[i], 1e-14);
+  }
+}
+
+TEST(SparseLu, SolvesSmallKnownSystem) {
+  Matrix dense(3, 3);
+  dense(0, 0) = 2;  dense(0, 1) = 1;
+  dense(1, 0) = 1;  dense(1, 1) = 3;  dense(1, 2) = 1;
+  dense(2, 1) = 1;  dense(2, 2) = 4;
+  SparseLu lu;
+  ASSERT_TRUE(lu.factor(CsrMatrix::from_dense(dense)));
+  Vector b = {5.0, 10.0, 9.0};
+  Vector x;
+  lu.solve(b, x);
+  Vector check;
+  dense.multiply(x, check);
+  for (int i = 0; i < 3; ++i) EXPECT_NEAR(check[i], b[i], 1e-12);
+}
+
+TEST(SparseLu, PivotingHandlesZeroDiagonal) {
+  Matrix dense(2, 2);
+  dense(0, 1) = 1.0;
+  dense(1, 0) = 1.0;
+  SparseLu lu;
+  ASSERT_TRUE(lu.factor(CsrMatrix::from_dense(dense)));
+  Vector b = {2.0, 3.0};
+  Vector x;
+  lu.solve(b, x);
+  EXPECT_NEAR(x[0], 3.0, 1e-14);
+  EXPECT_NEAR(x[1], 2.0, 1e-14);
+}
+
+TEST(SparseLu, DetectsSingularMatrix) {
+  Matrix dense(2, 2);
+  dense(0, 0) = 1.0;
+  dense(0, 1) = 2.0;
+  dense(1, 0) = 2.0;
+  dense(1, 1) = 4.0;  // rank 1
+  SparseLu lu;
+  EXPECT_FALSE(lu.factor(CsrMatrix::from_dense(dense)));
+  // Structurally singular: an empty column.
+  Matrix dense2(2, 2);
+  dense2(0, 0) = 1.0;
+  dense2(1, 0) = 1.0;
+  EXPECT_FALSE(lu.factor(CsrMatrix::from_dense(dense2)));
+}
+
+TEST(SparseLu, FactorNonzerosReported) {
+  support::Xoshiro256 rng(5);
+  Matrix dense = random_sparse_dense(20, 0.1, rng);
+  SparseLu lu;
+  ASSERT_TRUE(lu.factor(CsrMatrix::from_dense(dense)));
+  EXPECT_GE(lu.factor_nonzeros(), 20u);
+  EXPECT_LT(lu.factor_nonzeros(), 400u);  // far below dense
+}
+
+class SparseLuProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SparseLuProperty, AgreesWithDenseLuOnRandomSystems) {
+  support::Xoshiro256 rng(GetParam());
+  for (int trial = 0; trial < 8; ++trial) {
+    const std::size_t n = 5 + rng.below(40);
+    const double density = rng.uniform(0.05, 0.4);
+    Matrix dense = random_sparse_dense(n, density, rng);
+    Vector b(n);
+    for (double& v : b) v = rng.uniform(-1.0, 1.0);
+
+    Vector x_dense;
+    ASSERT_TRUE(solve_linear_system(dense, b, x_dense));
+    SparseLu lu;
+    ASSERT_TRUE(lu.factor(CsrMatrix::from_dense(dense)));
+    Vector x_sparse;
+    lu.solve(b, x_sparse);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(x_sparse[i], x_dense[i], 1e-9)
+          << "n=" << n << " trial=" << trial;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SparseLuProperty,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+TEST(SparseLu, RefactorWithDifferentPattern) {
+  // The factorization object must be reusable across patterns (the solver
+  // refactors whenever the Jacobian refreshes).
+  support::Xoshiro256 rng(77);
+  SparseLu lu;
+  for (int round = 0; round < 4; ++round) {
+    const std::size_t n = 10 + 5 * round;
+    Matrix dense = random_sparse_dense(n, 0.2, rng);
+    ASSERT_TRUE(lu.factor(CsrMatrix::from_dense(dense)));
+    Vector b(n, 1.0);
+    Vector x;
+    lu.solve(b, x);
+    Vector check;
+    dense.multiply(x, check);
+    for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(check[i], 1.0, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace rms::linalg
+
+namespace rms::solver {
+namespace {
+
+TEST(AdamsGearSparse, MatchesDenseOnVulcanizationModel) {
+  auto built = models::build_test_case({3, 7});
+  ASSERT_TRUE(built.is_ok());
+  const std::size_t n = built->equation_count();
+  const std::vector<double> rates = built->rates.values();
+  codegen::CompiledJacobian jac =
+      codegen::compile_jacobian(built->odes.table, n, built->rates.size());
+
+  auto make_system = [&](vm::Interpreter& interp) {
+    return OdeSystem{n, [&](double t, const double* y, double* ydot) {
+                       interp.run(t, y, rates.data(), ydot);
+                     }};
+  };
+
+  vm::Interpreter i1(built->program_optimized);
+  OdeSystem dense_system = make_system(i1);
+  AdamsGear dense_solver(dense_system);
+  ASSERT_TRUE(
+      dense_solver.initialize(0.0, built->odes.init_concentrations).is_ok());
+  std::vector<double> y_dense;
+  ASSERT_TRUE(dense_solver.advance_to(5.0, y_dense).is_ok());
+
+  vm::Interpreter i2(built->program_optimized);
+  OdeSystem sparse_system = make_system(i2);
+  sparse_system.sparse_jacobian =
+      codegen::SparseJacobianEvaluator(&jac, &rates);
+  IntegrationOptions options;
+  options.newton_linear_solver = NewtonLinearSolver::kSparseLu;
+  AdamsGear sparse_solver(sparse_system, options);
+  ASSERT_TRUE(
+      sparse_solver.initialize(0.0, built->odes.init_concentrations).is_ok());
+  std::vector<double> y_sparse;
+  auto status = sparse_solver.advance_to(5.0, y_sparse);
+  ASSERT_TRUE(status.is_ok()) << status.to_string();
+
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(y_sparse[i], y_dense[i],
+                1e-4 * std::max(1.0, std::fabs(y_dense[i])));
+  }
+  // The sparse path must not fall back to finite differences.
+  EXPECT_GT(sparse_solver.stats().jacobian_evaluations, 0u);
+  EXPECT_LT(sparse_solver.stats().rhs_evaluations,
+            dense_solver.stats().rhs_evaluations);
+}
+
+}  // namespace
+}  // namespace rms::solver

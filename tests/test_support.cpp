@@ -1,0 +1,273 @@
+// Unit tests for the support substrate: Status/Expected, Arena, SmallVector,
+// Interner, RNG, string helpers.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+#include <string>
+
+#include "support/arena.hpp"
+#include "support/interner.hpp"
+#include "support/rng.hpp"
+#include "support/small_vector.hpp"
+#include "support/status.hpp"
+#include "support/strings.hpp"
+
+namespace rms::support {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.is_ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.to_string(), "ok");
+}
+
+TEST(Status, ErrorCarriesCodeAndMessage) {
+  Status s = parse_error("unexpected token");
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_EQ(s.code(), StatusCode::kParseError);
+  EXPECT_EQ(s.to_string(), "parse error: unexpected token");
+}
+
+TEST(Status, AllCodesHaveNames) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kInternal); ++c) {
+    EXPECT_STRNE(status_code_name(static_cast<StatusCode>(c)), "unknown");
+  }
+}
+
+TEST(Expected, HoldsValue) {
+  Expected<int> e(42);
+  ASSERT_TRUE(e.is_ok());
+  EXPECT_EQ(*e, 42);
+  EXPECT_TRUE(e.status().is_ok());
+}
+
+TEST(Expected, HoldsError) {
+  Expected<int> e(not_found("missing"));
+  ASSERT_FALSE(e.is_ok());
+  EXPECT_EQ(e.status().code(), StatusCode::kNotFound);
+}
+
+TEST(Expected, MoveOnlyPayload) {
+  Expected<std::unique_ptr<int>> e(std::make_unique<int>(7));
+  ASSERT_TRUE(e.is_ok());
+  std::unique_ptr<int> owned = std::move(e).value();
+  EXPECT_EQ(*owned, 7);
+}
+
+TEST(Arena, AllocationsAreDisjointAndAligned) {
+  Arena arena(128);  // small blocks force growth
+  std::set<void*> seen;
+  for (int i = 0; i < 1000; ++i) {
+    void* p = arena.allocate(24, 8);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % 8, 0u);
+    EXPECT_TRUE(seen.insert(p).second);
+    std::memset(p, 0xAB, 24);  // must be writable
+  }
+  EXPECT_GE(arena.bytes_allocated(), 24000u);
+  EXPECT_GE(arena.bytes_reserved(), arena.bytes_allocated());
+}
+
+TEST(Arena, CreateConstructsObject) {
+  Arena arena;
+  struct Point {
+    int x, y;
+  };
+  Point* p = arena.create<Point>(3, 4);
+  EXPECT_EQ(p->x, 3);
+  EXPECT_EQ(p->y, 4);
+}
+
+TEST(Arena, OversizedAllocationGrowsBlock) {
+  Arena arena(64);
+  void* p = arena.allocate(10000);
+  ASSERT_NE(p, nullptr);
+  std::memset(p, 0, 10000);
+}
+
+TEST(Arena, ResetReleasesEverything) {
+  Arena arena(128);
+  arena.allocate(1000);
+  arena.reset();
+  EXPECT_EQ(arena.bytes_allocated(), 0u);
+  EXPECT_EQ(arena.bytes_reserved(), 0u);
+}
+
+TEST(SmallVector, StaysInlineUpToCapacity) {
+  SmallVector<int, 4> v;
+  for (int i = 0; i < 4; ++i) v.push_back(i);
+  EXPECT_EQ(v.size(), 4u);
+  EXPECT_EQ(v.capacity(), 4u);
+}
+
+TEST(SmallVector, SpillsToHeapAndPreservesContents) {
+  SmallVector<int, 2> v;
+  for (int i = 0; i < 100; ++i) v.push_back(i * i);
+  ASSERT_EQ(v.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(v[i], i * i);
+}
+
+TEST(SmallVector, CopyAndMove) {
+  SmallVector<std::string, 2> v;
+  v.push_back("alpha");
+  v.push_back("beta");
+  v.push_back("gamma");  // heap
+
+  SmallVector<std::string, 2> copy = v;
+  EXPECT_EQ(copy.size(), 3u);
+  EXPECT_EQ(copy[2], "gamma");
+
+  SmallVector<std::string, 2> moved = std::move(v);
+  EXPECT_EQ(moved.size(), 3u);
+  EXPECT_EQ(moved[0], "alpha");
+}
+
+TEST(SmallVector, MoveInlinePayload) {
+  SmallVector<std::string, 4> v;
+  v.push_back("one");
+  v.push_back("two");
+  SmallVector<std::string, 4> moved = std::move(v);
+  ASSERT_EQ(moved.size(), 2u);
+  EXPECT_EQ(moved[1], "two");
+}
+
+TEST(SmallVector, EraseShiftsTail) {
+  SmallVector<int, 4> v{1, 2, 3, 4};
+  v.erase(v.begin() + 1);
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], 1);
+  EXPECT_EQ(v[1], 3);
+  EXPECT_EQ(v[2], 4);
+}
+
+TEST(SmallVector, EqualityComparesElements) {
+  SmallVector<int, 2> a{1, 2, 3};
+  SmallVector<int, 2> b{1, 2, 3};
+  SmallVector<int, 2> c{1, 2};
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(SmallVector, ResizeGrowsWithDefaultValues) {
+  SmallVector<int, 2> v;
+  v.resize(5);
+  EXPECT_EQ(v.size(), 5u);
+  EXPECT_EQ(v[4], 0);
+  v.resize(1);
+  EXPECT_EQ(v.size(), 1u);
+}
+
+TEST(Interner, SameStringSameSymbol) {
+  Interner interner;
+  Symbol a = interner.intern("K_A");
+  Symbol b = interner.intern("K_A");
+  Symbol c = interner.intern("K_B");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(interner.text(a), "K_A");
+  EXPECT_EQ(interner.text(c), "K_B");
+}
+
+TEST(Interner, FindDoesNotIntern) {
+  Interner interner;
+  EXPECT_FALSE(interner.find("nope").valid());
+  EXPECT_EQ(interner.size(), 0u);
+  interner.intern("yes");
+  EXPECT_TRUE(interner.find("yes").valid());
+}
+
+TEST(Interner, InvalidSymbolIsFalsy) {
+  Symbol s;
+  EXPECT_FALSE(s.valid());
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Xoshiro256 a(123);
+  Xoshiro256 b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, UniformInRange) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformBoundsRespected) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-2.0, 3.0);
+    EXPECT_GE(u, -2.0);
+    EXPECT_LT(u, 3.0);
+  }
+}
+
+TEST(Rng, NormalHasReasonableMoments) {
+  Xoshiro256 rng(99);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  hello  "), "hello");
+  EXPECT_EQ(trim("\t\n x \r"), "x");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(Strings, SplitKeepsEmptyPieces) {
+  auto pieces = split("a, b,, c", ',');
+  ASSERT_EQ(pieces.size(), 4u);
+  EXPECT_EQ(pieces[0], "a");
+  EXPECT_EQ(pieces[1], "b");
+  EXPECT_EQ(pieces[2], "");
+  EXPECT_EQ(pieces[3], "c");
+}
+
+TEST(Strings, SplitWhitespaceDropsEmpty) {
+  auto pieces = split_whitespace("  1.5\t2.5  \n");
+  ASSERT_EQ(pieces.size(), 2u);
+  EXPECT_EQ(pieces[0], "1.5");
+  EXPECT_EQ(pieces[1], "2.5");
+}
+
+TEST(Strings, ParseDouble) {
+  double v = 0.0;
+  EXPECT_TRUE(parse_double("3.25e2", v));
+  EXPECT_DOUBLE_EQ(v, 325.0);
+  EXPECT_TRUE(parse_double(" -1.5 ", v));
+  EXPECT_DOUBLE_EQ(v, -1.5);
+  EXPECT_FALSE(parse_double("abc", v));
+  EXPECT_FALSE(parse_double("1.5x", v));
+  EXPECT_FALSE(parse_double("", v));
+}
+
+TEST(Strings, ParseUint) {
+  unsigned long v = 0;
+  EXPECT_TRUE(parse_uint("42", v));
+  EXPECT_EQ(v, 42ul);
+  EXPECT_FALSE(parse_uint("-3", v));
+  EXPECT_FALSE(parse_uint("4.5", v));
+}
+
+TEST(Strings, StrFormat) {
+  EXPECT_EQ(str_format("x=%d y=%s", 3, "ok"), "x=3 y=ok");
+  EXPECT_EQ(str_format("%.2f", 1.23456), "1.23");
+}
+
+}  // namespace
+}  // namespace rms::support

@@ -1,0 +1,116 @@
+// Shape regression for the Table 1 reproduction: the qualitative claims the
+// paper's evaluation makes must hold for the scaled test cases, so a change
+// that silently degrades the optimizer (or the models) fails here rather
+// than in a bench someone has to eyeball.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "codegen/reference_backend.hpp"
+#include "models/test_cases.hpp"
+
+namespace rms::models {
+namespace {
+
+struct CaseResult {
+  std::size_t equations;
+  double mul_fraction;
+  double add_fraction;
+  double total_fraction;
+  std::size_t unopt_instructions;
+  std::size_t opt_instructions;
+};
+
+CaseResult run_case(int tc, double scale) {
+  auto built = build_test_case(scaled_config(tc, scale));
+  EXPECT_TRUE(built.is_ok()) << built.status().to_string();
+  CaseResult r;
+  r.equations = built->equation_count();
+  r.mul_fraction = built->report.multiply_fraction();
+  r.add_fraction = built->report.add_sub_fraction();
+  r.total_fraction = built->report.total_fraction();
+  r.unopt_instructions = built->program_unoptimized.code.size();
+  r.opt_instructions = built->program_optimized.code.size();
+  return r;
+}
+
+TEST(Table1Shape, ReductionsMatchPaperOrdering) {
+  // At a representative mid scale:
+  //  - multiplies are reduced far harder than adds (paper: 1.35% vs 20.6%),
+  //  - the total lands in the single-digit-to-low-teens percent band
+  //    (paper: 6.9%),
+  //  - the larger the case, the stronger the reduction (paper's monotone
+  //    TC1 -> TC5 trend).
+  const double scale = 0.02;
+  CaseResult previous{};
+  for (int tc = 1; tc <= kTestCaseCount; ++tc) {
+    const CaseResult result = run_case(tc, scale);
+    EXPECT_LT(result.mul_fraction, result.add_fraction) << "TC" << tc;
+    EXPECT_LT(result.total_fraction, 0.30) << "TC" << tc;
+    EXPECT_GT(result.total_fraction, 0.01) << "TC" << tc;
+    if (tc >= 3) {
+      // From TC3 on the asymptotic band holds.
+      EXPECT_LT(result.mul_fraction, 0.10) << "TC" << tc;
+      EXPECT_LT(result.add_fraction, 0.35) << "TC" << tc;
+      EXPECT_GT(result.add_fraction, 0.10) << "TC" << tc;
+      EXPECT_LE(result.total_fraction, previous.total_fraction * 1.05)
+          << "TC" << tc << " regressed vs TC" << tc - 1;
+    }
+    previous = result;
+  }
+}
+
+TEST(Table1Shape, CompileFailurePatternUnderCalibratedBudget) {
+  // Budget between TC4's and TC5's base IR sizes (the bench calibration):
+  // unoptimized TC5 must fail at every level, TC3-TC5 must fail at the
+  // optimizing level, and every optimized program must fit easily.
+  const double scale = 0.02;
+  std::vector<std::size_t> unopt_base(kTestCaseCount);
+  std::vector<std::size_t> unopt_o4(kTestCaseCount);
+  std::vector<std::size_t> opt_base(kTestCaseCount);
+  std::vector<std::size_t> opt_o4(kTestCaseCount);
+  const codegen::BackendOptions base =
+      codegen::BackendOptions::no_optimization();
+  const codegen::BackendOptions optimizing;
+  for (int tc = 1; tc <= kTestCaseCount; ++tc) {
+    auto built = build_test_case(scaled_config(tc, scale));
+    ASSERT_TRUE(built.is_ok());
+    unopt_base[tc - 1] =
+        codegen::required_ir_bytes(built->program_unoptimized, base);
+    unopt_o4[tc - 1] =
+        codegen::required_ir_bytes(built->program_unoptimized, optimizing);
+    opt_base[tc - 1] =
+        codegen::required_ir_bytes(built->program_optimized, base);
+    opt_o4[tc - 1] =
+        codegen::required_ir_bytes(built->program_optimized, optimizing);
+  }
+  const auto budget = static_cast<std::size_t>(
+      std::sqrt(static_cast<double>(unopt_base[3]) *
+                static_cast<double>(unopt_base[4])));
+
+  EXPECT_LE(unopt_base[0], budget);  // TC1 compiles everywhere
+  EXPECT_LE(unopt_base[3], budget);  // TC4 compiles at the default level
+  EXPECT_GT(unopt_base[4], budget);  // TC5 fails at every level
+  EXPECT_LE(unopt_o4[1], budget);    // TC2 compiles at -O4
+  for (int tc = 3; tc <= 5; ++tc) {  // TC3..TC5 fail at -O4
+    EXPECT_GT(unopt_o4[tc - 1], budget) << "TC" << tc;
+  }
+  // The optimized programs compile (and therefore run) for every case —
+  // the point of the domain optimizations. TC1-TC4 even fit the rich -O4
+  // IR; TC5's optimized code compiles at the default level with lots of
+  // headroom (the paper reports a runtime for optimized TC5, so it
+  // compiled at *some* level).
+  for (int tc = 1; tc <= 4; ++tc) {
+    EXPECT_LE(opt_o4[tc - 1], budget) << "TC" << tc;
+  }
+  EXPECT_LE(opt_base[4] * 2, budget);
+}
+
+TEST(Table1Shape, OptimizedProgramsAreMuchSmaller) {
+  const CaseResult result = run_case(4, 0.02);
+  EXPECT_LT(result.opt_instructions, result.unopt_instructions / 5);
+}
+
+}  // namespace
+}  // namespace rms::models

@@ -1,0 +1,152 @@
+// Direct tests for the bytecode VM: instruction semantics, register reuse
+// across calls, output conventions, and the disassembler.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "vm/interpreter.hpp"
+#include "vm/program.hpp"
+
+namespace rms::vm {
+namespace {
+
+Program make_program(std::vector<Instr> code, std::vector<double> consts,
+                     std::size_t regs, std::size_t species, std::size_t rates,
+                     std::size_t outputs) {
+  Program p;
+  p.code = std::move(code);
+  p.consts = std::move(consts);
+  p.register_count = regs;
+  p.species_count = species;
+  p.rate_count = rates;
+  p.output_count = outputs;
+  return p;
+}
+
+TEST(Interpreter, ArithmeticSemantics) {
+  // out[0] = (y0 + k0) * 2 - t; out[1] = -y0.
+  Program p = make_program(
+      {
+          {Op::kLoadY, 0, 0, 0},
+          {Op::kLoadK, 1, 0, 0},
+          {Op::kAdd, 2, 0, 1},
+          {Op::kLoadConst, 3, 0, 0},
+          {Op::kMul, 4, 2, 3},
+          {Op::kLoadT, 5, 0, 0},
+          {Op::kSub, 6, 4, 5},
+          {Op::kStoreOut, 0, 0, 6},
+          {Op::kNeg, 7, 0, 0},
+          {Op::kStoreOut, 0, 1, 7},
+      },
+      {2.0}, 8, 1, 1, 2);
+  Interpreter interp(p);
+  std::vector<double> y = {3.0};
+  std::vector<double> k = {4.0};
+  std::vector<double> out;
+  interp.run(0.5, y, k, out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_DOUBLE_EQ(out[0], (3.0 + 4.0) * 2.0 - 0.5);
+  EXPECT_DOUBLE_EQ(out[1], -3.0);
+}
+
+TEST(Interpreter, StoreNoRegWritesZero) {
+  Program p = make_program({{Op::kStoreOut, 0, 0, kNoReg}}, {}, 0, 1, 0, 1);
+  Interpreter interp(p);
+  double y = 9.0;
+  double out = 123.0;
+  interp.run(0.0, &y, nullptr, &out);
+  EXPECT_DOUBLE_EQ(out, 0.0);
+}
+
+TEST(Interpreter, RepeatedCallsAreIndependent) {
+  // out[0] = y0 * y0; the register file is reused but results must not
+  // leak between calls.
+  Program p = make_program(
+      {
+          {Op::kLoadY, 0, 0, 0},
+          {Op::kMul, 1, 0, 0},
+          {Op::kStoreOut, 0, 0, 1},
+      },
+      {}, 2, 1, 0, 1);
+  Interpreter interp(p);
+  for (double v : {2.0, -3.0, 0.0, 1e100}) {
+    double out = 0.0;
+    interp.run(0.0, &v, nullptr, &out);
+    EXPECT_DOUBLE_EQ(out, v * v);
+  }
+}
+
+TEST(Interpreter, NanPropagatesNotCrashes) {
+  Program p = make_program(
+      {
+          {Op::kLoadY, 0, 0, 0},
+          {Op::kLoadY, 1, 1, 0},
+          {Op::kMul, 2, 0, 1},
+          {Op::kStoreOut, 0, 0, 2},
+      },
+      {}, 3, 2, 0, 1);
+  Interpreter interp(p);
+  std::vector<double> y = {std::nan(""), 2.0};
+  double out = 0.0;
+  interp.run(0.0, y.data(), nullptr, &out);
+  EXPECT_TRUE(std::isnan(out));
+}
+
+TEST(Program, CountArithIgnoresLoadsStoresNeg) {
+  Program p = make_program(
+      {
+          {Op::kLoadY, 0, 0, 0},
+          {Op::kLoadConst, 1, 0, 0},
+          {Op::kAdd, 2, 0, 1},
+          {Op::kMul, 3, 2, 2},
+          {Op::kSub, 4, 3, 0},
+          {Op::kNeg, 5, 4, 0},
+          {Op::kStoreOut, 0, 0, 5},
+      },
+      {1.0}, 6, 1, 0, 1);
+  const ArithCount count = p.count_arith();
+  EXPECT_EQ(count.multiplies, 1u);
+  EXPECT_EQ(count.add_subs, 2u);
+  EXPECT_EQ(count.total(), 3u);
+}
+
+TEST(Program, DisassembleGolden) {
+  Program p = make_program(
+      {
+          {Op::kLoadY, 0, 2, 0},
+          {Op::kLoadK, 1, 1, 0},
+          {Op::kMul, 2, 0, 1},
+          {Op::kStoreOut, 0, 3, 2},
+          {Op::kStoreOut, 0, 4, kNoReg},
+      },
+      {}, 3, 3, 2, 5);
+  EXPECT_EQ(p.disassemble(),
+            "r0 = y[2]\n"
+            "r1 = k[1]\n"
+            "r2 = r0 * r1\n"
+            "ydot[3] = r2\n"
+            "ydot[4] = 0\n");
+}
+
+TEST(Interpreter, OutputCountDefaultsToSpeciesCount) {
+  // Legacy programs without output_count keep the RHS convention.
+  Program p = make_program({{Op::kStoreOut, 0, 0, kNoReg}}, {}, 0, 1, 0, 0);
+  Interpreter interp(p);
+  std::vector<double> y = {1.0};
+  std::vector<double> k;
+  std::vector<double> out;
+  interp.run(0.0, y, k, out);
+  EXPECT_EQ(out.size(), 1u);
+}
+
+TEST(Interpreter, EmptyProgramLeavesOutputsUntouched) {
+  Program p = make_program({}, {}, 0, 1, 0, 1);
+  Interpreter interp(p);
+  double y = 1.0;
+  double out = 42.0;
+  interp.run(0.0, &y, nullptr, &out);
+  EXPECT_DOUBLE_EQ(out, 42.0);  // no stores: nothing written
+}
+
+}  // namespace
+}  // namespace rms::vm
