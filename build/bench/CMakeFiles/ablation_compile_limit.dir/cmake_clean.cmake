@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_compile_limit.dir/ablation_compile_limit.cpp.o"
+  "CMakeFiles/ablation_compile_limit.dir/ablation_compile_limit.cpp.o.d"
+  "ablation_compile_limit"
+  "ablation_compile_limit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_compile_limit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_jacobian.dir/ablation_jacobian.cpp.o"
+  "CMakeFiles/ablation_jacobian.dir/ablation_jacobian.cpp.o.d"
+  "ablation_jacobian"
+  "ablation_jacobian.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_jacobian.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_opt_stages.dir/ablation_opt_stages.cpp.o"
+  "CMakeFiles/ablation_opt_stages.dir/ablation_opt_stages.cpp.o.d"
+  "ablation_opt_stages"
+  "ablation_opt_stages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_opt_stages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

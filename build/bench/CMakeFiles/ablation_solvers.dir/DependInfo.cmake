@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_solvers.cpp" "bench/CMakeFiles/ablation_solvers.dir/ablation_solvers.cpp.o" "gcc" "bench/CMakeFiles/ablation_solvers.dir/ablation_solvers.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rms_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rms_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rms_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rms_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rms_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rms_odegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rms_rcip.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rms_network.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rms_rdl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rms_chem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rms_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rms_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rms_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rms_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

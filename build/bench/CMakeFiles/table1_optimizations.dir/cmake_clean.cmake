@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_optimizations.dir/table1_optimizations.cpp.o"
+  "CMakeFiles/table1_optimizations.dir/table1_optimizations.cpp.o.d"
+  "table1_optimizations"
+  "table1_optimizations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_optimizations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

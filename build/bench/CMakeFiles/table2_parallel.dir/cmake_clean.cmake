@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_parallel.dir/table2_parallel.cpp.o"
+  "CMakeFiles/table2_parallel.dir/table2_parallel.cpp.o.d"
+  "table2_parallel"
+  "table2_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/large_model_simulation.dir/large_model_simulation.cpp.o"
+  "CMakeFiles/large_model_simulation.dir/large_model_simulation.cpp.o.d"
+  "large_model_simulation"
+  "large_model_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/large_model_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_temperature_fit.dir/multi_temperature_fit.cpp.o"
+  "CMakeFiles/multi_temperature_fit.dir/multi_temperature_fit.cpp.o.d"
+  "multi_temperature_fit"
+  "multi_temperature_fit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_temperature_fit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

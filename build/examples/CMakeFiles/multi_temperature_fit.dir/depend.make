@@ -1,0 +1,2 @@
+# Empty dependencies file for multi_temperature_fit.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_estimation.dir/parallel_estimation.cpp.o"
+  "CMakeFiles/parallel_estimation.dir/parallel_estimation.cpp.o.d"
+  "parallel_estimation"
+  "parallel_estimation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_estimation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

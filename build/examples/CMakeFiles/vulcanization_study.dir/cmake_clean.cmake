@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vulcanization_study.dir/vulcanization_study.cpp.o"
+  "CMakeFiles/vulcanization_study.dir/vulcanization_study.cpp.o.d"
+  "vulcanization_study"
+  "vulcanization_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vulcanization_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

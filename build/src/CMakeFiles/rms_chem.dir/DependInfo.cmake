@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chem/canonical.cpp" "src/CMakeFiles/rms_chem.dir/chem/canonical.cpp.o" "gcc" "src/CMakeFiles/rms_chem.dir/chem/canonical.cpp.o.d"
+  "/root/repo/src/chem/edit.cpp" "src/CMakeFiles/rms_chem.dir/chem/edit.cpp.o" "gcc" "src/CMakeFiles/rms_chem.dir/chem/edit.cpp.o.d"
+  "/root/repo/src/chem/element.cpp" "src/CMakeFiles/rms_chem.dir/chem/element.cpp.o" "gcc" "src/CMakeFiles/rms_chem.dir/chem/element.cpp.o.d"
+  "/root/repo/src/chem/molecule.cpp" "src/CMakeFiles/rms_chem.dir/chem/molecule.cpp.o" "gcc" "src/CMakeFiles/rms_chem.dir/chem/molecule.cpp.o.d"
+  "/root/repo/src/chem/pattern.cpp" "src/CMakeFiles/rms_chem.dir/chem/pattern.cpp.o" "gcc" "src/CMakeFiles/rms_chem.dir/chem/pattern.cpp.o.d"
+  "/root/repo/src/chem/smiles.cpp" "src/CMakeFiles/rms_chem.dir/chem/smiles.cpp.o" "gcc" "src/CMakeFiles/rms_chem.dir/chem/smiles.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rms_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rms_chem.dir/chem/canonical.cpp.o"
+  "CMakeFiles/rms_chem.dir/chem/canonical.cpp.o.d"
+  "CMakeFiles/rms_chem.dir/chem/edit.cpp.o"
+  "CMakeFiles/rms_chem.dir/chem/edit.cpp.o.d"
+  "CMakeFiles/rms_chem.dir/chem/element.cpp.o"
+  "CMakeFiles/rms_chem.dir/chem/element.cpp.o.d"
+  "CMakeFiles/rms_chem.dir/chem/molecule.cpp.o"
+  "CMakeFiles/rms_chem.dir/chem/molecule.cpp.o.d"
+  "CMakeFiles/rms_chem.dir/chem/pattern.cpp.o"
+  "CMakeFiles/rms_chem.dir/chem/pattern.cpp.o.d"
+  "CMakeFiles/rms_chem.dir/chem/smiles.cpp.o"
+  "CMakeFiles/rms_chem.dir/chem/smiles.cpp.o.d"
+  "librms_chem.a"
+  "librms_chem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rms_chem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/codegen/bytecode_emitter.cpp" "src/CMakeFiles/rms_codegen.dir/codegen/bytecode_emitter.cpp.o" "gcc" "src/CMakeFiles/rms_codegen.dir/codegen/bytecode_emitter.cpp.o.d"
+  "/root/repo/src/codegen/c_emitter.cpp" "src/CMakeFiles/rms_codegen.dir/codegen/c_emitter.cpp.o" "gcc" "src/CMakeFiles/rms_codegen.dir/codegen/c_emitter.cpp.o.d"
+  "/root/repo/src/codegen/jacobian.cpp" "src/CMakeFiles/rms_codegen.dir/codegen/jacobian.cpp.o" "gcc" "src/CMakeFiles/rms_codegen.dir/codegen/jacobian.cpp.o.d"
+  "/root/repo/src/codegen/reference_backend.cpp" "src/CMakeFiles/rms_codegen.dir/codegen/reference_backend.cpp.o" "gcc" "src/CMakeFiles/rms_codegen.dir/codegen/reference_backend.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rms_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rms_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rms_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rms_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rms_odegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rms_rcip.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rms_network.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rms_rdl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rms_chem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rms_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rms_codegen.dir/codegen/bytecode_emitter.cpp.o"
+  "CMakeFiles/rms_codegen.dir/codegen/bytecode_emitter.cpp.o.d"
+  "CMakeFiles/rms_codegen.dir/codegen/c_emitter.cpp.o"
+  "CMakeFiles/rms_codegen.dir/codegen/c_emitter.cpp.o.d"
+  "CMakeFiles/rms_codegen.dir/codegen/jacobian.cpp.o"
+  "CMakeFiles/rms_codegen.dir/codegen/jacobian.cpp.o.d"
+  "CMakeFiles/rms_codegen.dir/codegen/reference_backend.cpp.o"
+  "CMakeFiles/rms_codegen.dir/codegen/reference_backend.cpp.o.d"
+  "librms_codegen.a"
+  "librms_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rms_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rms_data.dir/data/experiment.cpp.o"
+  "CMakeFiles/rms_data.dir/data/experiment.cpp.o.d"
+  "CMakeFiles/rms_data.dir/data/synthetic.cpp.o"
+  "CMakeFiles/rms_data.dir/data/synthetic.cpp.o.d"
+  "librms_data.a"
+  "librms_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rms_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

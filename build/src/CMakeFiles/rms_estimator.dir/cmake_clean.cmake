@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rms_estimator.dir/estimator/estimator.cpp.o"
+  "CMakeFiles/rms_estimator.dir/estimator/estimator.cpp.o.d"
+  "CMakeFiles/rms_estimator.dir/estimator/objective.cpp.o"
+  "CMakeFiles/rms_estimator.dir/estimator/objective.cpp.o.d"
+  "librms_estimator.a"
+  "librms_estimator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rms_estimator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

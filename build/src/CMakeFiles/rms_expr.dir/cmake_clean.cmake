@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rms_expr.dir/expr/factored.cpp.o"
+  "CMakeFiles/rms_expr.dir/expr/factored.cpp.o.d"
+  "CMakeFiles/rms_expr.dir/expr/product.cpp.o"
+  "CMakeFiles/rms_expr.dir/expr/product.cpp.o.d"
+  "librms_expr.a"
+  "librms_expr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rms_expr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rms_linalg.dir/linalg/gmres.cpp.o"
+  "CMakeFiles/rms_linalg.dir/linalg/gmres.cpp.o.d"
+  "CMakeFiles/rms_linalg.dir/linalg/lu.cpp.o"
+  "CMakeFiles/rms_linalg.dir/linalg/lu.cpp.o.d"
+  "CMakeFiles/rms_linalg.dir/linalg/matrix.cpp.o"
+  "CMakeFiles/rms_linalg.dir/linalg/matrix.cpp.o.d"
+  "CMakeFiles/rms_linalg.dir/linalg/qr.cpp.o"
+  "CMakeFiles/rms_linalg.dir/linalg/qr.cpp.o.d"
+  "CMakeFiles/rms_linalg.dir/linalg/sparse.cpp.o"
+  "CMakeFiles/rms_linalg.dir/linalg/sparse.cpp.o.d"
+  "librms_linalg.a"
+  "librms_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rms_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rms_models.dir/models/test_cases.cpp.o"
+  "CMakeFiles/rms_models.dir/models/test_cases.cpp.o.d"
+  "CMakeFiles/rms_models.dir/models/vulcanization.cpp.o"
+  "CMakeFiles/rms_models.dir/models/vulcanization.cpp.o.d"
+  "librms_models.a"
+  "librms_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rms_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

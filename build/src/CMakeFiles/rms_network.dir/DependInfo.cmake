@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/network/generator.cpp" "src/CMakeFiles/rms_network.dir/network/generator.cpp.o" "gcc" "src/CMakeFiles/rms_network.dir/network/generator.cpp.o.d"
+  "/root/repo/src/network/io.cpp" "src/CMakeFiles/rms_network.dir/network/io.cpp.o" "gcc" "src/CMakeFiles/rms_network.dir/network/io.cpp.o.d"
+  "/root/repo/src/network/registry.cpp" "src/CMakeFiles/rms_network.dir/network/registry.cpp.o" "gcc" "src/CMakeFiles/rms_network.dir/network/registry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rms_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rms_chem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rms_rdl.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

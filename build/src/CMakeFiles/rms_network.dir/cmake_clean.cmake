@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rms_network.dir/network/generator.cpp.o"
+  "CMakeFiles/rms_network.dir/network/generator.cpp.o.d"
+  "CMakeFiles/rms_network.dir/network/io.cpp.o"
+  "CMakeFiles/rms_network.dir/network/io.cpp.o.d"
+  "CMakeFiles/rms_network.dir/network/registry.cpp.o"
+  "CMakeFiles/rms_network.dir/network/registry.cpp.o.d"
+  "librms_network.a"
+  "librms_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rms_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rms_nlopt.dir/nlopt/levmar.cpp.o"
+  "CMakeFiles/rms_nlopt.dir/nlopt/levmar.cpp.o.d"
+  "librms_nlopt.a"
+  "librms_nlopt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rms_nlopt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

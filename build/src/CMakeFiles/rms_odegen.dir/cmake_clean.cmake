@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rms_odegen.dir/odegen/conservation.cpp.o"
+  "CMakeFiles/rms_odegen.dir/odegen/conservation.cpp.o.d"
+  "CMakeFiles/rms_odegen.dir/odegen/equation_table.cpp.o"
+  "CMakeFiles/rms_odegen.dir/odegen/equation_table.cpp.o.d"
+  "librms_odegen.a"
+  "librms_odegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rms_odegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rms_opt.dir/opt/cse.cpp.o"
+  "CMakeFiles/rms_opt.dir/opt/cse.cpp.o.d"
+  "CMakeFiles/rms_opt.dir/opt/distopt.cpp.o"
+  "CMakeFiles/rms_opt.dir/opt/distopt.cpp.o.d"
+  "CMakeFiles/rms_opt.dir/opt/optimized_system.cpp.o"
+  "CMakeFiles/rms_opt.dir/opt/optimized_system.cpp.o.d"
+  "CMakeFiles/rms_opt.dir/opt/pipeline.cpp.o"
+  "CMakeFiles/rms_opt.dir/opt/pipeline.cpp.o.d"
+  "librms_opt.a"
+  "librms_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rms_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

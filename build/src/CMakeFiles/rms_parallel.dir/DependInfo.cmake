@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/parallel/minimpi.cpp" "src/CMakeFiles/rms_parallel.dir/parallel/minimpi.cpp.o" "gcc" "src/CMakeFiles/rms_parallel.dir/parallel/minimpi.cpp.o.d"
+  "/root/repo/src/parallel/schedule.cpp" "src/CMakeFiles/rms_parallel.dir/parallel/schedule.cpp.o" "gcc" "src/CMakeFiles/rms_parallel.dir/parallel/schedule.cpp.o.d"
+  "/root/repo/src/parallel/sim_cluster.cpp" "src/CMakeFiles/rms_parallel.dir/parallel/sim_cluster.cpp.o" "gcc" "src/CMakeFiles/rms_parallel.dir/parallel/sim_cluster.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rms_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

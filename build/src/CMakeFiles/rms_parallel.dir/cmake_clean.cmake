@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rms_parallel.dir/parallel/minimpi.cpp.o"
+  "CMakeFiles/rms_parallel.dir/parallel/minimpi.cpp.o.d"
+  "CMakeFiles/rms_parallel.dir/parallel/schedule.cpp.o"
+  "CMakeFiles/rms_parallel.dir/parallel/schedule.cpp.o.d"
+  "CMakeFiles/rms_parallel.dir/parallel/sim_cluster.cpp.o"
+  "CMakeFiles/rms_parallel.dir/parallel/sim_cluster.cpp.o.d"
+  "librms_parallel.a"
+  "librms_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rms_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

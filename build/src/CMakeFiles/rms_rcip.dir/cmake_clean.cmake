@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rms_rcip.dir/rcip/rate_table.cpp.o"
+  "CMakeFiles/rms_rcip.dir/rcip/rate_table.cpp.o.d"
+  "librms_rcip.a"
+  "librms_rcip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rms_rcip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

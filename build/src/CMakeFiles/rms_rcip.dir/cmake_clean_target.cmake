@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librms_rcip.a"
+)

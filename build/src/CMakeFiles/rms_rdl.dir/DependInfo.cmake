@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rdl/lexer.cpp" "src/CMakeFiles/rms_rdl.dir/rdl/lexer.cpp.o" "gcc" "src/CMakeFiles/rms_rdl.dir/rdl/lexer.cpp.o.d"
+  "/root/repo/src/rdl/parser.cpp" "src/CMakeFiles/rms_rdl.dir/rdl/parser.cpp.o" "gcc" "src/CMakeFiles/rms_rdl.dir/rdl/parser.cpp.o.d"
+  "/root/repo/src/rdl/sema.cpp" "src/CMakeFiles/rms_rdl.dir/rdl/sema.cpp.o" "gcc" "src/CMakeFiles/rms_rdl.dir/rdl/sema.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rms_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rms_chem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

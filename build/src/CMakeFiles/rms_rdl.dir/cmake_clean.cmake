@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rms_rdl.dir/rdl/lexer.cpp.o"
+  "CMakeFiles/rms_rdl.dir/rdl/lexer.cpp.o.d"
+  "CMakeFiles/rms_rdl.dir/rdl/parser.cpp.o"
+  "CMakeFiles/rms_rdl.dir/rdl/parser.cpp.o.d"
+  "CMakeFiles/rms_rdl.dir/rdl/sema.cpp.o"
+  "CMakeFiles/rms_rdl.dir/rdl/sema.cpp.o.d"
+  "librms_rdl.a"
+  "librms_rdl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rms_rdl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

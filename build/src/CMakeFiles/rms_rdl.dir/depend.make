@@ -1,0 +1,2 @@
+# Empty dependencies file for rms_rdl.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rms_rms.dir/rms/suite.cpp.o"
+  "CMakeFiles/rms_rms.dir/rms/suite.cpp.o.d"
+  "librms_rms.a"
+  "librms_rms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rms_rms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rms_solver.dir/solver/adams_gear.cpp.o"
+  "CMakeFiles/rms_solver.dir/solver/adams_gear.cpp.o.d"
+  "CMakeFiles/rms_solver.dir/solver/fornberg.cpp.o"
+  "CMakeFiles/rms_solver.dir/solver/fornberg.cpp.o.d"
+  "CMakeFiles/rms_solver.dir/solver/ode.cpp.o"
+  "CMakeFiles/rms_solver.dir/solver/ode.cpp.o.d"
+  "CMakeFiles/rms_solver.dir/solver/rk_verner.cpp.o"
+  "CMakeFiles/rms_solver.dir/solver/rk_verner.cpp.o.d"
+  "librms_solver.a"
+  "librms_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rms_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rms_support.dir/support/rng.cpp.o"
+  "CMakeFiles/rms_support.dir/support/rng.cpp.o.d"
+  "CMakeFiles/rms_support.dir/support/status.cpp.o"
+  "CMakeFiles/rms_support.dir/support/status.cpp.o.d"
+  "CMakeFiles/rms_support.dir/support/strings.cpp.o"
+  "CMakeFiles/rms_support.dir/support/strings.cpp.o.d"
+  "librms_support.a"
+  "librms_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rms_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

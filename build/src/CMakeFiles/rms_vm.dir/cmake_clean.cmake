@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rms_vm.dir/vm/interpreter.cpp.o"
+  "CMakeFiles/rms_vm.dir/vm/interpreter.cpp.o.d"
+  "CMakeFiles/rms_vm.dir/vm/program.cpp.o"
+  "CMakeFiles/rms_vm.dir/vm/program.cpp.o.d"
+  "librms_vm.a"
+  "librms_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rms_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_arrhenius.dir/test_arrhenius.cpp.o"
+  "CMakeFiles/test_arrhenius.dir/test_arrhenius.cpp.o.d"
+  "test_arrhenius"
+  "test_arrhenius.pdb"
+  "test_arrhenius[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_arrhenius.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

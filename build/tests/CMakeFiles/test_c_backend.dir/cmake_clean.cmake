@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_c_backend.dir/test_c_backend.cpp.o"
+  "CMakeFiles/test_c_backend.dir/test_c_backend.cpp.o.d"
+  "test_c_backend"
+  "test_c_backend.pdb"
+  "test_c_backend[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_c_backend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

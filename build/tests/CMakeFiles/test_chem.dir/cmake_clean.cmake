@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_chem.dir/test_chem.cpp.o"
+  "CMakeFiles/test_chem.dir/test_chem.cpp.o.d"
+  "test_chem"
+  "test_chem.pdb"
+  "test_chem[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_chem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_codegen_vm.dir/test_codegen_vm.cpp.o"
+  "CMakeFiles/test_codegen_vm.dir/test_codegen_vm.cpp.o.d"
+  "test_codegen_vm"
+  "test_codegen_vm.pdb"
+  "test_codegen_vm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_codegen_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_jacobian.dir/test_jacobian.cpp.o"
+  "CMakeFiles/test_jacobian.dir/test_jacobian.cpp.o.d"
+  "test_jacobian"
+  "test_jacobian.pdb"
+  "test_jacobian[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_jacobian.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_molecule_corpus.dir/test_molecule_corpus.cpp.o"
+  "CMakeFiles/test_molecule_corpus.dir/test_molecule_corpus.cpp.o.d"
+  "test_molecule_corpus"
+  "test_molecule_corpus.pdb"
+  "test_molecule_corpus[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_molecule_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

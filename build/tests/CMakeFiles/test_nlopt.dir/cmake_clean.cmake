@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nlopt.dir/test_nlopt.cpp.o"
+  "CMakeFiles/test_nlopt.dir/test_nlopt.cpp.o.d"
+  "test_nlopt"
+  "test_nlopt.pdb"
+  "test_nlopt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nlopt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_odegen.dir/test_odegen.cpp.o"
+  "CMakeFiles/test_odegen.dir/test_odegen.cpp.o.d"
+  "test_odegen"
+  "test_odegen.pdb"
+  "test_odegen[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_odegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

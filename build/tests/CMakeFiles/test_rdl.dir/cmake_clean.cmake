@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rdl.dir/test_rdl.cpp.o"
+  "CMakeFiles/test_rdl.dir/test_rdl.cpp.o.d"
+  "test_rdl"
+  "test_rdl.pdb"
+  "test_rdl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rdl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_support[1]_include.cmake")
+include("/root/repo/build/tests/test_linalg[1]_include.cmake")
+include("/root/repo/build/tests/test_expr[1]_include.cmake")
+include("/root/repo/build/tests/test_chem[1]_include.cmake")
+include("/root/repo/build/tests/test_rdl[1]_include.cmake")
+include("/root/repo/build/tests/test_network[1]_include.cmake")
+include("/root/repo/build/tests/test_odegen[1]_include.cmake")
+include("/root/repo/build/tests/test_opt[1]_include.cmake")
+include("/root/repo/build/tests/test_codegen_vm[1]_include.cmake")
+include("/root/repo/build/tests/test_solver[1]_include.cmake")
+include("/root/repo/build/tests/test_nlopt[1]_include.cmake")
+include("/root/repo/build/tests/test_parallel[1]_include.cmake")
+include("/root/repo/build/tests/test_data[1]_include.cmake")
+include("/root/repo/build/tests/test_models[1]_include.cmake")
+include("/root/repo/build/tests/test_estimator[1]_include.cmake")
+include("/root/repo/build/tests/test_paper_figures[1]_include.cmake")
+include("/root/repo/build/tests/test_jacobian[1]_include.cmake")
+include("/root/repo/build/tests/test_gmres[1]_include.cmake")
+include("/root/repo/build/tests/test_arrhenius[1]_include.cmake")
+include("/root/repo/build/tests/test_fuzz[1]_include.cmake")
+include("/root/repo/build/tests/test_c_backend[1]_include.cmake")
+include("/root/repo/build/tests/test_sparse[1]_include.cmake")
+include("/root/repo/build/tests/test_vm[1]_include.cmake")
+include("/root/repo/build/tests/test_network_io[1]_include.cmake")
+include("/root/repo/build/tests/test_molecule_corpus[1]_include.cmake")
+include("/root/repo/build/tests/test_table1_shape[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmsc.dir/rmsc.cpp.o"
+  "CMakeFiles/rmsc.dir/rmsc.cpp.o.d"
+  "rmsc"
+  "rmsc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmsc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

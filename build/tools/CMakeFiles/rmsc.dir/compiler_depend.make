@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for rmsc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(rmsc_stats "/root/repo/build/tools/rmsc" "/root/repo/models_rdl/methanethiol.rdl" "--emit=stats")
+set_tests_properties(rmsc_stats PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(rmsc_emit_c "/root/repo/build/tools/rmsc" "/root/repo/models_rdl/vulcanization_s4.rdl" "--emit=c")
+set_tests_properties(rmsc_emit_c PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(rmsc_emit_network "/root/repo/build/tools/rmsc" "/root/repo/models_rdl/methanethiol.rdl" "--emit=network")
+set_tests_properties(rmsc_emit_network PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(rmsc_missing_file "/root/repo/build/tools/rmsc" "/nonexistent.rdl")
+set_tests_properties(rmsc_missing_file PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(rmsc_bad_emit "/root/repo/build/tools/rmsc" "/root/repo/models_rdl/methanethiol.rdl" "--emit=bogus")
+set_tests_properties(rmsc_bad_emit PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(rmsc_network_cache "sh" "-c" "/root/repo/build/tools/rmsc /root/repo/models_rdl/vulcanization_s4.rdl --save-network=/tmp/rmsc_cache.network --emit=stats && /root/repo/build/tools/rmsc /root/repo/models_rdl/vulcanization_s4.rdl --load-network=/tmp/rmsc_cache.network --emit=stats")
+set_tests_properties(rmsc_network_cache PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;16;add_test;/root/repo/tools/CMakeLists.txt;0;")
