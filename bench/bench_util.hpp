@@ -52,4 +52,57 @@ inline std::string human_count(std::size_t n) {
   return support::str_format("%zu", n);
 }
 
+/// Minimal JSON object builder for the machine-readable BENCH_*.json
+/// artifacts the perf trajectory consumes. Values are numbers, strings, or
+/// raw (pre-serialized) JSON; insertion order is preserved.
+class JsonObject {
+ public:
+  JsonObject& add(const std::string& key, double value) {
+    return add_raw(key, support::str_format("%.9g", value));
+  }
+
+  JsonObject& add(const std::string& key, std::size_t value) {
+    return add_raw(key, support::str_format("%zu", value));
+  }
+
+  JsonObject& add(const std::string& key, const std::string& value) {
+    std::string escaped = "\"";
+    for (char ch : value) {
+      if (ch == '"' || ch == '\\') escaped += '\\';
+      escaped += ch;
+    }
+    escaped += '"';
+    return add_raw(key, escaped);
+  }
+
+  /// Appends a pre-serialized JSON value (object, array, ...).
+  JsonObject& add_raw(const std::string& key, const std::string& json) {
+    if (!body_.empty()) body_ += ", ";
+    body_ += "\"" + key + "\": " + json;
+    return *this;
+  }
+
+  [[nodiscard]] std::string str() const { return "{" + body_ + "}"; }
+
+ private:
+  std::string body_;
+};
+
+inline std::string json_array(const std::vector<std::string>& items) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += items[i];
+  }
+  return out + "]";
+}
+
+inline bool write_file(const std::string& path, const std::string& content) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fputs(content.c_str(), f);
+  std::fclose(f);
+  return true;
+}
+
 }  // namespace rms::bench

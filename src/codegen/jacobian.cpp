@@ -4,6 +4,7 @@
 
 #include "codegen/bytecode_emitter.hpp"
 #include "support/assert.hpp"
+#include "vm/fuse.hpp"
 #include "vm/interpreter.hpp"
 
 namespace rms::codegen {
@@ -80,9 +81,9 @@ DenseJacobianEvaluator::DenseJacobianEvaluator(
 
 void DenseJacobianEvaluator::operator()(double t, const double* y,
                                         double* dense_row_major) {
-  // The interpreter is constructed per call so the evaluator stays
-  // trivially copyable; register-file allocation is tiny next to the
-  // factorization the Newton iteration does with the result.
+  // The interpreter holds no mutable state (registers live in a
+  // thread_local Scratch), so per-call construction is a pointer copy and
+  // the evaluator stays trivially copyable and thread-safe.
   vm::Interpreter interpreter(jacobian_->program);
   interpreter.run(t, y, rates_->data(), values_.data());
   const std::size_t n = jacobian_->dimension;
@@ -121,7 +122,9 @@ CompiledJacobian compile_jacobian(const odegen::EquationTable& equations,
   compiled.col_indices = std::move(symbolic.col_indices);
   opt::OptimizedSystem system =
       opt::optimize(symbolic.entries, species_count, rate_count, options);
-  compiled.program = emit_optimized(system);
+  // Jacobian programs run once per Newton refresh on the solver hot path:
+  // give them the same fused + register-compacted form as the RHS.
+  compiled.program = vm::fuse_and_compact(emit_optimized(system));
   return compiled;
 }
 

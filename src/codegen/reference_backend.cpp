@@ -125,6 +125,27 @@ support::Expected<BackendResult> reference_compile(
         out.code.push_back(Instr{Op::kStoreOut, 0, instr.a, value});
         break;
       }
+      // Fused superinstructions (vm/fuse.hpp). The general-purpose backend
+      // model lowers them opaquely — remapped but never value-numbered, the
+      // way a commercial compiler treats intrinsics it cannot reason about.
+      case Op::kMulAdd:
+      case Op::kMulSub: {
+        const std::uint32_t dst = next_reg++;
+        out.code.push_back(Instr{instr.op, dst, in_to_out[instr.a],
+                                 in_to_out[instr.b], in_to_out[instr.c]});
+        in_to_out[instr.dst] = dst;
+        break;
+      }
+      case Op::kLoadYMul:
+      case Op::kLoadKMul: {
+        const std::uint32_t dst = next_reg++;
+        out.code.push_back(Instr{instr.op, dst, instr.a, in_to_out[instr.b]});
+        in_to_out[instr.dst] = dst;
+        break;
+      }
+      case Op::kStoreNeg:
+        out.code.push_back(Instr{Op::kStoreNeg, 0, instr.a, in_to_out[instr.b]});
+        break;
     }
   }
   out.register_count = next_reg;

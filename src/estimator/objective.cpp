@@ -22,6 +22,7 @@ ObjectiveFunction::ObjectiveFunction(const vm::Program& program,
                                      std::vector<double> base_rates,
                                      ObjectiveOptions options)
     : program_(&program),
+      interpreter_(program),
       observable_(std::move(observable)),
       experiments_(std::move(experiments)),
       estimated_slots_(std::move(estimated_slots)),
@@ -60,13 +61,23 @@ Status ObjectiveFunction::solve_file(std::size_t file_index,
     }
   }
 
-  // Each call builds its own interpreter: the register file is per-worker
-  // state and ranks run concurrently.
-  vm::Interpreter interpreter(*program_);
+  // The interpreter is shared across ranks (run() is const; registers live
+  // in per-thread scratch), so concurrent solves are race-free without
+  // per-file interpreter state.
+  const vm::Interpreter& interpreter = interpreter_;
   solver::OdeSystem system;
   system.dimension = program_->species_count;
   system.rhs = [&interpreter, &rates](double t, const double* y, double* ydot) {
     interpreter.run(t, y, rates.data(), ydot);
+  };
+  // Batched RHS: the solver's finite-difference Jacobian evaluates chunks
+  // of perturbed states in one pass over the tape.
+  vm::Scratch batch_scratch;
+  system.rhs_batch = [&interpreter, &rates, &batch_scratch](
+                         double t, const double* ys, double* ydots,
+                         std::size_t count) {
+    interpreter.run_batch_shared_k(t, ys, rates.data(), ydots, count,
+                                   batch_scratch);
   };
   solver::IntegrationOptions integration = options_.integration;
   if (options_.compiled_jacobian != nullptr) {

@@ -20,6 +20,7 @@
 #include "rcip/rate_table.hpp"
 #include "solver/ode.hpp"
 #include "support/status.hpp"
+#include "vm/interpreter.hpp"
 #include "vm/program.hpp"
 
 namespace rms::estimator {
@@ -105,6 +106,10 @@ class ObjectiveFunction {
                              double& solve_seconds) const;
 
   const vm::Program* program_;
+  /// Shared across all ranks: Interpreter::run is const and keeps its
+  /// registers in per-thread scratch, so one instance serves every
+  /// concurrent solve.
+  vm::Interpreter interpreter_;
   data::Observable observable_;
   std::vector<Experiment> experiments_;
   std::vector<std::uint32_t> estimated_slots_;

@@ -69,20 +69,49 @@ void AdamsGear::compute_jacobian(double t, const std::vector<double>& y) {
     have_jacobian_ = true;
     return;
   }
-  std::vector<double> y_pert = y;
   std::vector<double> f0(n);
   system_.rhs(t, y.data(), f0.data());
   ++stats_.rhs_evaluations;
-  for (std::size_t j = 0; j < n; ++j) {
-    const double delta =
-        std::sqrt(1e-16) * std::max(std::fabs(y[j]), 1e-5);
-    y_pert[j] = y[j] + delta;
-    system_.rhs(t, y_pert.data(), f_work_.data());
-    ++stats_.rhs_evaluations;
-    y_pert[j] = y[j];
-    const double inv_delta = 1.0 / delta;
-    for (std::size_t i = 0; i < n; ++i) {
-      jacobian_(i, j) = (f_work_[i] - f0[i]) * inv_delta;
+  if (system_.rhs_batch) {
+    // Batched forward differences: evaluate a chunk of perturbed states in
+    // one pass over the RHS (one tape traversal in the bytecode case)
+    // instead of one full sweep per column.
+    constexpr std::size_t kChunk = 16;
+    std::vector<double> ys(kChunk * n);
+    std::vector<double> fs(kChunk * n);
+    std::vector<double> deltas(kChunk);
+    for (std::size_t j0 = 0; j0 < n; j0 += kChunk) {
+      const std::size_t m = std::min(kChunk, n - j0);
+      for (std::size_t c = 0; c < m; ++c) {
+        const std::size_t j = j0 + c;
+        deltas[c] = std::sqrt(1e-16) * std::max(std::fabs(y[j]), 1e-5);
+        double* row = ys.data() + c * n;
+        std::copy(y.begin(), y.end(), row);
+        row[j] += deltas[c];
+      }
+      system_.rhs_batch(t, ys.data(), fs.data(), m);
+      stats_.rhs_evaluations += m;
+      for (std::size_t c = 0; c < m; ++c) {
+        const double inv_delta = 1.0 / deltas[c];
+        const double* f = fs.data() + c * n;
+        for (std::size_t i = 0; i < n; ++i) {
+          jacobian_(i, j0 + c) = (f[i] - f0[i]) * inv_delta;
+        }
+      }
+    }
+  } else {
+    std::vector<double> y_pert = y;
+    for (std::size_t j = 0; j < n; ++j) {
+      const double delta =
+          std::sqrt(1e-16) * std::max(std::fabs(y[j]), 1e-5);
+      y_pert[j] = y[j] + delta;
+      system_.rhs(t, y_pert.data(), f_work_.data());
+      ++stats_.rhs_evaluations;
+      y_pert[j] = y[j];
+      const double inv_delta = 1.0 / delta;
+      for (std::size_t i = 0; i < n; ++i) {
+        jacobian_(i, j) = (f_work_[i] - f0[i]) * inv_delta;
+      }
     }
   }
   ++stats_.jacobian_evaluations;

@@ -27,6 +27,13 @@ using JacobianFn =
 using SparseJacobianFn =
     std::function<void(double t, const double* y, linalg::CsrMatrix& jacobian)>;
 
+/// Batched right-hand side: evaluates n independent states in one call.
+/// `ys` and `ydots` are row-major with stride `dimension` (lane l's state
+/// is ys + l*dimension). vm::Interpreter::run_batch_shared_k provides this
+/// in one cache-resident pass over the bytecode tape.
+using RhsBatchFn = std::function<void(double t, const double* ys,
+                                      double* ydots, std::size_t n)>;
+
 /// Right-hand side dy/dt = f(t, y). `ydot` has `dimension` entries.
 struct OdeSystem {
   std::size_t dimension = 0;
@@ -38,6 +45,10 @@ struct OdeSystem {
   /// strategy (codegen::SparseJacobianEvaluator provides it directly from
   /// the compiled CSR structure).
   SparseJacobianFn sparse_jacobian;
+  /// Optional batched RHS. When present, implicit solvers build their
+  /// finite-difference Jacobians from chunked batch evaluations instead of
+  /// n + 1 scalar sweeps.
+  RhsBatchFn rhs_batch;
 };
 
 /// How the implicit solver solves its Newton linear systems.

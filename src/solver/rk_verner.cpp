@@ -91,23 +91,38 @@ support::Status RungeKuttaVerner::step() {
   for (std::size_t attempt = 0; attempt < 64; ++attempt) {
     // Stage 0 reuses f0_.
     stages_[0] = f0_;
+    // Stage combinations run stage-major: one contiguous pass per (nonzero)
+    // tableau coefficient instead of touching all previous stage vectors
+    // per component. At TC scale the strided form thrashes the cache; this
+    // form streams each stage vector exactly once and vectorizes.
     for (int s = 1; s < kStages; ++s) {
-      for (std::size_t i = 0; i < n; ++i) {
-        double acc = 0.0;
-        for (int j = 0; j < s; ++j) acc += kA[s][j] * stages_[j][i];
-        work_[i] = y_[i] + h_ * acc;
+      std::fill(work_.begin(), work_.end(), 0.0);
+      for (int j = 0; j < s; ++j) {
+        const double a = kA[s][j];
+        if (a == 0.0) continue;
+        const double* f = stages_[j].data();
+        for (std::size_t i = 0; i < n; ++i) work_[i] += a * f[i];
       }
+      for (std::size_t i = 0; i < n; ++i) work_[i] = y_[i] + h_ * work_[i];
       eval_rhs(t_ + kC[s] * h_, work_, stages_[s]);
     }
-    for (std::size_t i = 0; i < n; ++i) {
-      double high = 0.0;
-      double low = 0.0;
-      for (int s = 0; s < kStages; ++s) {
-        high += kB6[s] * stages_[s][i];
-        low += kB5[s] * stages_[s][i];
+    // y_high_ accumulates the 6th-order sum, error_ the embedded 5th-order
+    // sum; both are finalized in one last pass (error_ first — it reads the
+    // high-order accumulator before y_high_ is overwritten).
+    std::fill(y_high_.begin(), y_high_.end(), 0.0);
+    std::fill(error_.begin(), error_.end(), 0.0);
+    for (int s = 0; s < kStages; ++s) {
+      const double* f = stages_[s].data();
+      if (kB6[s] != 0.0) {
+        for (std::size_t i = 0; i < n; ++i) y_high_[i] += kB6[s] * f[i];
       }
-      y_high_[i] = y_[i] + h_ * high;
-      error_[i] = h_ * (high - low);
+      if (kB5[s] != 0.0) {
+        for (std::size_t i = 0; i < n; ++i) error_[i] += kB5[s] * f[i];
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      error_[i] = h_ * (y_high_[i] - error_[i]);
+      y_high_[i] = y_[i] + h_ * y_high_[i];
     }
     const double err = error_norm(error_, y_, options_.relative_tolerance,
                                   options_.absolute_tolerance);

@@ -1,0 +1,184 @@
+#include "vm/fuse.hpp"
+
+#include <vector>
+
+#include "vm/regalloc.hpp"
+
+namespace rms::vm {
+
+namespace {
+
+constexpr std::size_t kNoIndex = ~std::size_t{0};
+
+bool defines_register(const Instr& instr) {
+  return instr.op != Op::kStoreOut && instr.op != Op::kStoreNeg;
+}
+
+/// Appends every register an instruction reads to `out` (at most 3).
+void read_registers(const Instr& instr, std::uint32_t out[3], int& count) {
+  count = 0;
+  switch (instr.op) {
+    case Op::kLoadY:
+    case Op::kLoadK:
+    case Op::kLoadT:
+    case Op::kLoadConst:
+      break;
+    case Op::kAdd:
+    case Op::kSub:
+    case Op::kMul:
+      out[count++] = instr.a;
+      out[count++] = instr.b;
+      break;
+    case Op::kNeg:
+      out[count++] = instr.a;
+      break;
+    case Op::kStoreOut:
+      if (instr.b != kNoReg) out[count++] = instr.b;
+      break;
+    case Op::kMulAdd:
+    case Op::kMulSub:
+      out[count++] = instr.a;
+      out[count++] = instr.b;
+      out[count++] = instr.c;
+      break;
+    case Op::kLoadYMul:
+    case Op::kLoadKMul:
+      out[count++] = instr.b;
+      break;
+    case Op::kStoreNeg:
+      out[count++] = instr.b;
+      break;
+  }
+}
+
+}  // namespace
+
+bool is_ssa(const Program& program) {
+  std::vector<bool> defined(program.register_count, false);
+  std::uint32_t reads[3];
+  int read_count = 0;
+  for (const Instr& instr : program.code) {
+    read_registers(instr, reads, read_count);
+    for (int i = 0; i < read_count; ++i) {
+      if (reads[i] >= program.register_count || !defined[reads[i]]) {
+        return false;
+      }
+    }
+    if (defines_register(instr)) {
+      if (instr.dst >= program.register_count || defined[instr.dst]) {
+        return false;
+      }
+      defined[instr.dst] = true;
+    }
+  }
+  return true;
+}
+
+Program fuse_superinstructions(const Program& input, FusionStats* stats) {
+  FusionStats local;
+  local.instructions_before = input.code.size();
+  local.instructions_after = input.code.size();
+  if (!is_ssa(input)) {
+    if (stats != nullptr) *stats = local;
+    return input;
+  }
+
+  const std::size_t n = input.code.size();
+  // use_count[r]: total reads of register r; def_at[r]: defining index.
+  std::vector<std::uint32_t> use_count(input.register_count, 0);
+  std::vector<std::size_t> def_at(input.register_count, kNoIndex);
+  std::uint32_t reads[3];
+  int read_count = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Instr& instr = input.code[i];
+    read_registers(instr, reads, read_count);
+    for (int r = 0; r < read_count; ++r) ++use_count[reads[r]];
+    if (defines_register(instr)) def_at[instr.dst] = i;
+  }
+
+  std::vector<Instr> code = input.code;
+  std::vector<bool> dead(n, false);
+
+  // A producer may be folded into its consumer when the consumer is its
+  // only reader. SSA guarantees the producer's own operands are still
+  // valid at the consumer's position, so sinking the computation is safe.
+  auto sole_use_def = [&](std::uint32_t reg, Op wanted) -> std::size_t {
+    if (use_count[reg] != 1) return kNoIndex;
+    const std::size_t at = def_at[reg];
+    if (at == kNoIndex || dead[at] || code[at].op != wanted) return kNoIndex;
+    return at;
+  };
+
+  // Pass 1: multiply-accumulate and store-negate fusion.
+  for (std::size_t i = 0; i < n; ++i) {
+    Instr& instr = code[i];
+    if (instr.op == Op::kAdd) {
+      // Prefer folding the second operand (the freshly computed product in
+      // accumulator chains); fall back to the first — kAdd commutes.
+      std::size_t mul = sole_use_def(instr.b, Op::kMul);
+      std::uint32_t other = instr.a;
+      if (mul == kNoIndex) {
+        mul = sole_use_def(instr.a, Op::kMul);
+        other = instr.b;
+      }
+      if (mul == kNoIndex) continue;
+      instr = Instr{Op::kMulAdd, instr.dst, code[mul].a, code[mul].b, other};
+      dead[mul] = true;
+      ++local.mul_adds;
+    } else if (instr.op == Op::kSub) {
+      // Only the subtrahend folds: r[d] = r[a] - r[mul].
+      const std::size_t mul = sole_use_def(instr.b, Op::kMul);
+      if (mul == kNoIndex) continue;
+      instr =
+          Instr{Op::kMulSub, instr.dst, code[mul].a, code[mul].b, instr.a};
+      dead[mul] = true;
+      ++local.mul_subs;
+    } else if (instr.op == Op::kStoreOut && instr.b != kNoReg) {
+      const std::size_t neg = sole_use_def(instr.b, Op::kNeg);
+      if (neg == kNoIndex) continue;
+      instr = Instr{Op::kStoreNeg, 0, instr.a, code[neg].a};
+      dead[neg] = true;
+      ++local.store_negs;
+    }
+  }
+
+  // Pass 2: fold single-use y/k loads into the multiplies that survive.
+  for (std::size_t i = 0; i < n; ++i) {
+    Instr& instr = code[i];
+    if (dead[i] || instr.op != Op::kMul) continue;
+    std::size_t load = sole_use_def(instr.a, Op::kLoadY);
+    if (load == kNoIndex) load = sole_use_def(instr.a, Op::kLoadK);
+    std::uint32_t other = instr.b;
+    if (load == kNoIndex) {
+      load = sole_use_def(instr.b, Op::kLoadY);
+      if (load == kNoIndex) load = sole_use_def(instr.b, Op::kLoadK);
+      other = instr.a;
+    }
+    if (load == kNoIndex) continue;
+    const Op fused =
+        code[load].op == Op::kLoadY ? Op::kLoadYMul : Op::kLoadKMul;
+    instr = Instr{fused, instr.dst, code[load].a, other};
+    dead[load] = true;
+    ++local.load_muls;
+  }
+
+  Program out;
+  out.consts = input.consts;
+  out.register_count = input.register_count;
+  out.species_count = input.species_count;
+  out.rate_count = input.rate_count;
+  out.output_count = input.output_count;
+  out.code.reserve(n - local.fused());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!dead[i]) out.code.push_back(code[i]);
+  }
+  local.instructions_after = out.code.size();
+  if (stats != nullptr) *stats = local;
+  return out;
+}
+
+Program fuse_and_compact(const Program& input, FusionStats* fusion_stats) {
+  return compact_registers(fuse_superinstructions(input, fusion_stats));
+}
+
+}  // namespace rms::vm

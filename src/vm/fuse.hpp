@@ -1,0 +1,59 @@
+// Peephole superinstruction fusion for bytecode programs.
+//
+// The emitters produce SSA-form three-address code: every register is
+// defined exactly once and intermediate values are typically consumed
+// exactly once. That makes the classic interpreter superinstructions safe
+// to form by a use-count-driven peephole:
+//
+//   kMul p,a,b ; kAdd d,x,p   ->  kMulAdd  d,a,b,x   (r[d] = r[a]*r[b]+r[x])
+//   kMul p,a,b ; kSub d,x,p   ->  kMulSub  d,a,b,x   (r[d] = r[x]-r[a]*r[b])
+//   kLoadY v,i ; kMul d,v,r   ->  kLoadYMul d,i,r    (r[d] = y[i]*r[r])
+//   kLoadK v,i ; kMul d,v,r   ->  kLoadKMul d,i,r    (r[d] = k[i]*r[r])
+//   kNeg  v,r  ; kStoreOut i,v -> kStoreNeg i,r      (ydot[i] = -r[r])
+//
+// Fusion fires only when the intermediate register is used exactly once
+// (by the fused consumer), so it never duplicates work; on mass-action
+// tapes it removes 30-50% of all dispatches. Arithmetic-operation counts
+// are invariant (a kMulAdd counts 1 multiply + 1 add), keeping the Table 1
+// op-count rows exact.
+//
+// Programs that are not in SSA form (e.g. already register-compacted) are
+// returned unchanged: fuse BEFORE vm::compact_registers.
+#pragma once
+
+#include <cstddef>
+
+#include "vm/program.hpp"
+
+namespace rms::vm {
+
+struct FusionStats {
+  std::size_t mul_adds = 0;
+  std::size_t mul_subs = 0;
+  std::size_t load_muls = 0;
+  std::size_t store_negs = 0;
+  std::size_t instructions_before = 0;
+  std::size_t instructions_after = 0;
+
+  [[nodiscard]] std::size_t fused() const {
+    return mul_adds + mul_subs + load_muls + store_negs;
+  }
+};
+
+/// True if every non-store instruction defines a distinct register and all
+/// operands are defined before use — the form the emitters produce and the
+/// precondition for fusion.
+[[nodiscard]] bool is_ssa(const Program& program);
+
+/// Returns the program with superinstructions fused (see file comment).
+/// Non-SSA input is returned unchanged.
+[[nodiscard]] Program fuse_superinstructions(const Program& input,
+                                             FusionStats* stats = nullptr);
+
+/// The standard execution pipeline: fuse, then compact registers
+/// (vm/regalloc.hpp). This is what bytecode_emitter callers should run on
+/// any program destined for the interpreter's hot path.
+[[nodiscard]] Program fuse_and_compact(const Program& input,
+                                       FusionStats* fusion_stats = nullptr);
+
+}  // namespace rms::vm

@@ -13,7 +13,14 @@ ArithCount Program::count_arith() const {
         ++count.add_subs;
         break;
       case Op::kMul:
+      case Op::kLoadYMul:
+      case Op::kLoadKMul:
         ++count.multiplies;
+        break;
+      case Op::kMulAdd:
+      case Op::kMulSub:
+        ++count.multiplies;
+        ++count.add_subs;
         break;
       default:
         break;
@@ -59,6 +66,25 @@ std::string Program::disassemble() const {
         } else {
           out += support::str_format("ydot[%u] = r%u\n", instr.a, instr.b);
         }
+        break;
+      case Op::kMulAdd:
+        out += support::str_format("r%u = r%u * r%u + r%u\n", instr.dst,
+                                   instr.a, instr.b, instr.c);
+        break;
+      case Op::kMulSub:
+        out += support::str_format("r%u = r%u - r%u * r%u\n", instr.dst,
+                                   instr.c, instr.a, instr.b);
+        break;
+      case Op::kLoadYMul:
+        out += support::str_format("r%u = y[%u] * r%u\n", instr.dst, instr.a,
+                                   instr.b);
+        break;
+      case Op::kLoadKMul:
+        out += support::str_format("r%u = k[%u] * r%u\n", instr.dst, instr.a,
+                                   instr.b);
+        break;
+      case Op::kStoreNeg:
+        out += support::str_format("ydot[%u] = -r%u\n", instr.a, instr.b);
         break;
     }
   }

@@ -25,15 +25,28 @@ enum class Op : std::uint8_t {
   kMul,        ///< reg[dst] = reg[a] * reg[b]
   kNeg,        ///< reg[dst] = -reg[a]
   kStoreOut,   ///< ydot[a] = reg[b] (b may be kNoReg for 0.0)
+  // Fused superinstructions (produced by vm::fuse_superinstructions, never
+  // by the emitters). Each one counts the same arithmetic as the base-op
+  // sequence it replaces, so count_arith() is invariant under fusion.
+  kMulAdd,     ///< reg[dst] = reg[a] * reg[b] + reg[c]
+  kMulSub,     ///< reg[dst] = reg[c] - reg[a] * reg[b]
+  kLoadYMul,   ///< reg[dst] = y[a] * reg[b]
+  kLoadKMul,   ///< reg[dst] = k[a] * reg[b]
+  kStoreNeg,   ///< ydot[a] = -reg[b]
 };
 
 inline constexpr std::uint32_t kNoReg = ~std::uint32_t{0};
+
+/// Number of distinct opcodes (dispatch-table size).
+inline constexpr std::size_t kOpCount =
+    static_cast<std::size_t>(Op::kStoreNeg) + 1;
 
 struct Instr {
   Op op = Op::kLoadConst;
   std::uint32_t dst = 0;
   std::uint32_t a = 0;
   std::uint32_t b = 0;
+  std::uint32_t c = 0;  ///< third source operand (fused ops only)
 };
 
 struct ArithCount {

@@ -1,0 +1,119 @@
+#include "vm/regalloc.hpp"
+
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace rms::vm {
+
+namespace {
+
+constexpr std::size_t kNoIndex = ~std::size_t{0};
+
+/// Calls fn(reg&) for every register field of the instruction, defs and
+/// uses alike. The dst field of stores is not a register.
+template <typename Fn>
+void for_each_register(Instr& instr, Fn&& fn) {
+  switch (instr.op) {
+    case Op::kLoadY:
+    case Op::kLoadK:
+    case Op::kLoadT:
+    case Op::kLoadConst:
+      fn(instr.dst);
+      break;
+    case Op::kAdd:
+    case Op::kSub:
+    case Op::kMul:
+      fn(instr.a);
+      fn(instr.b);
+      fn(instr.dst);
+      break;
+    case Op::kNeg:
+      fn(instr.a);
+      fn(instr.dst);
+      break;
+    case Op::kStoreOut:
+      if (instr.b != kNoReg) fn(instr.b);
+      break;
+    case Op::kMulAdd:
+    case Op::kMulSub:
+      fn(instr.a);
+      fn(instr.b);
+      fn(instr.c);
+      fn(instr.dst);
+      break;
+    case Op::kLoadYMul:
+    case Op::kLoadKMul:
+      fn(instr.b);
+      fn(instr.dst);
+      break;
+    case Op::kStoreNeg:
+      fn(instr.b);
+      break;
+  }
+}
+
+}  // namespace
+
+Program compact_registers(const Program& input, RegAllocStats* stats) {
+  Program out;
+  out.consts = input.consts;
+  out.species_count = input.species_count;
+  out.rate_count = input.rate_count;
+  out.output_count = input.output_count;
+  out.code = input.code;
+
+  const std::size_t reg_count = input.register_count;
+  // Live interval of each register: [first occurrence, last occurrence].
+  // Treating defs and uses uniformly keeps the renaming correct even for
+  // non-SSA input (a redefined register keeps one slot for its whole
+  // lifetime — conservative but always sound, since renaming is uniform).
+  std::vector<std::size_t> last(reg_count, kNoIndex);
+  for (std::size_t i = 0; i < out.code.size(); ++i) {
+    for_each_register(out.code[i], [&](std::uint32_t& r) {
+      RMS_CHECK(r < reg_count);
+      last[r] = i;
+    });
+  }
+
+  std::vector<std::uint32_t> name(reg_count, kNoReg);
+  std::vector<std::uint32_t> free_list;
+  std::uint32_t high_water = 0;
+
+  for (std::size_t i = 0; i < out.code.size(); ++i) {
+    // Rename every field first (a register first seen here gets a slot),
+    // then release slots whose interval ends at this instruction. Operands
+    // are read before dst is written within one instruction, so dst
+    // sharing a dying operand's slot is safe — but that reuse only happens
+    // on the *next* instruction, keeping the rewrite valid even for ops
+    // where dst is renamed before a later-listed operand field.
+    for_each_register(out.code[i], [&](std::uint32_t& r) {
+      if (name[r] == kNoReg) {
+        if (free_list.empty()) {
+          name[r] = high_water++;
+        } else {
+          name[r] = free_list.back();
+          free_list.pop_back();
+        }
+      }
+      r = name[r];
+    });
+    const Instr& original = input.code[i];
+    Instr probe = original;
+    for_each_register(probe, [&](std::uint32_t& r) {
+      if (last[r] == i && name[r] != kNoReg) {
+        free_list.push_back(name[r]);
+        name[r] = kNoReg;
+      }
+    });
+  }
+
+  out.register_count = high_water;
+  if (stats != nullptr) {
+    stats->registers_before = input.register_count;
+    stats->registers_after = out.register_count;
+  }
+  return out;
+}
+
+}  // namespace rms::vm

@@ -1,0 +1,33 @@
+// Linear-scan register compaction for bytecode programs.
+//
+// The emitters allocate one fresh register per value, so register_count
+// grows with the tape: O(#instructions). At TC4/TC5 scale that register
+// file is megabytes — every pass over the tape streams it through the
+// cache and dispatch stalls on register loads. Compaction renames
+// registers by live range (one interval per register, from first to last
+// occurrence in the straight-line code), reusing a slot as soon as its
+// value dies. The result is register_count = max live width, which for
+// mass-action tapes is orders of magnitude smaller and cache-resident.
+//
+// The rewrite is a pure renaming: instruction order, opcodes and semantics
+// are untouched, so count_arith() and all outputs are bit-identical.
+// Compacted programs are generally NOT in SSA form; run fusion
+// (vm/fuse.hpp) first.
+#pragma once
+
+#include <cstddef>
+
+#include "vm/program.hpp"
+
+namespace rms::vm {
+
+struct RegAllocStats {
+  std::size_t registers_before = 0;
+  std::size_t registers_after = 0;
+};
+
+/// Returns the program rewritten to reuse registers by live range.
+[[nodiscard]] Program compact_registers(const Program& input,
+                                        RegAllocStats* stats = nullptr);
+
+}  // namespace rms::vm
