@@ -1,0 +1,238 @@
+// End-to-end compile-time benchmark: serial baseline vs. the parallel
+// pipeline, measured in the same run on the same inputs.
+//
+// One measurement runs the full compile for a synthetic test case —
+// network -> ODE generation -> DistOpt -> CSE -> emission -> fuse, plus the
+// analytic Jacobian (differentiate -> optimize -> emit) — and records the
+// per-phase wall times from opt::PhaseTimings. The baseline replays the
+// seed pipeline: serial, per-round DistOpt frequency recounts, no equation
+// memoization or CSE dedup, and the Table 1 reference artifacts always
+// built. The optimized mode runs with `--threads` workers and every
+// pipeline switch on, compiling only what execution needs. Both modes
+// produce bit-identical RHS and Jacobian bytecode, which the bench
+// verifies before reporting.
+//
+// Results go to stdout (a phase-by-phase table) and to BENCH_compile.json
+// (override with --json=PATH), the compile-side analogue of BENCH_vm.json.
+//
+// Flags:
+//   --tc=N         test case to compile (default 3)
+//   --scale=F      fraction of the paper's equation count (default 1.0)
+//   --threads=N    worker threads for the optimized mode (default
+//                  RMS_THREADS, else 8)
+//   --repeats=N    measurements per mode; the fastest is reported (default 3)
+//   --json=PATH    output path (default BENCH_compile.json)
+//   --no-jacobian  skip the Jacobian compile (RHS pipeline only)
+//   --keep-reference  build the Table 1 reference artifacts in the
+//                     optimized mode too (apples-to-apples phase table)
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "codegen/jacobian.hpp"
+#include "models/test_cases.hpp"
+#include "support/thread_pool.hpp"
+#include "support/timer.hpp"
+
+namespace {
+
+using namespace rms;
+
+struct CompileResult {
+  opt::PhaseTimings timings;
+  double total_seconds = 0.0;
+  std::size_t equations = 0;
+  std::size_t distinct_equations = 0;
+  vm::Program rhs_program;
+  vm::Program jacobian_program;
+};
+
+bool same_program(const vm::Program& a, const vm::Program& b) {
+  if (a.code.size() != b.code.size() || a.consts != b.consts ||
+      a.register_count != b.register_count ||
+      a.output_count != b.output_count) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.code.size(); ++i) {
+    const vm::Instr& x = a.code[i];
+    const vm::Instr& y = b.code[i];
+    if (x.op != y.op || x.dst != y.dst || x.a != y.a || x.b != y.b ||
+        x.c != y.c) {
+      return false;
+    }
+  }
+  return true;
+}
+
+CompileResult compile_once(const models::SyntheticNetworkConfig& config,
+                           const models::PipelineOptions& pipeline,
+                           bool with_jacobian) {
+  CompileResult result;
+  support::WallTimer timer;
+  auto built = models::build_test_case(config, pipeline);
+  if (!built.is_ok()) {
+    std::fprintf(stderr, "build failed: %s\n",
+                 built.status().to_string().c_str());
+    std::exit(1);
+  }
+  result.timings = std::move(built->timings);
+  if (with_jacobian) {
+    opt::OptimizerOptions jac_options = pipeline.optimizer;
+    jac_options.pool = pipeline.pool;
+    jac_options.timings = &result.timings;
+    codegen::CompiledJacobian jacobian =
+        codegen::compile_jacobian(built->odes.table, built->network.species.size(),
+                                  built->rates.size(), jac_options);
+    result.jacobian_program = std::move(jacobian.program);
+  }
+  result.total_seconds = timer.seconds();
+  result.equations = built->equation_count();
+  result.distinct_equations = built->report.distinct_equations;
+  result.rhs_program = std::move(built->program_optimized);
+  return result;
+}
+
+CompileResult best_of(int repeats, const models::SyntheticNetworkConfig& config,
+                      const models::PipelineOptions& pipeline,
+                      bool with_jacobian) {
+  CompileResult best;
+  for (int r = 0; r < repeats; ++r) {
+    CompileResult run = compile_once(config, pipeline, with_jacobian);
+    if (r == 0 || run.total_seconds < best.total_seconds) {
+      best = std::move(run);
+    }
+  }
+  return best;
+}
+
+std::string phases_json(const opt::PhaseTimings& timings) {
+  std::vector<std::string> items;
+  items.reserve(timings.phases.size());
+  for (const opt::PhaseTimings::Phase& p : timings.phases) {
+    items.push_back(bench::JsonObject()
+                        .add("name", p.name)
+                        .add("seconds", p.seconds)
+                        .str());
+  }
+  return bench::json_array(items);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Flags flags(argc, argv);
+  const int tc = static_cast<int>(flags.get_int("tc", 3));
+  const double scale = flags.get_double("scale", 1.0);
+  const std::size_t threads = static_cast<std::size_t>(flags.get_int(
+      "threads",
+      static_cast<long>(support::ThreadPool::default_thread_count() != 0
+                            ? support::ThreadPool::default_thread_count()
+                            : 8)));
+  const int repeats = static_cast<int>(flags.get_int("repeats", 3));
+  const bool with_jacobian = !flags.has("no-jacobian");
+  std::string json_path = "BENCH_compile.json";
+  for (int i = 1; i < argc; ++i) {
+    const char* prefix = "--json=";
+    if (std::strncmp(argv[i], prefix, std::strlen(prefix)) == 0) {
+      json_path = argv[i] + std::strlen(prefix);
+    }
+  }
+
+  const models::SyntheticNetworkConfig config = models::scaled_config(tc, scale);
+
+  // Baseline: the seed pipeline — serial, no equation memoization, per-round
+  // frequency recounts in DistOpt, no CSE equation dedup, and the Table 1
+  // reference artifacts built unconditionally.
+  models::PipelineOptions baseline;
+  baseline.optimizer.memoize_equations = false;
+  baseline.optimizer.incremental_frequency = false;
+  baseline.optimizer.cse.dedup_equations = false;
+  // The operation-count report is telemetry, not compilation: leave it out
+  // of the measured repeats (both modes identically) and gather it once in
+  // an untimed stats pass below.
+  baseline.collect_report = false;
+
+  // Optimized: worker pool, memoized DistOpt, incremental counts, CSE dedup,
+  // and only the artifacts execution needs (pass --keep-reference to build
+  // the Table 1 baseline program too). The optimized RHS and Jacobian
+  // programs are bit-identical to the baseline's either way.
+  support::ThreadPool pool(threads);
+  models::PipelineOptions parallel;
+  parallel.pool = &pool;
+  parallel.build_reference_baseline = flags.has("keep-reference");
+  parallel.collect_report = false;
+
+  std::printf("Compile pipeline bench: TC%d scale=%.3g (%s), %zu threads, "
+              "best of %d, %s\n\n",
+              tc, scale, flags.has("no-jacobian") ? "RHS only" : "RHS+Jacobian",
+              threads, repeats, "baseline = serial seed pipeline");
+
+  CompileResult base = best_of(repeats, config, baseline, with_jacobian);
+  CompileResult fast = best_of(repeats, config, parallel, with_jacobian);
+
+  // Untimed stats pass: one compile with the report on, for the
+  // distinct-equation count reported alongside the timings.
+  models::PipelineOptions stats = parallel;
+  stats.collect_report = true;
+  fast.distinct_equations =
+      compile_once(config, stats, /*with_jacobian=*/false).distinct_equations;
+
+  const bool rhs_identical = same_program(base.rhs_program, fast.rhs_program);
+  const bool jac_identical =
+      !with_jacobian || same_program(base.jacobian_program, fast.jacobian_program);
+
+  std::printf("%-20s %12s %12s %9s\n", "phase", "baseline(s)", "parallel(s)",
+              "speedup");
+  // Walk the union of phase names in baseline order (both modes run the
+  // same pipeline, so the order matches).
+  for (const opt::PhaseTimings::Phase& p : base.timings.phases) {
+    const double after = fast.timings.seconds(p.name);
+    if (after > 0.0) {
+      std::printf("%-20s %12.4f %12.4f %8.2fx\n", p.name.c_str(), p.seconds,
+                  after, p.seconds / after);
+    } else {
+      std::printf("%-20s %12.4f %12s %9s\n", p.name.c_str(), p.seconds,
+                  "-", "skipped");
+    }
+  }
+  const double speedup =
+      fast.total_seconds > 0.0 ? base.total_seconds / fast.total_seconds : 0.0;
+  std::printf("%-20s %12.4f %12.4f %8.2fx\n", "total", base.total_seconds,
+              fast.total_seconds, speedup);
+  std::printf("\nequations: %zu (distinct through DistOpt: %zu of %zu)\n",
+              base.equations, fast.distinct_equations, base.equations);
+  std::printf("bit-identical output: rhs=%s jacobian=%s\n",
+              rhs_identical ? "yes" : "NO", jac_identical ? "yes" : "NO");
+
+  const std::string json =
+      bench::JsonObject()
+          .add("bench", std::string("compile_pipeline"))
+          .add("test_case", static_cast<std::size_t>(tc))
+          .add("scale", scale)
+          .add("threads", threads)
+          .add("equations", base.equations)
+          .add("distinct_equations", fast.distinct_equations)
+          .add("with_jacobian", std::string(with_jacobian ? "yes" : "no"))
+          .add("baseline_seconds", base.total_seconds)
+          .add("parallel_seconds", fast.total_seconds)
+          .add("speedup", speedup)
+          .add("bit_identical",
+               std::string(rhs_identical && jac_identical ? "yes" : "no"))
+          .add_raw("baseline_phases", phases_json(base.timings))
+          .add_raw("parallel_phases", phases_json(fast.timings))
+          .str() +
+      "\n";
+  if (!bench::write_file(json_path, json)) {
+    std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::printf("\nwrote %s\n", json_path.c_str());
+
+  if (!rhs_identical || !jac_identical) {
+    std::fprintf(stderr, "FAIL: parallel output differs from baseline\n");
+    return 1;
+  }
+  return 0;
+}

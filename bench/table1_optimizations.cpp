@@ -25,6 +25,8 @@
 //   --paper-scale    run the full 450..250,000-equation sizes
 //   --rhs-evals=N    RHS evaluations per timing measurement (default 2000)
 //   --budget-mb=M    override the ReferenceBackend memory budget
+//   --compile-timings  also print the per-phase compile wall times
+//                      (opt::PhaseTimings) for every test case
 #include <cmath>
 #include <cstdio>
 #include <memory>
@@ -111,6 +113,7 @@ int main(int argc, char** argv) {
   Row add_after;
   Row time_opt;
   Row fraction;
+  Row time_compile;
 
   for (int tc = 1; tc <= models::kTestCaseCount; ++tc) {
     const int i = tc - 1;
@@ -129,6 +132,8 @@ int main(int argc, char** argv) {
         100.0 * report.add_sub_fraction());
     fraction.cells[i] =
         support::str_format("%.1f%%", 100.0 * report.total_fraction());
+    time_compile.cells[i] =
+        support::str_format("%.3f s", built.timings.total_seconds());
 
     // Unoptimized code at the default compiler level: runs only if the
     // base lowering fits the budget (the paper's TC5 cell says "compiler
@@ -185,6 +190,14 @@ int main(int argc, char** argv) {
   print_row("Number of +,- (alg/CSE opts)", add_after);
   print_row("Exec time (alg/CSE opts)", time_opt);
   print_row("Remaining operations", fraction);
+  print_row("Compile time (this pipeline)", time_compile);
+
+  if (flags.has("compile-timings")) {
+    std::printf("\nPer-phase compile wall times (opt::PhaseTimings):\n");
+    for (int tc = 1; tc <= models::kTestCaseCount; ++tc) {
+      std::printf("\nTC%d:\n%s", tc, cases[tc - 1]->timings.to_string().c_str());
+    }
+  }
 
   std::printf(
       "\nPaper reference (full scale): TC5 multiplies reduced to 1.35%%, "

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <tuple>
+#include <unordered_map>
 
 #include "chem/smiles.hpp"
 #include "support/assert.hpp"
@@ -133,6 +134,49 @@ CanonicalResult canonicalize(const Molecule& mol) {
 
 std::string canonical_smiles(const Molecule& mol) {
   return canonicalize(mol).smiles;
+}
+
+namespace {
+
+/// Byte-exact encoding of the molecular graph, used as the memo key.
+std::string graph_key(const Molecule& mol) {
+  std::string key;
+  key.reserve(mol.atom_count() * 3 + mol.bond_count() * 9);
+  for (AtomIndex i = 0; i < mol.atom_count(); ++i) {
+    const Atom& a = mol.atom(i);
+    key.push_back(static_cast<char>(a.element));
+    key.push_back(static_cast<char>(a.charge));
+    key.push_back(static_cast<char>(a.hydrogens));
+  }
+  auto append_u32 = [&key](std::uint32_t v) {
+    key.push_back(static_cast<char>(v & 0xFF));
+    key.push_back(static_cast<char>((v >> 8) & 0xFF));
+    key.push_back(static_cast<char>((v >> 16) & 0xFF));
+    key.push_back(static_cast<char>((v >> 24) & 0xFF));
+  };
+  for (BondIndex bi = 0; bi < mol.bond_count(); ++bi) {
+    const Bond& b = mol.bond(bi);
+    append_u32(b.a);
+    append_u32(b.b);
+    key.push_back(static_cast<char>(b.order));
+  }
+  return key;
+}
+
+}  // namespace
+
+const std::string& canonical_smiles_cached(const Molecule& mol) {
+  // Bounded per-thread memo; cleared wholesale when it grows past the cap
+  // (simpler than eviction, and a full clear just re-pays a few misses).
+  constexpr std::size_t kMaxEntries = 1u << 16;
+  thread_local std::unordered_map<std::string, std::string> cache;
+  if (cache.size() > kMaxEntries) cache.clear();
+  std::string key = graph_key(mol);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    it = cache.emplace(std::move(key), canonical_smiles(mol)).first;
+  }
+  return it->second;
 }
 
 }  // namespace rms::chem

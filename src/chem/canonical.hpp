@@ -27,6 +27,16 @@ CanonicalResult canonicalize(const Molecule& mol);
 /// Convenience: canonical SMILES only.
 std::string canonical_smiles(const Molecule& mol);
 
+/// Memoized canonical_smiles. The cache is keyed by the exact molecular
+/// graph (atom order included), so it is a pure lookup of previous results —
+/// two isomorphic molecules built in different atom orders simply miss the
+/// cache and canonicalize to the same string the slow way. The cache is
+/// per-thread (no sharing, no locks), which fits the network generator's
+/// fan-out: pool workers are long-lived, so each accumulates its own cache
+/// across rounds. The returned reference is invalidated by the next call on
+/// the same thread.
+const std::string& canonical_smiles_cached(const Molecule& mol);
+
 /// Morgan refinement without tie breaking: atoms in the same orbit share a
 /// rank. Exposed for tests and for symmetry queries.
 std::vector<std::uint32_t> morgan_ranks(const Molecule& mol);

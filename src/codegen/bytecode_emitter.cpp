@@ -137,16 +137,37 @@ Program emit_unoptimized(const odegen::EquationTable& table,
 
 namespace {
 
-class OptimizedEmitter {
+/// Emits one region of the optimized program: either the temp-definition
+/// prologue (the shared region) or a single equation body (a fragment).
+///
+/// The split makes emission parallel while keeping the merged program a
+/// pure function of the OptimizedSystem: the prologue is emitted serially,
+/// its state (temp registers, constant caches) is then frozen and shared
+/// read-only by every fragment, and each fragment numbers its private
+/// registers from `reg_base` upward / its newly discovered constants from
+/// `pool_base` upward. The merge pass renumbers both by simple offsets in
+/// equation order, so the result does not depend on which thread emitted
+/// which fragment — nor on whether a pool was used at all.
+class RegionEmitter {
  public:
-  explicit OptimizedEmitter(const OptimizedSystem& system) : system_(system) {
-    temp_regs_.assign(system.temp_order.size(), vm::kNoReg);
-  }
+  /// Prologue region: owns the constant caches, registers start at 0.
+  RegionEmitter(const OptimizedSystem& system,
+                std::vector<std::uint32_t>& temp_regs)
+      : system_(system), temp_regs_(temp_regs) {}
 
-  Program run() {
-    emitter_.program_.species_count = system_.species_count;
-    emitter_.program_.rate_count = system_.rate_count;
-    emitter_.program_.output_count = system_.equations.size();
+  /// Fragment region: shares the frozen prologue caches.
+  RegionEmitter(const OptimizedSystem& system,
+                std::vector<std::uint32_t>& temp_regs,
+                const RegionEmitter& prologue)
+      : system_(system),
+        temp_regs_(temp_regs),
+        shared_const_regs_(&prologue.const_regs_),
+        shared_pool_(&prologue.pool_index_),
+        pool_base_(static_cast<std::uint32_t>(prologue.new_consts_.size())),
+        next_reg_(prologue.next_reg_),
+        reg_base_(prologue.next_reg_) {}
+
+  void emit_temp_definitions() {
     for (const opt::TempDef& def : system_.temp_order) {
       if (def.kind == opt::TempDef::Kind::kProduct) {
         const ProductEntry& p = system_.products[def.entry];
@@ -156,19 +177,8 @@ class OptimizedEmitter {
         temp_regs_[s.temp_index] = sum_definition(s);
       }
     }
-    for (std::size_t i = 0; i < system_.equations.size(); ++i) {
-      const std::int32_t eq = system_.equations[i];
-      if (eq == kNoExpr) {
-        emitter_.store(static_cast<std::uint32_t>(i), vm::kNoReg);
-      } else {
-        emitter_.store(static_cast<std::uint32_t>(i),
-                       sum_value(static_cast<std::uint32_t>(eq)));
-      }
-    }
-    return emitter_.take();
   }
 
- private:
   std::uint32_t sum_value(std::uint32_t id) {
     const SumEntry& s = system_.sums[id];
     if (s.temp_index >= 0) {
@@ -176,6 +186,61 @@ class OptimizedEmitter {
       return temp_regs_[s.temp_index];
     }
     return sum_definition(s);
+  }
+
+  [[nodiscard]] const std::vector<Instr>& code() const { return code_; }
+  [[nodiscard]] std::vector<Instr>& code() { return code_; }
+  /// Constants first referenced by this region, in reference order.
+  [[nodiscard]] const std::vector<double>& new_consts() const {
+    return new_consts_;
+  }
+  [[nodiscard]] std::vector<double>& new_consts() { return new_consts_; }
+  [[nodiscard]] std::uint32_t next_reg() const { return next_reg_; }
+  [[nodiscard]] std::uint32_t reg_base() const { return reg_base_; }
+  [[nodiscard]] std::uint32_t pool_base() const { return pool_base_; }
+
+ private:
+  std::uint32_t fresh_reg() { return next_reg_++; }
+
+  std::uint32_t emit(Op op, std::uint32_t a = 0, std::uint32_t b = 0) {
+    const std::uint32_t dst = fresh_reg();
+    code_.push_back(Instr{op, dst, a, b});
+    return dst;
+  }
+
+  std::uint32_t const_reg(double value) {
+    // A constant the prologue already loaded lives in a shared register.
+    if (shared_const_regs_ != nullptr) {
+      auto it = shared_const_regs_->find(value);
+      if (it != shared_const_regs_->end()) return it->second;
+    }
+    auto it = const_regs_.find(value);
+    if (it != const_regs_.end()) return it->second;
+    std::uint32_t pool_index = vm::kNoReg;
+    if (shared_pool_ != nullptr) {
+      auto shared = shared_pool_->find(value);
+      if (shared != shared_pool_->end()) pool_index = shared->second;
+    }
+    if (pool_index == vm::kNoReg) {
+      auto [pit, inserted] = pool_index_.try_emplace(
+          value,
+          pool_base_ + static_cast<std::uint32_t>(new_consts_.size()));
+      if (inserted) new_consts_.push_back(value);
+      pool_index = pit->second;
+    }
+    const std::uint32_t reg = emit(Op::kLoadConst, pool_index);
+    const_regs_.emplace(value, reg);
+    return reg;
+  }
+
+  std::uint32_t var_reg(VarId v) {
+    switch (v.kind) {
+      case VarKind::kSpecies: return emit(Op::kLoadY, v.index);
+      case VarKind::kRateConst: return emit(Op::kLoadK, v.index);
+      case VarKind::kTime: return emit(Op::kLoadT);
+      case VarKind::kTemp: RMS_CHECK_MSG(false, "unexpected temp VarId");
+    }
+    RMS_UNREACHABLE();
   }
 
   std::uint32_t product_value(std::uint32_t id) {
@@ -198,21 +263,29 @@ class OptimizedEmitter {
       const ProductAtom& atom = p.atoms[i];
       const std::uint32_t operand =
           atom.kind == ProductAtom::Kind::kVar
-              ? emitter_.var_reg(atom.var)
+              ? var_reg(atom.var)
               : sum_value(static_cast<std::uint32_t>(atom.sum));
-      reg = reg == vm::kNoReg ? operand
-                              : emitter_.emit(Op::kMul, reg, operand);
+      reg = reg == vm::kNoReg ? operand : emit(Op::kMul, reg, operand);
     }
-    if (reg == vm::kNoReg) reg = emitter_.const_reg(1.0);
+    if (reg == vm::kNoReg) reg = const_reg(1.0);
     return reg;
   }
 
   std::uint32_t sum_definition(const SumEntry& s) {
-    SumAccumulator acc(emitter_);
+    std::uint32_t acc = vm::kNoReg;
+    bool have_acc = false;
+    auto push = [&](std::uint32_t reg, bool negative) {
+      if (!have_acc) {
+        acc = negative ? emit(Op::kNeg, reg) : reg;
+        have_acc = true;
+      } else {
+        acc = emit(negative ? Op::kSub : Op::kAdd, acc, reg);
+      }
+    };
     if (s.prefix_len > 0) {
       const SumEntry& donor = system_.sums[s.prefix_sum];
       RMS_CHECK(donor.temp_index >= 0);
-      acc.push(temp_regs_[donor.temp_index], /*negative=*/false);
+      push(temp_regs_[donor.temp_index], /*negative=*/false);
     }
     for (std::size_t i = s.prefix_len; i < s.operands.size(); ++i) {
       const opt::SumOperand& op = s.operands[i];
@@ -221,28 +294,143 @@ class OptimizedEmitter {
       const double magnitude = std::fabs(op.coeff);
       std::uint32_t reg;
       if (product_is_one) {
-        reg = emitter_.const_reg(magnitude);
+        reg = const_reg(magnitude);
       } else if (magnitude == 1.0) {
         reg = product_value(op.product);
       } else {
-        reg = emitter_.emit(Op::kMul, emitter_.const_reg(magnitude),
-                            product_value(op.product));
+        reg = emit(Op::kMul, const_reg(magnitude), product_value(op.product));
       }
-      acc.push(reg, op.coeff < 0.0);
+      push(reg, op.coeff < 0.0);
     }
-    RMS_CHECK(!acc.empty());
-    return acc.result();
+    RMS_CHECK(have_acc);
+    return acc;
   }
 
   const OptimizedSystem& system_;
-  Emitter emitter_;
-  std::vector<std::uint32_t> temp_regs_;
+  std::vector<std::uint32_t>& temp_regs_;
+  const std::unordered_map<double, std::uint32_t>* shared_const_regs_ =
+      nullptr;
+  const std::unordered_map<double, std::uint32_t>* shared_pool_ = nullptr;
+  std::uint32_t pool_base_ = 0;
+
+  std::vector<Instr> code_;
+  std::vector<double> new_consts_;
+  std::unordered_map<double, std::uint32_t> const_regs_;  // value -> reg
+  std::unordered_map<double, std::uint32_t> pool_index_;  // value -> pool idx
+  std::uint32_t next_reg_ = 0;
+  std::uint32_t reg_base_ = 0;
+};
+
+/// One emitted equation body, before register/constant renumbering.
+struct EquationFragment {
+  std::vector<Instr> code;
+  std::vector<double> new_consts;
+  std::uint32_t reg_count = 0;        ///< private registers used
+  std::uint32_t result = vm::kNoReg;  ///< body value (may be a shared reg)
 };
 
 }  // namespace
 
-Program emit_optimized(const OptimizedSystem& system) {
-  return OptimizedEmitter(system).run();
+Program emit_optimized(const OptimizedSystem& system,
+                       const support::ThreadPool* pool) {
+  // Phase 1 (serial): temp definitions. Their registers and constant caches
+  // are shared by everything that follows.
+  std::vector<std::uint32_t> temp_regs(system.temp_order.size(), vm::kNoReg);
+  RegionEmitter prologue(system, temp_regs);
+  prologue.emit_temp_definitions();
+  const std::uint32_t shared_regs = prologue.next_reg();
+  const std::uint32_t pool_base = prologue.pool_base() +
+                                  static_cast<std::uint32_t>(
+                                      prologue.new_consts().size());
+
+  // Phase 2 (parallel): one fragment per equation, committed by index.
+  // Fragments read the frozen prologue state only; private registers are
+  // numbered from shared_regs and private constants from pool_base, both
+  // relocated deterministically below.
+  const std::size_t n = system.equations.size();
+  std::vector<EquationFragment> fragments =
+      support::parallel_map<EquationFragment>(
+          pool, n, 16, [&](std::size_t i) {
+            EquationFragment frag;
+            const std::int32_t eq = system.equations[i];
+            if (eq == kNoExpr) return frag;
+            RegionEmitter body(system, temp_regs, prologue);
+            frag.result = body.sum_value(static_cast<std::uint32_t>(eq));
+            frag.code = std::move(body.code());
+            frag.new_consts = std::move(body.new_consts());
+            frag.reg_count = body.next_reg() - body.reg_base();
+            return frag;
+          });
+
+  // Phase 3 (serial): merge in equation order. Identical whether fragments
+  // were produced serially or by any number of workers.
+  Program program;
+  program.species_count = system.species_count;
+  program.rate_count = system.rate_count;
+  program.output_count = n;
+  program.code = std::move(prologue.code());
+  program.consts = std::move(prologue.new_consts());
+  // The merged size is known exactly: prologue + every fragment + one
+  // StoreOut per equation. Reserving avoids relocating the (large) program
+  // several times during the merge.
+  std::size_t total_code = program.code.size() + n;
+  for (const EquationFragment& frag : fragments) total_code += frag.code.size();
+  program.code.reserve(total_code);
+  std::unordered_map<double, std::uint32_t> pool_final;
+  pool_final.reserve(program.consts.size());
+  for (std::uint32_t i = 0; i < program.consts.size(); ++i) {
+    pool_final.emplace(program.consts[i], i);
+  }
+
+  std::uint32_t reg_cursor = shared_regs;
+  for (std::size_t i = 0; i < n; ++i) {
+    EquationFragment& frag = fragments[i];
+    const std::uint32_t base = reg_cursor;
+    auto relocate = [&](std::uint32_t reg) {
+      return (reg == vm::kNoReg || reg < shared_regs)
+                 ? reg
+                 : reg - shared_regs + base;
+    };
+    for (Instr ins : frag.code) {
+      switch (ins.op) {
+        case Op::kLoadConst:
+          if (ins.a >= pool_base) {
+            const double value = frag.new_consts[ins.a - pool_base];
+            auto [it, inserted] = pool_final.try_emplace(
+                value, static_cast<std::uint32_t>(program.consts.size()));
+            if (inserted) program.consts.push_back(value);
+            ins.a = it->second;
+          }
+          ins.dst = relocate(ins.dst);
+          break;
+        case Op::kLoadY:
+        case Op::kLoadK:
+        case Op::kLoadT:
+          ins.dst = relocate(ins.dst);
+          break;
+        case Op::kNeg:
+          ins.dst = relocate(ins.dst);
+          ins.a = relocate(ins.a);
+          break;
+        case Op::kAdd:
+        case Op::kSub:
+        case Op::kMul:
+          ins.dst = relocate(ins.dst);
+          ins.a = relocate(ins.a);
+          ins.b = relocate(ins.b);
+          break;
+        default:
+          RMS_CHECK_MSG(false, "unexpected op in equation fragment");
+      }
+      program.code.push_back(ins);
+    }
+    program.code.push_back(Instr{Op::kStoreOut, 0,
+                                 static_cast<std::uint32_t>(i),
+                                 relocate(frag.result)});
+    reg_cursor += frag.reg_count;
+  }
+  program.register_count = reg_cursor;
+  return program;
 }
 
 }  // namespace rms::codegen

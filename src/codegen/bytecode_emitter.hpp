@@ -14,6 +14,7 @@
 
 #include "odegen/equation_table.hpp"
 #include "opt/optimized_system.hpp"
+#include "support/thread_pool.hpp"
 #include "vm/program.hpp"
 
 namespace rms::codegen {
@@ -22,6 +23,11 @@ vm::Program emit_unoptimized(const odegen::EquationTable& table,
                              std::size_t species_count,
                              std::size_t rate_count);
 
-vm::Program emit_optimized(const opt::OptimizedSystem& system);
+/// Emits the optimized program: temp definitions (serial prologue), then one
+/// body fragment per equation fanned out across `pool` (null = inline) and
+/// merged in equation order — the program is a pure function of `system`,
+/// independent of the pool and thread count.
+vm::Program emit_optimized(const opt::OptimizedSystem& system,
+                           const support::ThreadPool* pool = nullptr);
 
 }  // namespace rms::codegen

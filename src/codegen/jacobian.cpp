@@ -1,6 +1,6 @@
 #include "codegen/jacobian.hpp"
 
-#include <map>
+#include <algorithm>
 
 #include "codegen/bytecode_emitter.hpp"
 #include "support/assert.hpp"
@@ -9,47 +9,94 @@
 
 namespace rms::codegen {
 
+namespace {
+
+/// The nonzero entries of one Jacobian row, in column order.
+struct RowDerivatives {
+  std::vector<std::pair<std::uint32_t, expr::SumOfProducts>> entries;
+};
+
+/// d(eq_row)/dy_col for every species column eq_row references. Pure
+/// function of one equation — the unit of the per-row fan-out.
+RowDerivatives differentiate_row(const expr::SumOfProducts& equation,
+                                 std::size_t species_count) {
+  // Column -> d(eq_row)/dy_col. A chemistry row touches only a handful of
+  // distinct columns (its reaction partners), so a flat vector with linear
+  // probing beats a node-based map; a final sort restores the column order
+  // the CSR layout requires.
+  RowDerivatives row;
+  std::vector<std::pair<std::uint32_t, expr::SumOfProducts>>& accum =
+      row.entries;
+  accum.reserve(8);  // typical row: a handful of reaction-partner columns
+  for (const expr::Product& p : equation.terms()) {
+    if (p.coeff == 0.0) continue;
+    // Each distinct species factor contributes one derivative product.
+    for (std::size_t f = 0; f < p.factors.size(); ++f) {
+      const expr::VarId v = p.factors[f];
+      if (v.kind != expr::VarKind::kSpecies) continue;
+      if (f > 0 && p.factors[f - 1] == v) continue;  // count each once
+      RMS_CHECK(v.index < species_count);
+      // Multiplicity of y_v in the product.
+      std::size_t multiplicity = 0;
+      for (expr::VarId w : p.factors) multiplicity += w == v ? 1 : 0;
+      expr::Product derivative = p;
+      derivative.coeff *= static_cast<double>(multiplicity);
+      derivative.divide_by(v);
+      expr::SumOfProducts* sum = nullptr;
+      for (auto& [col, s] : accum) {
+        if (col == v.index) {
+          sum = &s;
+          break;
+        }
+      }
+      if (sum == nullptr) {
+        accum.emplace_back(v.index, expr::SumOfProducts{});
+        sum = &accum.back().second;
+      }
+      sum->add_combining(std::move(derivative));
+    }
+  }
+  std::sort(accum.begin(), accum.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (auto& [col, sum] : accum) sum.sort_canonical();
+  accum.erase(std::remove_if(accum.begin(), accum.end(),
+                             [](const auto& e) {
+                               return e.second.empty();  // exact cancellation
+                             }),
+              accum.end());
+  return row;
+}
+
+}  // namespace
+
 SymbolicJacobian differentiate(const odegen::EquationTable& equations,
-                               std::size_t species_count) {
+                               std::size_t species_count,
+                               const support::ThreadPool* pool) {
   SymbolicJacobian jacobian;
   jacobian.dimension = equations.size();
   jacobian.row_offsets.reserve(equations.size() + 1);
   jacobian.row_offsets.push_back(0);
 
-  std::vector<expr::SumOfProducts> entry_list;
-  for (std::size_t row = 0; row < equations.size(); ++row) {
-    // Column -> d(eq_row)/dy_col, ordered for deterministic CSR layout.
-    std::map<std::uint32_t, expr::SumOfProducts> row_entries;
-    for (const expr::Product& p : equations.equation(row).terms()) {
-      if (p.coeff == 0.0) continue;
-      // Each distinct species factor contributes one derivative product.
-      for (std::size_t f = 0; f < p.factors.size(); ++f) {
-        const expr::VarId v = p.factors[f];
-        if (v.kind != expr::VarKind::kSpecies) continue;
-        if (f > 0 && p.factors[f - 1] == v) continue;  // count each once
-        RMS_CHECK(v.index < species_count);
-        // Multiplicity of y_v in the product.
-        std::size_t multiplicity = 0;
-        for (expr::VarId w : p.factors) multiplicity += w == v ? 1 : 0;
-        expr::Product derivative = p;
-        derivative.coeff *= static_cast<double>(multiplicity);
-        derivative.divide_by(v);
-        row_entries[v.index].add_combining(std::move(derivative));
-      }
-    }
-    for (auto& [col, sum] : row_entries) {
-      sum.sort_canonical();
-      if (sum.empty()) continue;  // exact cancellation
+  // Rows are independent; each worker fills its slot and the CSR merge
+  // below walks the slots in row order, so the layout is identical to the
+  // serial loop no matter how rows were scheduled.
+  std::vector<RowDerivatives> rows = support::parallel_map<RowDerivatives>(
+      pool, equations.size(), 8, [&](std::size_t row) {
+        return differentiate_row(equations.equation(row), species_count);
+      });
+
+  std::size_t nnz = 0;
+  for (const RowDerivatives& row : rows) nnz += row.entries.size();
+  jacobian.col_indices.reserve(nnz);
+  jacobian.entries = odegen::EquationTable(nnz);
+  std::size_t e = 0;
+  for (RowDerivatives& row : rows) {
+    for (auto& [col, sum] : row.entries) {
       jacobian.col_indices.push_back(col);
-      entry_list.push_back(std::move(sum));
+      jacobian.entries.equation(e++) = std::move(sum);
     }
     jacobian.row_offsets.push_back(
         static_cast<std::uint32_t>(jacobian.col_indices.size()));
-  }
-
-  jacobian.entries = odegen::EquationTable(entry_list.size());
-  for (std::size_t e = 0; e < entry_list.size(); ++e) {
-    jacobian.entries.equation(e) = std::move(entry_list[e]);
   }
   return jacobian;
 }
@@ -115,16 +162,37 @@ CompiledJacobian compile_jacobian(const odegen::EquationTable& equations,
                                   std::size_t species_count,
                                   std::size_t rate_count,
                                   const opt::OptimizerOptions& options) {
-  SymbolicJacobian symbolic = differentiate(equations, species_count);
+  // Jacobian phases report under their own names ("jac_distopt" vs the RHS's
+  // "distopt"), so run the optimizer against a local sink and fold it in.
+  opt::PhaseTimings* timings = options.timings;
+  opt::PhaseTimer diff_timer(timings, "jac_differentiate");
+  SymbolicJacobian symbolic =
+      differentiate(equations, species_count, options.pool);
+  diff_timer.stop();
+
   CompiledJacobian compiled;
   compiled.dimension = symbolic.dimension;
   compiled.row_offsets = std::move(symbolic.row_offsets);
   compiled.col_indices = std::move(symbolic.col_indices);
+
+  opt::PhaseTimings local;
+  opt::OptimizerOptions jac_options = options;
+  jac_options.timings = timings != nullptr ? &local : nullptr;
   opt::OptimizedSystem system =
-      opt::optimize(symbolic.entries, species_count, rate_count, options);
+      opt::optimize(symbolic.entries, species_count, rate_count, jac_options);
+  if (timings != nullptr) {
+    for (const opt::PhaseTimings::Phase& p : local.phases) {
+      timings->add("jac_" + p.name, p.seconds);
+    }
+  }
+
   // Jacobian programs run once per Newton refresh on the solver hot path:
   // give them the same fused + register-compacted form as the RHS.
-  compiled.program = vm::fuse_and_compact(emit_optimized(system));
+  opt::PhaseTimer emit_timer(timings, "jac_emit");
+  vm::Program raw = emit_optimized(system, options.pool);
+  emit_timer.stop();
+  opt::PhaseTimer fuse_timer(timings, "jac_fuse");
+  compiled.program = vm::fuse_and_compact(raw);
   return compiled;
 }
 

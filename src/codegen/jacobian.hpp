@@ -42,9 +42,12 @@ struct SymbolicJacobian {
 
 /// Differentiates every equation with respect to every species it
 /// references. Temps are not allowed in the input (differentiate the
-/// pre-CSE equation table, not the optimized system).
+/// pre-CSE equation table, not the optimized system). Rows fan out across
+/// `pool` (null = serial); the CSR layout is committed in row order either
+/// way, so the result is identical to the serial loop.
 SymbolicJacobian differentiate(const odegen::EquationTable& equations,
-                               std::size_t species_count);
+                               std::size_t species_count,
+                               const support::ThreadPool* pool = nullptr);
 
 /// A compiled Jacobian: the program writes nnz outputs (the entry values in
 /// CSR order) given (t, y, k).

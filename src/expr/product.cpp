@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 #include "support/assert.hpp"
 #include "support/strings.hpp"
@@ -57,6 +58,13 @@ std::uint64_t Product::variables_hash() const {
   return h;
 }
 
+std::uint64_t Product::structural_hash() const {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(coeff));
+  std::memcpy(&bits, &coeff, sizeof(bits));
+  return mix(variables_hash(), bits);
+}
+
 std::size_t Product::multiply_count() const {
   if (factors.empty()) return 0;
   std::size_t count = factors.size() - 1;
@@ -97,8 +105,34 @@ std::string Product::to_string() const {
   return out;
 }
 
+namespace {
+/// Sums below this size combine by linear scan; only larger ones pay for the
+/// hash index. Chemistry Jacobian entries and most RHS rows stay under it,
+/// so the common case allocates nothing beyond the term vector.
+constexpr std::size_t kIndexThreshold = 16;
+}  // namespace
+
 void SumOfProducts::add_combining(Product p) {
   p.normalize();
+  if (terms_.size() < kIndexThreshold) {
+    for (Product& t : terms_) {
+      if (t.same_variables(p)) {
+        t.coeff += p.coeff;
+        return;
+      }
+    }
+    terms_.push_back(std::move(p));
+    return;
+  }
+  if (indexed_count_ != terms_.size()) {
+    // Extend coverage to every current term: the sum just crossed the
+    // threshold, or compact()/sort_canonical() invalidated positions.
+    for (std::size_t i = indexed_count_; i < terms_.size(); ++i) {
+      index_[terms_[i].variables_hash()].push_back(
+          static_cast<std::uint32_t>(i));
+    }
+    indexed_count_ = static_cast<std::uint32_t>(terms_.size());
+  }
   const std::uint64_t h = p.variables_hash();
   auto it = index_.find(h);
   if (it != index_.end()) {
@@ -111,6 +145,7 @@ void SumOfProducts::add_combining(Product p) {
   }
   index_[h].push_back(static_cast<std::uint32_t>(terms_.size()));
   terms_.push_back(std::move(p));
+  ++indexed_count_;
 }
 
 void SumOfProducts::add_raw(Product p) {
@@ -127,20 +162,41 @@ void SumOfProducts::compact() {
     }
   }
   terms_.resize(w);
-  // The hash index is position-based; rebuild it.
+  // The hash index is position-based; invalidate it and let the next
+  // combining add rebuild coverage (most sums are finished at this point,
+  // so an eager rebuild would be thrown away).
   index_.clear();
-  for (std::size_t i = 0; i < terms_.size(); ++i) {
-    index_[terms_[i].variables_hash()].push_back(static_cast<std::uint32_t>(i));
-  }
+  indexed_count_ = 0;
 }
 
 void SumOfProducts::sort_canonical() {
   compact();
   std::sort(terms_.begin(), terms_.end(),
             [](const Product& a, const Product& b) { return a.compare(b) < 0; });
-  index_.clear();
-  for (std::size_t i = 0; i < terms_.size(); ++i) {
-    index_[terms_[i].variables_hash()].push_back(static_cast<std::uint32_t>(i));
+}
+
+std::uint64_t SumOfProducts::structural_hash() const {
+  std::uint64_t h = 0x6A09E667F3BCC909ull;
+  for (const Product& p : terms_) {
+    if (p.coeff == 0.0) continue;
+    h = mix(h, p.structural_hash());
+  }
+  return h;
+}
+
+bool SumOfProducts::structural_equals(const SumOfProducts& other) const {
+  // Zero terms are skipped on both sides (they are semantically absent).
+  std::size_t i = 0;
+  std::size_t j = 0;
+  for (;;) {
+    while (i < terms_.size() && terms_[i].coeff == 0.0) ++i;
+    while (j < other.terms_.size() && other.terms_[j].coeff == 0.0) ++j;
+    if (i == terms_.size() || j == other.terms_.size()) {
+      return i == terms_.size() && j == other.terms_.size();
+    }
+    if (terms_[i].compare(other.terms_[j]) != 0) return false;
+    ++i;
+    ++j;
   }
 }
 

@@ -41,6 +41,10 @@ struct Product {
   /// Hash of the variable part only (used for like-term combining).
   [[nodiscard]] std::uint64_t variables_hash() const;
 
+  /// Hash of the whole term (coefficient included), consistent with
+  /// compare() == 0. Used to memoize per-equation optimization results.
+  [[nodiscard]] std::uint64_t structural_hash() const;
+
   /// Multiplications needed to evaluate this product:
   /// (#factors - 1) between factors, +1 if the coefficient is not +/-1,
   /// and 0 for a bare +/-coeff constant.
@@ -78,6 +82,10 @@ class SumOfProducts {
   /// Drops zero-coefficient terms produced by exact cancellation.
   void compact();
 
+  /// Pre-sizes the term storage (an upper bound is fine); generators that
+  /// know their contribution counts use this to avoid growth reallocation.
+  void reserve(std::size_t n) { terms_.reserve(n); }
+
   [[nodiscard]] const std::vector<Product>& terms() const { return terms_; }
   [[nodiscard]] std::vector<Product>& terms() { return terms_; }
   [[nodiscard]] bool empty() const { return terms_.empty(); }
@@ -96,12 +104,24 @@ class SumOfProducts {
   [[nodiscard]] std::size_t multiply_count() const;
   [[nodiscard]] std::size_t add_sub_count() const;
 
+  /// Structural hash / equality over the term sequence (coefficients
+  /// included, zero terms excluded). Two equations that sorted to the same
+  /// canonical form hash and compare equal — the key for the DistOpt memo
+  /// cache (duplicate equations are optimized once).
+  [[nodiscard]] std::uint64_t structural_hash() const;
+  [[nodiscard]] bool structural_equals(const SumOfProducts& other) const;
+
   [[nodiscard]] std::string to_string() const;
 
  private:
   std::vector<Product> terms_;
   // variables_hash -> indices of candidate like terms (verified structurally).
+  // Built lazily: small sums combine by linear scan (no allocation at all),
+  // and the index covers terms_[0..indexed_count_) only once a sum outgrows
+  // the scan. compact()/sort_canonical() invalidate it; the next combining
+  // add on a large sum rebuilds coverage.
   std::unordered_map<std::uint64_t, support::SmallVector<std::uint32_t, 2>> index_;
+  std::uint32_t indexed_count_ = 0;
 };
 
 /// Value of a single variable from the dense environment (shared helper).

@@ -182,22 +182,31 @@ SyntheticNetworkConfig scaled_config(int index, double scale) {
 }
 
 support::Expected<BuiltModel> build_test_case(
-    const SyntheticNetworkConfig& config) {
+    const SyntheticNetworkConfig& config, const PipelineOptions& pipeline) {
   BuiltModel built;
-  built.network = synthetic_vulcanization_network(config);
-  built.rates = test_case_rate_table();
+  {
+    opt::PhaseTimer timer(&built.timings, "network");
+    built.network = synthetic_vulcanization_network(config);
+    built.rates = test_case_rate_table();
+  }
 
-  auto odes = odegen::generate_odes(built.network, built.rates,
-                                    odegen::OdeGenOptions{true});
-  if (!odes.is_ok()) return odes.status();
-  built.odes = std::move(odes).value();
+  {
+    opt::PhaseTimer timer(&built.timings, "odegen");
+    auto odes = odegen::generate_odes(built.network, built.rates,
+                                      odegen::OdeGenOptions{true});
+    if (!odes.is_ok()) return odes.status();
+    built.odes = std::move(odes).value();
+  }
 
-  auto raw = odegen::generate_odes(built.network, built.rates,
-                                   odegen::OdeGenOptions{false});
-  if (!raw.is_ok()) return raw.status();
-  built.odes_raw = std::move(raw).value();
+  if (pipeline.build_reference_baseline) {
+    opt::PhaseTimer timer(&built.timings, "odegen_raw");
+    auto raw = odegen::generate_odes(built.network, built.rates,
+                                     odegen::OdeGenOptions{false});
+    if (!raw.is_ok()) return raw.status();
+    built.odes_raw = std::move(raw).value();
+  }
 
-  RMS_RETURN_IF_ERROR(finish_pipeline(built));
+  RMS_RETURN_IF_ERROR(finish_pipeline(built, pipeline));
   return built;
 }
 

@@ -61,8 +61,10 @@ const TestCaseSpec& test_case_spec(int index);
 /// (variants shrink first; chain lengths only for very small scales).
 SyntheticNetworkConfig scaled_config(int index, double scale);
 
-/// Builds the full pipeline artifacts for a synthetic test case.
+/// Builds the full pipeline artifacts for a synthetic test case. Pass a
+/// PipelineOptions with a pool to run the parallel compile pipeline; the
+/// produced programs are bit-identical to a serial build.
 support::Expected<BuiltModel> build_test_case(
-    const SyntheticNetworkConfig& config);
+    const SyntheticNetworkConfig& config, const PipelineOptions& pipeline = {});
 
 }  // namespace rms::models

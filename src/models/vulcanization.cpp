@@ -83,54 +83,84 @@ std::string vulcanization_rdl_source(const VulcanizationConfig& config) {
   return src;
 }
 
-support::Status finish_pipeline(BuiltModel& built) {
+support::Status finish_pipeline(BuiltModel& built,
+                                const PipelineOptions& pipeline) {
+  opt::OptimizerOptions optimizer = pipeline.optimizer;
+  optimizer.pool = pipeline.pool;
+  optimizer.timings = &built.timings;
   built.optimized =
       opt::optimize(built.odes.table, built.odes.table.size(),
-                    built.rates.size(), opt::OptimizerOptions::full(),
-                    &built.report);
+                    built.rates.size(), optimizer,
+                    pipeline.collect_report ? &built.report : nullptr);
   // The unoptimized baseline comes from the raw (uncombined) equations —
   // matching the paper's "without algebraic/CSE optimizations" rows.
-  built.program_unoptimized = codegen::emit_unoptimized(
-      built.odes_raw.table, built.odes_raw.table.size(), built.rates.size());
-  built.report.before.multiplies = built.odes_raw.table.multiply_count();
-  built.report.before.add_subs = built.odes_raw.table.add_sub_count();
+  if (pipeline.build_reference_baseline) {
+    opt::PhaseTimer timer(&built.timings, "emit_unopt");
+    built.program_unoptimized = codegen::emit_unoptimized(
+        built.odes_raw.table, built.odes_raw.table.size(), built.rates.size());
+    timer.stop();
+    if (pipeline.collect_report) {
+      built.report.before.multiplies = built.odes_raw.table.multiply_count();
+      built.report.before.add_subs = built.odes_raw.table.add_sub_count();
+    }
+  }
   // The optimized program additionally goes through the VM execution
   // pipeline (fuse superinstructions, compact registers): same arithmetic
   // and outputs, far fewer dispatches and a cache-resident register file.
   // The unoptimized baseline is left in raw SSA form on purpose — it is the
   // input the reference "commercial compiler" backend model consumes.
-  built.program_optimized =
-      vm::fuse_and_compact(codegen::emit_optimized(built.optimized));
+  opt::PhaseTimer emit_timer(&built.timings, "emit");
+  vm::Program raw_program =
+      codegen::emit_optimized(built.optimized, pipeline.pool);
+  emit_timer.stop();
+  opt::PhaseTimer fuse_timer(&built.timings, "fuse");
+  built.program_optimized = vm::fuse_and_compact(raw_program);
+  fuse_timer.stop();
   return support::Status::ok();
 }
 
 support::Expected<BuiltModel> build_vulcanization_model(
     const VulcanizationConfig& config,
-    const network::GeneratorOptions& generator_options) {
+    const network::GeneratorOptions& generator_options,
+    const PipelineOptions& pipeline) {
   BuiltModel built;
+  opt::PhaseTimer parse_timer(&built.timings, "parse");
   auto model = rdl::compile_rdl(vulcanization_rdl_source(config));
   if (!model.is_ok()) return model.status();
   built.model = std::move(model).value();
+  parse_timer.stop();
 
-  auto network = network::generate_network(built.model, generator_options);
+  // The generator honours its own pool field; default it to the pipeline's.
+  network::GeneratorOptions gen_options = generator_options;
+  if (gen_options.pool == nullptr) gen_options.pool = pipeline.pool;
+  opt::PhaseTimer network_timer(&built.timings, "network");
+  auto network = network::generate_network(built.model, gen_options);
   if (!network.is_ok()) return network.status();
   built.network = std::move(network).value();
+  network_timer.stop();
 
+  opt::PhaseTimer rates_timer(&built.timings, "rates");
   auto rates = rcip::process_rate_constants(built.model, built.network);
   if (!rates.is_ok()) return rates.status();
   built.rates = std::move(rates).value();
+  rates_timer.stop();
 
+  opt::PhaseTimer odegen_timer(&built.timings, "odegen");
   auto odes = odegen::generate_odes(built.network, built.rates,
                                     odegen::OdeGenOptions{true});
   if (!odes.is_ok()) return odes.status();
   built.odes = std::move(odes).value();
+  odegen_timer.stop();
 
-  auto raw = odegen::generate_odes(built.network, built.rates,
-                                   odegen::OdeGenOptions{false});
-  if (!raw.is_ok()) return raw.status();
-  built.odes_raw = std::move(raw).value();
+  if (pipeline.build_reference_baseline) {
+    opt::PhaseTimer raw_timer(&built.timings, "odegen_raw");
+    auto raw = odegen::generate_odes(built.network, built.rates,
+                                     odegen::OdeGenOptions{false});
+    if (!raw.is_ok()) return raw.status();
+    built.odes_raw = std::move(raw).value();
+  }
 
-  RMS_RETURN_IF_ERROR(finish_pipeline(built));
+  RMS_RETURN_IF_ERROR(finish_pipeline(built, pipeline));
   return built;
 }
 

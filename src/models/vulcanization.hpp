@@ -44,6 +44,32 @@ struct VulcanizationConfig {
 /// Emits the RDL source for the configuration.
 std::string vulcanization_rdl_source(const VulcanizationConfig& config);
 
+/// Cross-cutting pipeline configuration: one worker pool threaded through
+/// every parallel stage (network generation, DistOpt, emission) and the
+/// optimizer's own knobs. Defaults reproduce the serial full pipeline.
+struct PipelineOptions {
+  /// Worker pool; null runs every stage serially. Results are identical
+  /// either way — parallel stages commit in deterministic order.
+  const support::ThreadPool* pool = nullptr;
+  /// Optimizer configuration. Its `pool` and `timings` fields are
+  /// overwritten from this struct / the BuiltModel being filled.
+  opt::OptimizerOptions optimizer = opt::OptimizerOptions::full();
+  /// Also build the Table 1 reference artifacts: the raw (uncombined)
+  /// equation table, the unoptimized bytecode program, and the "before"
+  /// operation counts. Executing a model needs none of them, so callers
+  /// that only want the optimized program (rmsc --run, the estimator,
+  /// bench_compile's optimized mode) can skip roughly a third of the
+  /// compile by turning this off. BuiltModel::odes_raw and
+  /// program_unoptimized are left empty, and report.before holds the
+  /// simplified-table counts instead of the raw-table ones.
+  bool build_reference_baseline = true;
+  /// Fill BuiltModel::report (operation counts before/after optimization,
+  /// temp count, distinct-equation count). The counts walk every equation
+  /// and every interned entry, so timing-sensitive callers (bench_compile's
+  /// measured repeats) turn this off; the report is then left default.
+  bool collect_report = true;
+};
+
 /// Everything the pipeline produces for one model.
 struct BuiltModel {
   rdl::CompiledModel model;
@@ -53,6 +79,7 @@ struct BuiltModel {
   odegen::GeneratedOdes odes_raw;        ///< without (baseline)
   opt::OptimizedSystem optimized;
   opt::OptimizationReport report;
+  opt::PhaseTimings timings;             ///< wall time per compile phase
   vm::Program program_unoptimized;
   vm::Program program_optimized;
 
@@ -62,10 +89,12 @@ struct BuiltModel {
 /// Runs RDL -> network -> RCIP -> equations -> optimizer -> bytecode.
 support::Expected<BuiltModel> build_vulcanization_model(
     const VulcanizationConfig& config,
-    const network::GeneratorOptions& generator_options = {});
+    const network::GeneratorOptions& generator_options = {},
+    const PipelineOptions& pipeline = {});
 
 /// Pipeline helper shared with the synthetic test cases: equations through
 /// optimizer and both code paths.
-support::Status finish_pipeline(BuiltModel& built);
+support::Status finish_pipeline(BuiltModel& built,
+                                const PipelineOptions& pipeline = {});
 
 }  // namespace rms::models

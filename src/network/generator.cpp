@@ -1,13 +1,14 @@
 #include "network/generator.hpp"
 
 #include <algorithm>
-#include <map>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 
 #include "chem/canonical.hpp"
 #include "chem/edit.hpp"
 #include "support/strings.hpp"
+#include "support/thread_pool.hpp"
 
 namespace rms::network {
 
@@ -32,6 +33,46 @@ struct ReactionKey {
            std::tie(other.reactants, other.products, other.rate_name,
                     other.rule_name);
   }
+  bool operator==(const ReactionKey& other) const {
+    return reactants == other.reactants && products == other.products &&
+           rate_name == other.rate_name && rule_name == other.rule_name;
+  }
+};
+
+struct ReactionKeyHash {
+  static std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
+    h ^= v + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+    h = (h ^ (h >> 30)) * 0xBF58476D1CE4E5B9ull;
+    return h ^ (h >> 27);
+  }
+  std::size_t operator()(const ReactionKey& key) const {
+    std::uint64_t h = 0xB5297A4D3C2F1E0Dull;
+    for (SpeciesId id : key.reactants) h = mix(h, id);
+    h = mix(h, 0xFFFFFFFFull);  // reactants/products separator
+    for (SpeciesId id : key.products) h = mix(h, id);
+    h = mix(h, std::hash<std::string>{}(key.rate_name));
+    h = mix(h, std::hash<std::string>{}(key.rule_name));
+    return static_cast<std::size_t>(h);
+  }
+};
+
+/// A product fragment, canonicalized by a worker, awaiting registration.
+struct FragmentProposal {
+  chem::Molecule molecule;
+  std::string canonical;
+};
+
+/// Everything one embedding wants to do to the network. Workers compute
+/// these read-only; the serial merge replays them in candidate order, so
+/// species ids and reaction multiplicities come out exactly as in a serial
+/// run. `fragments` holds the products built before any guard tripped —
+/// the serial code registers species as it walks the fragments and only
+/// then abandons, so the replay must register them too even when the
+/// reaction itself is dropped (record == false).
+struct ReactionProposal {
+  std::vector<FragmentProposal> fragments;
+  std::vector<SpeciesId> reactants;
+  bool record = false;
 };
 
 class NetworkBuilder {
@@ -51,7 +92,6 @@ class NetworkBuilder {
     }
 
     // Fixed point: keep applying rules while new species appear.
-    std::size_t processed_pairs_marker = 0;
     for (int round = 0; round < options_.max_rounds; ++round) {
       const std::size_t species_before = network_.species.size();
       const std::size_t reactions_before = reaction_index_.size();
@@ -61,7 +101,6 @@ class NetworkBuilder {
                                           : apply_bimolecular(rule);
         if (!s.is_ok()) return s;
       }
-      (void)processed_pairs_marker;
       if (network_.species.size() == species_before &&
           reaction_index_.size() == reactions_before) {
         break;  // converged
@@ -78,14 +117,22 @@ class NetworkBuilder {
       }
     }
 
-    // Materialize reactions in deterministic order.
-    for (const auto& [key, multiplicity] : reaction_index_) {
+    // Materialize reactions in deterministic order. The index is hashed for
+    // O(1) dedup during generation; one sort here restores exactly the
+    // ordering an ordered map would have produced.
+    std::vector<const std::pair<const ReactionKey, double>*> sorted;
+    sorted.reserve(reaction_index_.size());
+    for (const auto& item : reaction_index_) sorted.push_back(&item);
+    std::sort(sorted.begin(), sorted.end(),
+              [](const auto* a, const auto* b) { return a->first < b->first; });
+    for (const auto* item : sorted) {
+      const ReactionKey& key = item->first;
       Reaction r;
       for (SpeciesId id : key.reactants) r.reactants.push_back(id);
       for (SpeciesId id : key.products) r.products.push_back(id);
       r.rate_name = key.rate_name;
       r.rule_name = key.rule_name;
-      r.multiplicity = multiplicity;
+      r.multiplicity = item->second;
       network_.reactions.push_back(std::move(r));
     }
     return std::move(network_);
@@ -95,66 +142,93 @@ class NetworkBuilder {
   Status apply_unimolecular(const CompiledRule& rule) {
     // Only species not yet seen by this rule are processed (watermark), so a
     // fixed-point round never recounts embeddings into the multiplicity.
+    // The candidate list is frozen before the fan-out: species registered by
+    // this rule's own reactions are only seen by the next round.
     const SpeciesId limit = static_cast<SpeciesId>(network_.species.size());
     const SpeciesId start = watermark_[&rule];
     watermark_[&rule] = limit;
-    for (SpeciesId id = start; id < limit; ++id) {
-      const chem::Molecule mol = network_.species.entry(id).molecule;
-      for (const chem::Embedding& embedding : rule.pattern.match(mol)) {
-        RMS_RETURN_IF_ERROR(
-            apply_embedding(rule, mol, embedding, {id}));
-      }
-    }
-    return Status::ok();
+
+    std::vector<std::vector<ReactionProposal>> proposals =
+        support::parallel_map<std::vector<ReactionProposal>>(
+            options_.pool, limit - start, 4, [&](std::size_t idx) {
+              const SpeciesId id = start + static_cast<SpeciesId>(idx);
+              const chem::Molecule& mol = network_.species.entry(id).molecule;
+              std::vector<ReactionProposal> out;
+              for (const chem::Embedding& embedding :
+                   rule.pattern.match(mol)) {
+                propose_embedding(rule, mol, embedding, {id}, out);
+              }
+              return out;
+            });
+    return commit(rule, proposals);
   }
 
   Status apply_bimolecular(const CompiledRule& rule) {
     // Unordered pairs with at least one endpoint the rule has not seen yet;
     // the reaction key dedup collapses the symmetric double counting into
-    // multiplicity.
+    // multiplicity. Pairs are flattened into one candidate index space so a
+    // pool can shard them; the merge walks them in (a, b) order.
     const SpeciesId limit = static_cast<SpeciesId>(network_.species.size());
     const SpeciesId start = watermark_[&rule];
     watermark_[&rule] = limit;
+
+    std::vector<std::pair<SpeciesId, SpeciesId>> pairs;
     for (SpeciesId a = 0; a < limit; ++a) {
       for (SpeciesId b = std::max(a, start); b < limit; ++b) {
-        const chem::Molecule& ma = network_.species.entry(a).molecule;
-        const chem::Molecule& mb = network_.species.entry(b).molecule;
-        // Combined disconnected graph: A's atoms then B's atoms.
-        chem::Molecule combined = ma;
-        const chem::AtomIndex offset =
-            static_cast<chem::AtomIndex>(ma.atom_count());
-        for (chem::AtomIndex i = 0; i < mb.atom_count(); ++i) {
-          const chem::Atom& atom = mb.atom(i);
-          combined.add_atom(atom.element, atom.hydrogens, atom.charge);
-        }
-        for (chem::BondIndex bi = 0; bi < mb.bond_count(); ++bi) {
-          const chem::Bond& bond = mb.bond(bi);
-          combined.add_bond(offset + bond.a, offset + bond.b, bond.order);
-        }
-        for (const chem::Embedding& embedding : rule.pattern.match(combined)) {
-          // Require a genuinely bimolecular embedding: sites must touch
-          // both fragments (an embedding inside one fragment is the
-          // unimolecular version of the reaction and is produced by a
-          // dedicated unimolecular rule if the chemist wants it).
-          bool uses_a = false;
-          bool uses_b = false;
-          for (chem::AtomIndex atom : embedding) {
-            (atom < offset ? uses_a : uses_b) = true;
-          }
-          if (!uses_a || !uses_b) continue;
-          RMS_RETURN_IF_ERROR(apply_embedding(rule, combined, embedding,
-                                              a == b
-                                                  ? std::vector<SpeciesId>{a, a}
-                                                  : std::vector<SpeciesId>{a, b}));
-        }
+        pairs.emplace_back(a, b);
       }
     }
-    return Status::ok();
+
+    std::vector<std::vector<ReactionProposal>> proposals =
+        support::parallel_map<std::vector<ReactionProposal>>(
+            options_.pool, pairs.size(), 4, [&](std::size_t idx) {
+              const auto [a, b] = pairs[idx];
+              const chem::Molecule& ma = network_.species.entry(a).molecule;
+              const chem::Molecule& mb = network_.species.entry(b).molecule;
+              // Combined disconnected graph: A's atoms then B's atoms.
+              chem::Molecule combined = ma;
+              const chem::AtomIndex offset =
+                  static_cast<chem::AtomIndex>(ma.atom_count());
+              for (chem::AtomIndex i = 0; i < mb.atom_count(); ++i) {
+                const chem::Atom& atom = mb.atom(i);
+                combined.add_atom(atom.element, atom.hydrogens, atom.charge);
+              }
+              for (chem::BondIndex bi = 0; bi < mb.bond_count(); ++bi) {
+                const chem::Bond& bond = mb.bond(bi);
+                combined.add_bond(offset + bond.a, offset + bond.b,
+                                  bond.order);
+              }
+              std::vector<ReactionProposal> out;
+              for (const chem::Embedding& embedding :
+                   rule.pattern.match(combined)) {
+                // Require a genuinely bimolecular embedding: sites must
+                // touch both fragments (an embedding inside one fragment is
+                // the unimolecular version of the reaction and is produced
+                // by a dedicated unimolecular rule if the chemist wants it).
+                bool uses_a = false;
+                bool uses_b = false;
+                for (chem::AtomIndex atom : embedding) {
+                  (atom < offset ? uses_a : uses_b) = true;
+                }
+                if (!uses_a || !uses_b) continue;
+                propose_embedding(rule, combined, embedding,
+                                  a == b ? std::vector<SpeciesId>{a, a}
+                                         : std::vector<SpeciesId>{a, b},
+                                  out);
+              }
+              return out;
+            });
+    return commit(rule, proposals);
   }
 
-  Status apply_embedding(const CompiledRule& rule, const chem::Molecule& input,
+  /// Worker side: applies the rule's actions at one embedding and collects
+  /// the resulting proposal. Read-only with respect to the network; all
+  /// skip conditions that the serial code evaluated against immutable state
+  /// (action failures, size/forbidden guards) are decided here.
+  void propose_embedding(const CompiledRule& rule, const chem::Molecule& input,
                          const chem::Embedding& embedding,
-                         std::vector<SpeciesId> reactants) {
+                         std::vector<SpeciesId> reactants,
+                         std::vector<ReactionProposal>& out) const {
     chem::Molecule work = input;
     for (const CompiledAction& action : rule.actions) {
       const chem::AtomIndex a = embedding[action.site_a];
@@ -169,7 +243,8 @@ class NetworkBuilder {
           s = chem::disconnect(work, a, b);
           break;
         case ActionDecl::Kind::kConnect:
-          s = chem::connect(work, a, b, static_cast<std::uint8_t>(action.argument));
+          s = chem::connect(work, a, b,
+                            static_cast<std::uint8_t>(action.argument));
           break;
         case ActionDecl::Kind::kIncBond:
           s = chem::increase_bond_order(work, a, b);
@@ -187,41 +262,71 @@ class NetworkBuilder {
       // An action that is chemically impossible at this embedding (e.g.
       // connect with no free valence) silently skips the embedding: the
       // pattern selected a site the action set cannot legally transform.
-      if (!s.is_ok()) return Status::ok();
+      if (!s.is_ok()) return;
     }
 
     // Split and canonicalize products; check forbidden forms and the
-    // molecule size guard.
-    std::vector<SpeciesId> products;
+    // molecule size guard. A tripped guard abandons the reaction but keeps
+    // the fragments canonicalized so far — the serial code had already
+    // registered them, and the replay must too.
+    ReactionProposal proposal;
+    proposal.reactants = std::move(reactants);
     for (chem::Molecule& fragment : work.split_fragments()) {
       if (fragment.atom_count() > options_.max_atoms_per_species) {
-        return Status::ok();
+        out.push_back(std::move(proposal));
+        return;
       }
       for (const chem::Pattern& pattern : model_.forbidden_substructures) {
-        if (!pattern.match_limited(fragment, 1).empty()) return Status::ok();
+        if (!pattern.match_limited(fragment, 1).empty()) {
+          out.push_back(std::move(proposal));
+          return;
+        }
       }
-      const std::string canonical = chem::canonical_smiles(fragment);
-      if (forbidden_.count(canonical) != 0) return Status::ok();
-      products.push_back(network_.species.add(std::move(fragment)));
+      std::string canonical = chem::canonical_smiles_cached(fragment);
+      if (forbidden_.count(canonical) != 0) {
+        out.push_back(std::move(proposal));
+        return;
+      }
+      proposal.fragments.push_back(
+          FragmentProposal{std::move(fragment), std::move(canonical)});
     }
+    proposal.record = true;
+    out.push_back(std::move(proposal));
+  }
 
-    ReactionKey key;
-    key.reactants = std::move(reactants);
-    key.products = std::move(products);
-    std::sort(key.reactants.begin(), key.reactants.end());
-    std::sort(key.products.begin(), key.products.end());
-    // A no-op transformation (products == reactants) carries no kinetics.
-    if (key.reactants == key.products) return Status::ok();
-    key.rate_name = rule.rate_name;
-    key.rule_name = rule.name;
-    reaction_index_[key] += 1.0;
+  /// Merge side: replays every proposal in candidate order against the
+  /// mutable network state.
+  Status commit(const CompiledRule& rule,
+                std::vector<std::vector<ReactionProposal>>& proposals) {
+    for (std::vector<ReactionProposal>& candidate : proposals) {
+      for (ReactionProposal& proposal : candidate) {
+        std::vector<SpeciesId> products;
+        products.reserve(proposal.fragments.size());
+        for (FragmentProposal& fragment : proposal.fragments) {
+          products.push_back(network_.species.add_with_canonical(
+              std::move(fragment.molecule), std::move(fragment.canonical)));
+        }
+        if (!proposal.record) continue;
+        ReactionKey key;
+        key.reactants = std::move(proposal.reactants);
+        key.products = std::move(products);
+        std::sort(key.reactants.begin(), key.reactants.end());
+        std::sort(key.products.begin(), key.products.end());
+        // A no-op transformation (products == reactants) carries no
+        // kinetics.
+        if (key.reactants == key.products) continue;
+        key.rate_name = rule.rate_name;
+        key.rule_name = rule.name;
+        reaction_index_[std::move(key)] += 1.0;
+      }
+    }
     return Status::ok();
   }
 
   const CompiledModel& model_;
   GeneratorOptions options_;
   ReactionNetwork network_;
-  std::map<ReactionKey, double> reaction_index_;
+  std::unordered_map<ReactionKey, double, ReactionKeyHash> reaction_index_;
   std::unordered_set<std::string> forbidden_;
   std::unordered_map<const CompiledRule*, SpeciesId> watermark_;
 };

@@ -17,6 +17,10 @@
 #include "rdl/sema.hpp"
 #include "support/status.hpp"
 
+namespace rms::support {
+class ThreadPool;
+}  // namespace rms::support
+
 namespace rms::network {
 
 struct GeneratorOptions {
@@ -28,6 +32,11 @@ struct GeneratorOptions {
   /// molecules without bound — the generator reports progress per round, so
   /// a run that would explode fails fast instead of churning.
   std::size_t max_atoms_per_species = 80;
+  /// Worker pool for the per-rule candidate fan-out (matching, editing and
+  /// canonicalization run read-only in parallel; network mutation replays
+  /// serially in candidate order, so the result is identical to a serial
+  /// run). Null runs everything inline.
+  const support::ThreadPool* pool = nullptr;
 };
 
 struct ReactionNetwork {

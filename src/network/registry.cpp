@@ -7,6 +7,13 @@ namespace rms::network {
 
 SpeciesId SpeciesRegistry::add(chem::Molecule molecule, std::string name) {
   std::string canonical = chem::canonical_smiles(molecule);
+  return add_with_canonical(std::move(molecule), std::move(canonical),
+                            std::move(name));
+}
+
+SpeciesId SpeciesRegistry::add_with_canonical(chem::Molecule molecule,
+                                              std::string canonical,
+                                              std::string name) {
   auto it = by_canonical_.find(canonical);
   if (it != by_canonical_.end()) return it->second;
   const SpeciesId id = static_cast<SpeciesId>(entries_.size());

@@ -29,6 +29,12 @@ class SpeciesRegistry {
   /// id. Auto-names discovered species "X<id>" unless `name` is non-empty.
   SpeciesId add(chem::Molecule molecule, std::string name = {});
 
+  /// add() with the canonical SMILES already computed (the generator's
+  /// parallel workers canonicalize; the serial merge registers). `canonical`
+  /// must be exactly canonical_smiles(molecule).
+  SpeciesId add_with_canonical(chem::Molecule molecule, std::string canonical,
+                               std::string name = {});
+
   /// Adds a species identified by name only (no molecular graph) — used by
   /// the synthetic scaled test-case networks, where building and
   /// canonicalizing hundreds of thousands of molecule graphs would add

@@ -48,6 +48,20 @@ support::Expected<GeneratedOdes> generate_odes(
     out.init_concentrations.push_back(entry.init_concentration);
   }
 
+  // Pre-size every equation to its contribution count (an upper bound when
+  // like terms combine); one pass of integer increments spares each equation
+  // the push_back growth ladder.
+  {
+    std::vector<std::uint32_t> contributions(n, 0);
+    for (const network::Reaction& reaction : network.reactions) {
+      for (network::SpeciesId id : reaction.reactants) ++contributions[id];
+      for (network::SpeciesId id : reaction.products) ++contributions[id];
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      out.table.equation(i).reserve(contributions[i]);
+    }
+  }
+
   for (const network::Reaction& reaction : network.reactions) {
     std::uint32_t rate_index = 0;
     if (!rates.index_of(reaction.rate_name, rate_index)) {

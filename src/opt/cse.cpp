@@ -4,7 +4,9 @@
 #include <cstring>
 #include <unordered_map>
 
+#include "support/arena.hpp"
 #include "support/assert.hpp"
+#include "support/small_vector.hpp"
 
 namespace rms::opt {
 
@@ -26,22 +28,82 @@ std::uint64_t atom_key(const ProductAtom& atom) {
              : mix(2, static_cast<std::uint64_t>(atom.sum));
 }
 
+/// Interning maps allocate one node per *distinct* entry and die with the
+/// builder — exactly the arena lifetime pattern, so their nodes (and bucket
+/// arrays) come from a builder-owned arena: pointer bumps instead of
+/// per-node malloc/free.
+template <typename Key, typename Value>
+using ArenaMap =
+    std::unordered_map<Key, Value, std::hash<Key>, std::equal_to<Key>,
+                       support::ArenaAllocator<std::pair<const Key, Value>>>;
+
 class Builder {
  public:
   Builder(std::size_t species_count, std::size_t rate_count,
           const CseOptions& options)
-      : options_(options) {
+      : options_(options),
+        product_index_(
+            0, std::hash<std::uint64_t>(), std::equal_to<std::uint64_t>(),
+            support::ArenaAllocator<
+                std::pair<const std::uint64_t, std::uint32_t>>(&arena_)),
+        sum_index_(
+            0, std::hash<std::uint64_t>(), std::equal_to<std::uint64_t>(),
+            support::ArenaAllocator<
+                std::pair<const std::uint64_t, std::int32_t>>(&arena_)) {
     system_.species_count = species_count;
     system_.rate_count = rate_count;
   }
 
-  OptimizedSystem run(const std::vector<FactoredSum>& equations) {
-    for (const FactoredSum& eq : equations) {
-      if (eq.empty()) {
+  OptimizedSystem run(const std::vector<FactoredSum>& equations,
+                      const std::vector<std::uint32_t>* rep_of) {
+    // Every equation interns at least one sum and typically a few products;
+    // reserving up front spares the index maps several full rehashes (each
+    // of which bump-allocates a fresh bucket array from the arena).
+    system_.equations.reserve(equations.size());
+    product_index_.reserve(equations.size() * 2);
+    sum_index_.reserve(equations.size());
+    // Top-level dedup: a structurally identical earlier equation already
+    // interned to some sum id; reuse it without re-walking the tree.
+    // Identical output to always walking — interning a duplicate tree
+    // returns the existing id with no creation-time side effects, so only
+    // the per-occurrence use_count bump below remains. Jacobian equation
+    // tables are almost entirely duplicates, so this skips most of the walk.
+    // When the caller supplies the memo grouping (`rep_of`), even the hash
+    // probe is skipped: duplicates copy their representative's sum id.
+    std::unordered_map<std::uint64_t, support::SmallVector<std::uint32_t, 2>>
+        first_occurrence;
+    const bool hash_dedup = options_.dedup_equations && rep_of == nullptr;
+    if (hash_dedup) first_occurrence.reserve(equations.size());
+    for (std::size_t i = 0; i < equations.size(); ++i) {
+      const FactoredSum& eq = equations[i];
+      std::int32_t id = kNoExpr;
+      if (rep_of != nullptr && (*rep_of)[i] != i) {
+        // Representatives precede their duplicates, so the slot is filled.
+        // The duplicate's own tree is never read — the caller may leave it
+        // empty instead of materializing a copy.
+        id = system_.equations[(*rep_of)[i]];
+        if (id == kNoExpr) {  // the representative was empty; so are we
+          system_.equations.push_back(kNoExpr);
+          continue;
+        }
+      } else if (eq.empty()) {
         system_.equations.push_back(kNoExpr);
         continue;
+      } else if (hash_dedup) {
+        auto& bucket = first_occurrence[eq.hash()];
+        for (std::uint32_t j : bucket) {
+          if (equations[j].equals(eq)) {
+            id = system_.equations[j];
+            break;
+          }
+        }
+        if (id == kNoExpr) {
+          id = intern_sum(eq);
+          bucket.push_back(static_cast<std::uint32_t>(i));
+        }
+      } else {
+        id = intern_sum(eq);
       }
-      const std::int32_t id = intern_sum(eq);
       system_.sums[id].use_count += 1;
       system_.equations.push_back(id);
     }
@@ -65,30 +127,37 @@ class Builder {
     return a.sum < b.sum;
   }
 
-  std::uint32_t intern_product(ProductEntry entry) {
-    std::sort(entry.atoms.begin(), entry.atoms.end(), atom_less);
+  /// Interns the product currently staged in scratch_atoms_. The scratch
+  /// buffer is probed against the index first, so re-interning an existing
+  /// product (the common case on duplicate-heavy inputs) allocates nothing;
+  /// an entry is materialized only for a genuinely new product.
+  std::uint32_t intern_scratch_product() {
+    std::sort(scratch_atoms_.begin(), scratch_atoms_.end(), atom_less);
     std::uint64_t h = 0xA5A5A5A55A5A5A5Aull;
-    for (const ProductAtom& atom : entry.atoms) h = mix(h, atom_key(atom));
+    for (const ProductAtom& atom : scratch_atoms_) h = mix(h, atom_key(atom));
     auto [it, inserted] = product_index_.try_emplace(h, 0u);
     if (!inserted) {
       // Verify (hash collisions are possible in principle).
       const ProductEntry& existing = system_.products[it->second];
       if (std::equal(existing.atoms.begin(), existing.atoms.end(),
-                     entry.atoms.begin(), entry.atoms.end())) {
+                     scratch_atoms_.begin(), scratch_atoms_.end())) {
         return it->second;
       }
       // Extremely unlikely collision: fall through to linear disambiguation.
       for (std::uint32_t id = 0; id < system_.products.size(); ++id) {
         const ProductEntry& candidate = system_.products[id];
         if (std::equal(candidate.atoms.begin(), candidate.atoms.end(),
-                       entry.atoms.begin(), entry.atoms.end())) {
+                       scratch_atoms_.begin(), scratch_atoms_.end())) {
           return id;
         }
       }
     }
     const std::uint32_t id = static_cast<std::uint32_t>(system_.products.size());
-    // Register syntactic uses of nested sums exactly once, at creation.
-    for (const ProductAtom& atom : entry.atoms) {
+    ProductEntry entry;
+    entry.atoms.reserve(scratch_atoms_.size());
+    for (const ProductAtom& atom : scratch_atoms_) {
+      entry.atoms.push_back(atom);
+      // Register syntactic uses of nested sums exactly once, at creation.
       if (atom.kind == ProductAtom::Kind::kSum) {
         system_.sums[atom.sum].use_count += 1;
       }
@@ -99,31 +168,38 @@ class Builder {
   }
 
   std::int32_t intern_sum(const FactoredSum& sum) {
-    SumEntry entry;
-    entry.operands.reserve(sum.size());
+    // Operand staging buffers are pooled per recursion depth (a reference
+    // would dangle across the recursive intern_sum below, so always index).
+    const std::size_t depth = sum_depth_++;
+    if (operand_scratch_.size() <= depth) operand_scratch_.emplace_back();
+    operand_scratch_[depth].clear();
+    operand_scratch_[depth].reserve(sum.size());
     for (const FactoredTerm& term : sum.terms()) {
-      ProductEntry product;
+      std::int32_t sub_id = kNoExpr;
+      if (term.sub) sub_id = intern_sum(*term.sub);
+      scratch_atoms_.clear();
       for (VarId v : term.factors) {
-        product.atoms.push_back(ProductAtom::variable(v));
+        scratch_atoms_.push_back(ProductAtom::variable(v));
       }
-      if (term.sub) {
-        const std::int32_t sub_id = intern_sum(*term.sub);
-        product.atoms.push_back(ProductAtom::sum_ref(sub_id));
+      if (sub_id != kNoExpr) {
+        scratch_atoms_.push_back(ProductAtom::sum_ref(sub_id));
       }
-      entry.operands.push_back(
-          SumOperand{term.coeff, intern_product(std::move(product))});
+      operand_scratch_[depth].push_back(
+          SumOperand{term.coeff, intern_scratch_product()});
     }
+    --sum_depth_;
+    std::vector<SumOperand>& operands = operand_scratch_[depth];
     // Canonical operand order: by product id then coefficient. Product ids
     // are assigned in deterministic interning order, and equal trees intern
     // to equal ids, so equal sums produce identical operand sequences.
-    std::sort(entry.operands.begin(), entry.operands.end(),
+    std::sort(operands.begin(), operands.end(),
               [](const SumOperand& a, const SumOperand& b) {
                 if (a.product != b.product) return a.product < b.product;
                 return a.coeff < b.coeff;
               });
 
     std::uint64_t h = 0x123456789ABCDEFull;
-    for (const SumOperand& op : entry.operands) {
+    for (const SumOperand& op : operands) {
       std::uint64_t bits = 0;
       std::memcpy(&bits, &op.coeff, sizeof(bits));
       h = mix(mix(h, bits), op.product);
@@ -131,18 +207,20 @@ class Builder {
     auto [it, inserted] = sum_index_.try_emplace(h, 0);
     if (!inserted) {
       const SumEntry& existing = system_.sums[it->second];
-      if (existing.operands == entry.operands) return it->second;
+      if (existing.operands == operands) return it->second;
       for (std::uint32_t id = 0; id < system_.sums.size(); ++id) {
-        if (system_.sums[id].operands == entry.operands) {
+        if (system_.sums[id].operands == operands) {
           return static_cast<std::int32_t>(id);
         }
       }
     }
     const std::int32_t id = static_cast<std::int32_t>(system_.sums.size());
-    for (const SumOperand& op : entry.operands) {
+    for (const SumOperand& op : operands) {
       system_.products[op.product].use_count += 1;
     }
     it->second = id;
+    SumEntry entry;
+    entry.operands = operands;  // copy: only new entries pay an allocation
     system_.sums.push_back(std::move(entry));
     return id;
   }
@@ -345,8 +423,15 @@ class Builder {
 
   CseOptions options_;
   OptimizedSystem system_;
-  std::unordered_map<std::uint64_t, std::uint32_t> product_index_;
-  std::unordered_map<std::uint64_t, std::int32_t> sum_index_;
+  // The arena outlives the index maps below (members destroy in reverse
+  // declaration order), which is all ArenaAllocator requires.
+  support::Arena arena_;
+  ArenaMap<std::uint64_t, std::uint32_t> product_index_;
+  ArenaMap<std::uint64_t, std::int32_t> sum_index_;
+  // Reusable staging buffers: duplicate interning touches only these.
+  std::vector<ProductAtom> scratch_atoms_;
+  std::vector<std::vector<SumOperand>> operand_scratch_;
+  std::size_t sum_depth_ = 0;
   std::vector<char> product_state_;
   std::vector<char> sum_state_;
   std::vector<TempDef> topo_;
@@ -357,8 +442,9 @@ class Builder {
 
 OptimizedSystem build_optimized_system(
     const std::vector<FactoredSum>& equations, std::size_t species_count,
-    std::size_t rate_count, const CseOptions& options) {
-  return Builder(species_count, rate_count, options).run(equations);
+    std::size_t rate_count, const CseOptions& options,
+    const std::vector<std::uint32_t>* rep_of) {
+  return Builder(species_count, rate_count, options).run(equations, rep_of);
 }
 
 }  // namespace rms::opt

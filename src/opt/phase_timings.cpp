@@ -1,0 +1,40 @@
+#include "opt/phase_timings.hpp"
+
+#include "support/strings.hpp"
+
+namespace rms::opt {
+
+void PhaseTimings::add(std::string_view name, double seconds) {
+  for (Phase& p : phases) {
+    if (p.name == name) {
+      p.seconds += seconds;
+      return;
+    }
+  }
+  phases.push_back(Phase{std::string(name), seconds});
+}
+
+double PhaseTimings::seconds(std::string_view name) const {
+  for (const Phase& p : phases) {
+    if (p.name == name) return p.seconds;
+  }
+  return 0.0;
+}
+
+double PhaseTimings::total_seconds() const {
+  double total = 0.0;
+  for (const Phase& p : phases) total += p.seconds;
+  return total;
+}
+
+std::string PhaseTimings::to_string() const {
+  std::string out;
+  for (const Phase& p : phases) {
+    out += support::str_format("  %-18s %9.3f ms\n", p.name.c_str(),
+                               p.seconds * 1e3);
+  }
+  out += support::str_format("  %-18s %9.3f ms\n", "total", total_seconds() * 1e3);
+  return out;
+}
+
+}  // namespace rms::opt

@@ -10,6 +10,8 @@
 #include "odegen/equation_table.hpp"
 #include "opt/cse.hpp"
 #include "opt/optimized_system.hpp"
+#include "opt/phase_timings.hpp"
+#include "support/thread_pool.hpp"
 
 namespace rms::opt {
 
@@ -17,6 +19,25 @@ struct OptimizerOptions {
   /// Run the §3.2 distributive optimization per equation.
   bool distributive = true;
   CseOptions cse;
+
+  /// Optimize one representative per group of structurally identical
+  /// equations and copy the result to the duplicates. Jacobian tables repeat
+  /// entries heavily (rate laws differentiate to the same few shapes), so
+  /// this skips most DistOpt work; output is bit-identical because DistOpt
+  /// is a pure function of the equation.
+  bool memoize_equations = true;
+
+  /// Maintain DistOpt's per-variable frequency table incrementally across
+  /// factoring rounds instead of recounting the surviving products each
+  /// round. Same output either way; off reproduces the seed pipeline's cost
+  /// profile (bench_compile's serial baseline).
+  bool incremental_frequency = true;
+
+  /// Worker pool for the per-equation DistOpt fan-out; null runs serially.
+  const support::ThreadPool* pool = nullptr;
+
+  /// Optional phase telemetry sink ("distopt", "cse" phases).
+  PhaseTimings* timings = nullptr;
 
   static OptimizerOptions none() {
     OptimizerOptions o;
@@ -32,6 +53,9 @@ struct OptimizationReport {
   OperationCount before;  ///< flat sum-of-products op counts
   OperationCount after;   ///< emitted optimized program op counts
   std::size_t temp_count = 0;
+  /// Distinct equations actually run through DistOpt (== equation count when
+  /// memoization is off or every equation is unique).
+  std::size_t distinct_equations = 0;
 
   [[nodiscard]] double multiply_fraction() const {
     return before.multiplies == 0

@@ -4,31 +4,49 @@ namespace rms {
 
 support::Expected<models::BuiltModel> Suite::compile(
     std::string_view rdl_source,
-    const network::GeneratorOptions& generator_options) {
+    const network::GeneratorOptions& generator_options,
+    const models::PipelineOptions& pipeline) {
   models::BuiltModel built;
-  auto model = rdl::compile_rdl(rdl_source);
-  if (!model.is_ok()) return model.status();
-  built.model = std::move(model).value();
+  {
+    opt::PhaseTimer timer(&built.timings, "parse");
+    auto model = rdl::compile_rdl(rdl_source);
+    if (!model.is_ok()) return model.status();
+    built.model = std::move(model).value();
+  }
 
-  auto net = network::generate_network(built.model, generator_options);
-  if (!net.is_ok()) return net.status();
-  built.network = std::move(net).value();
+  network::GeneratorOptions gen_options = generator_options;
+  if (gen_options.pool == nullptr) gen_options.pool = pipeline.pool;
+  {
+    opt::PhaseTimer timer(&built.timings, "network");
+    auto net = network::generate_network(built.model, gen_options);
+    if (!net.is_ok()) return net.status();
+    built.network = std::move(net).value();
+  }
 
-  auto rates = rcip::process_rate_constants(built.model, built.network);
-  if (!rates.is_ok()) return rates.status();
-  built.rates = std::move(rates).value();
+  {
+    opt::PhaseTimer timer(&built.timings, "rates");
+    auto rates = rcip::process_rate_constants(built.model, built.network);
+    if (!rates.is_ok()) return rates.status();
+    built.rates = std::move(rates).value();
+  }
 
-  auto odes = odegen::generate_odes(built.network, built.rates,
-                                    odegen::OdeGenOptions{true});
-  if (!odes.is_ok()) return odes.status();
-  built.odes = std::move(odes).value();
+  {
+    opt::PhaseTimer timer(&built.timings, "odegen");
+    auto odes = odegen::generate_odes(built.network, built.rates,
+                                      odegen::OdeGenOptions{true});
+    if (!odes.is_ok()) return odes.status();
+    built.odes = std::move(odes).value();
+  }
 
-  auto raw = odegen::generate_odes(built.network, built.rates,
-                                   odegen::OdeGenOptions{false});
-  if (!raw.is_ok()) return raw.status();
-  built.odes_raw = std::move(raw).value();
+  if (pipeline.build_reference_baseline) {
+    opt::PhaseTimer timer(&built.timings, "odegen_raw");
+    auto raw = odegen::generate_odes(built.network, built.rates,
+                                     odegen::OdeGenOptions{false});
+    if (!raw.is_ok()) return raw.status();
+    built.odes_raw = std::move(raw).value();
+  }
 
-  RMS_RETURN_IF_ERROR(models::finish_pipeline(built));
+  RMS_RETURN_IF_ERROR(models::finish_pipeline(built, pipeline));
   return built;
 }
 

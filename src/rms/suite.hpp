@@ -23,10 +23,14 @@ namespace rms {
 
 class Suite {
  public:
-  /// Compiles an RDL program through the entire pipeline.
+  /// Compiles an RDL program through the entire pipeline. Pass a
+  /// models::PipelineOptions with a pool to fan compile stages out across
+  /// worker threads; results are bit-identical to a serial compile, and the
+  /// returned BuiltModel::timings records wall time per phase either way.
   static support::Expected<models::BuiltModel> compile(
       std::string_view rdl_source,
-      const network::GeneratorOptions& generator_options = {});
+      const network::GeneratorOptions& generator_options = {},
+      const models::PipelineOptions& pipeline = {});
 
   /// Library version string.
   static const char* version();

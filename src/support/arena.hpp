@@ -87,4 +87,40 @@ class Arena {
   std::size_t bytes_reserved_ = 0;
 };
 
+/// std-compatible allocator backed by an Arena. deallocate() is a no-op —
+/// everything is released at once when the arena is reset or destroyed, so
+/// this fits containers whose lifetime matches the arena's (e.g. the CSE
+/// builder's interning index maps: millions of small node allocations, one
+/// bulk free). The arena must outlive every container using it.
+template <typename T>
+class ArenaAllocator {
+ public:
+  using value_type = T;
+
+  explicit ArenaAllocator(Arena* arena) noexcept : arena_(arena) {}
+
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U>& other) noexcept
+      : arena_(other.arena()) {}
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    return arena_->allocate_array<T>(n);
+  }
+  void deallocate(T*, std::size_t) noexcept {}  // bulk-freed with the arena
+
+  [[nodiscard]] Arena* arena() const { return arena_; }
+
+  template <typename U>
+  bool operator==(const ArenaAllocator<U>& other) const {
+    return arena_ == other.arena();
+  }
+  template <typename U>
+  bool operator!=(const ArenaAllocator<U>& other) const {
+    return arena_ != other.arena();
+  }
+
+ private:
+  Arena* arena_;
+};
+
 }  // namespace rms::support

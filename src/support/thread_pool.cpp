@@ -1,0 +1,224 @@
+#include "support/thread_pool.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <utility>
+
+#include "support/assert.hpp"
+
+namespace rms::support {
+
+namespace {
+
+/// True while the current thread is executing a chunk body; nested
+/// parallel_for calls detect this and run inline.
+thread_local bool tls_in_chunk = false;
+
+}  // namespace
+
+/// One parallel_for invocation. Chunks are identified by index; participant
+/// p owns the contiguous range [owned[p].lo, owned[p].hi) encoded in a
+/// packed 64-bit atomic (lo in the high word). Owners pop from lo, thieves
+/// pop from hi, both by CAS, so every chunk is claimed exactly once.
+struct ThreadPool::Job {
+  static std::uint64_t pack(std::uint32_t lo, std::uint32_t hi) {
+    return (static_cast<std::uint64_t>(lo) << 32) | hi;
+  }
+  static std::uint32_t lo_of(std::uint64_t v) {
+    return static_cast<std::uint32_t>(v >> 32);
+  }
+  static std::uint32_t hi_of(std::uint64_t v) {
+    return static_cast<std::uint32_t>(v);
+  }
+
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  std::size_t chunk_count = 0;
+  const std::function<void(std::size_t, std::size_t)>* body = nullptr;
+  std::vector<std::atomic<std::uint64_t>> owned;  // per participant
+  std::vector<std::exception_ptr> errors;         // per chunk
+  std::atomic<std::size_t> chunks_remaining{0};
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+
+  /// Chunk c covers [begin + offset(c), begin + offset(c+1)): the first
+  /// (items % chunk_count) chunks are one index larger. Pure arithmetic in
+  /// (begin, end, chunk_count) — independent of scheduling.
+  [[nodiscard]] std::pair<std::size_t, std::size_t> chunk_range(
+      std::size_t c) const {
+    const std::size_t items = end - begin;
+    const std::size_t base = items / chunk_count;
+    const std::size_t extra = items % chunk_count;
+    const std::size_t lo =
+        begin + c * base + std::min<std::size_t>(c, extra);
+    const std::size_t hi = lo + base + (c < extra ? 1 : 0);
+    return {lo, hi};
+  }
+
+  /// Claims one chunk from participant `victim`'s range: the owner takes
+  /// from the front, thieves from the back. Returns false when empty.
+  bool claim(std::size_t victim, bool is_owner, std::uint32_t& chunk) {
+    std::atomic<std::uint64_t>& range = owned[victim];
+    std::uint64_t cur = range.load(std::memory_order_acquire);
+    for (;;) {
+      const std::uint32_t lo = lo_of(cur);
+      const std::uint32_t hi = hi_of(cur);
+      if (lo >= hi) return false;
+      const std::uint64_t next =
+          is_owner ? pack(lo + 1, hi) : pack(lo, hi - 1);
+      if (range.compare_exchange_weak(cur, next, std::memory_order_acq_rel,
+                                      std::memory_order_acquire)) {
+        chunk = is_owner ? lo : hi - 1;
+        return true;
+      }
+    }
+  }
+
+  void run_chunk(std::uint32_t chunk) {
+    tls_in_chunk = true;
+    try {
+      const auto [lo, hi] = chunk_range(chunk);
+      (*body)(lo, hi);
+    } catch (...) {
+      errors[chunk] = std::current_exception();
+    }
+    tls_in_chunk = false;
+    if (chunks_remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      // Last chunk: wake the submitter. The lock orders the notify against
+      // the submitter's predicate check.
+      std::lock_guard<std::mutex> lock(done_mutex);
+      done_cv.notify_all();
+    }
+  }
+};
+
+std::size_t ThreadPool::default_thread_count() {
+  if (const char* env = std::getenv("RMS_THREADS")) {
+    const long n = std::strtol(env, nullptr, 10);
+    if (n >= 0) return static_cast<std::size_t>(n);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+ThreadPool::ThreadPool(std::size_t threads, bool cap_to_hardware) {
+  if (cap_to_hardware) {
+    // Oversubscription guard: the calling thread participates in every
+    // parallel_for, so more than hw-1 workers cannot add parallelism — they
+    // only add context switches and cache churn. Results never depend on the
+    // worker count (static chunking), so the cap is invisible to callers.
+    const unsigned hw = std::thread::hardware_concurrency();
+    if (hw != 0) threads = std::min<std::size_t>(threads, hw - 1);
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this, i] { worker_main(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  job_ready_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::worker_main(std::size_t self) {
+  // Workers are participants 0..N-1; the submitter is participant N.
+  std::uint64_t seen_epoch = 0;
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      job_ready_.wait(lock, [&] {
+        return shutdown_ || (job_ != nullptr && job_epoch_ != seen_epoch);
+      });
+      if (shutdown_) return;
+      seen_epoch = job_epoch_;
+      job = job_;
+    }
+    run_job(*job, self);
+  }
+}
+
+void ThreadPool::run_job(Job& job, std::size_t participant) {
+  // Drain own range, then steal from victims in a deterministic scan order
+  // (which only affects *who* runs a chunk, not what it computes).
+  std::uint32_t chunk = 0;
+  while (job.claim(participant, /*is_owner=*/true, chunk)) {
+    job.run_chunk(chunk);
+  }
+  const std::size_t n = job.owned.size();
+  for (std::size_t hops = 1; hops < n; ++hops) {
+    const std::size_t victim = (participant + hops) % n;
+    while (job.claim(victim, /*is_owner=*/false, chunk)) {
+      job.run_chunk(chunk);
+    }
+  }
+}
+
+void ThreadPool::run_chunked(
+    std::size_t begin, std::size_t end, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& chunk_body) const {
+  if (begin >= end) return;
+  const std::size_t items = end - begin;
+  if (grain == 0) grain = 1;
+
+  // Serial paths: no workers, a trivially small range, or a nested call
+  // from inside a chunk body.
+  const std::size_t participants = workers_.size() + 1;
+  std::size_t chunks = std::min(items / grain, participants * 4);
+  if (workers_.empty() || chunks <= 1 || tls_in_chunk) {
+    chunk_body(begin, end);
+    return;
+  }
+
+  std::lock_guard<std::mutex> submit_lock(submit_mutex_);
+  auto job = std::make_shared<Job>();
+  job->begin = begin;
+  job->end = end;
+  job->chunk_count = chunks;
+  job->body = &chunk_body;
+  job->errors.assign(chunks, nullptr);
+  job->chunks_remaining.store(chunks, std::memory_order_relaxed);
+  // Static split of chunks over participants; participant p owns
+  // [p*chunks/participants, (p+1)*chunks/participants).
+  job->owned = std::vector<std::atomic<std::uint64_t>>(participants);
+  for (std::size_t p = 0; p < participants; ++p) {
+    const std::uint32_t lo =
+        static_cast<std::uint32_t>(p * chunks / participants);
+    const std::uint32_t hi =
+        static_cast<std::uint32_t>((p + 1) * chunks / participants);
+    job->owned[p].store(Job::pack(lo, hi), std::memory_order_relaxed);
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_ = job;
+    ++job_epoch_;
+  }
+  job_ready_.notify_all();
+
+  // The submitter participates as the last participant, then waits for
+  // stragglers (chunks claimed by workers that are still running).
+  run_job(*job, participants - 1);
+  {
+    std::unique_lock<std::mutex> lock(job->done_mutex);
+    job->done_cv.wait(lock, [&] {
+      return job->chunks_remaining.load(std::memory_order_acquire) == 0;
+    });
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_.reset();
+  }
+
+  // Deterministic exception propagation: lowest-numbered failing chunk.
+  for (std::exception_ptr& e : job->errors) {
+    if (e != nullptr) std::rethrow_exception(e);
+  }
+}
+
+}  // namespace rms::support

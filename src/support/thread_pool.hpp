@@ -1,0 +1,137 @@
+// Work-stealing thread pool with a deterministic parallel_for.
+//
+// The compile pipeline (network generation, per-equation DistOpt, Jacobian
+// differentiation, bytecode emission) is dominated by embarrassingly
+// parallel loops whose outputs must nevertheless be bit-identical to the
+// serial order — species ids, interning order and register numbers all
+// depend on commit order. The pool therefore provides *static chunking*
+// (chunk boundaries depend only on the range and the pool size, never on
+// timing) and callers commit results by index into pre-sized slots, so a
+// run with N workers produces exactly the bytes a serial run produces.
+//
+// Scheduling inside one parallel_for is work-stealing: every participant
+// (the workers plus the calling thread) owns a contiguous range of chunks;
+// a participant that drains its own range steals single chunks from the
+// tail of a victim's range. Stealing redistributes *which thread executes*
+// a chunk, never *what* the chunk computes, so determinism is unaffected
+// while load imbalance (e.g. one huge equation) is absorbed.
+//
+// Guarantees:
+//   - every index in [begin, end) is executed exactly once;
+//   - exceptions propagate: the exception of the lowest-numbered failing
+//     chunk is rethrown on the calling thread after all chunks finish;
+//   - nested parallel_for calls from inside a chunk body run serially
+//     inline (no deadlock, same results);
+//   - a pool with thread_count() == 0 (or a null pool passed to the free
+//     helpers) runs everything inline on the caller — the serial path and
+//     the parallel path are the same code.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rms::support {
+
+class ThreadPool {
+ public:
+  /// Worker count for "use the machine": the RMS_THREADS environment
+  /// variable when set, otherwise std::thread::hardware_concurrency().
+  static std::size_t default_thread_count();
+
+  /// Spawns `threads` workers. 0 means "no workers": every parallel_for
+  /// runs inline on the calling thread. With `cap_to_hardware` (the
+  /// default), the worker count is clamped to hardware_concurrency() - 1 —
+  /// the caller participates in every parallel_for, so extra workers beyond
+  /// that only add context switches; determinism means results are
+  /// identical either way. Tests that need real cross-thread schedules
+  /// regardless of the host's core count pass false.
+  explicit ThreadPool(std::size_t threads, bool cap_to_hardware = true);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t thread_count() const { return workers_.size(); }
+
+  /// Calls body(i) for every i in [begin, end), distributing chunks of at
+  /// least `grain` indices across the workers and the calling thread.
+  /// Blocks until every index has been processed.
+  template <typename Body>
+  void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
+                    const Body& body) const {
+    run_chunked(begin, end, grain,
+                [&body](std::size_t lo, std::size_t hi) {
+                  for (std::size_t i = lo; i < hi; ++i) body(i);
+                });
+  }
+
+  /// Range flavour: body(lo, hi) receives whole chunks. Useful when the
+  /// body wants per-chunk scratch state.
+  template <typename Body>
+  void parallel_for_ranges(std::size_t begin, std::size_t end,
+                           std::size_t grain, const Body& body) const {
+    run_chunked(begin, end, grain, body);
+  }
+
+  /// Deterministic map: out[i] = fn(i). Results are committed by index into
+  /// a pre-sized vector, so the output is identical to the serial loop.
+  template <typename T, typename Fn>
+  std::vector<T> parallel_map(std::size_t n, std::size_t grain,
+                              const Fn& fn) const {
+    std::vector<T> out(n);
+    parallel_for(0, n, grain,
+                 [&out, &fn](std::size_t i) { out[i] = fn(i); });
+    return out;
+  }
+
+ private:
+  struct Job;
+
+  /// Type-erased chunk execution: splits [begin, end) into chunks and runs
+  /// chunk_body(lo, hi) for each, work-stealing across participants.
+  void run_chunked(std::size_t begin, std::size_t end, std::size_t grain,
+                   const std::function<void(std::size_t, std::size_t)>&
+                       chunk_body) const;
+
+  void worker_main(std::size_t self);
+  static void run_job(Job& job, std::size_t participant);
+
+  mutable std::mutex mutex_;
+  mutable std::condition_variable job_ready_;
+  mutable std::shared_ptr<Job> job_;          // null when idle
+  mutable std::uint64_t job_epoch_ = 0;
+  mutable std::mutex submit_mutex_;           // one parallel_for at a time
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Serial-fallback helpers: a null pool runs inline on the caller. These are
+/// what the pipeline stages call, so "no pool configured" and "pool with no
+/// workers" and "N workers" all share one code path.
+template <typename Body>
+void parallel_for(const ThreadPool* pool, std::size_t begin, std::size_t end,
+                  std::size_t grain, const Body& body) {
+  if (pool != nullptr) {
+    pool->parallel_for(begin, end, grain, body);
+  } else {
+    for (std::size_t i = begin; i < end; ++i) body(i);
+  }
+}
+
+template <typename T, typename Fn>
+std::vector<T> parallel_map(const ThreadPool* pool, std::size_t n,
+                            std::size_t grain, const Fn& fn) {
+  if (pool != nullptr) return pool->parallel_map<T>(n, grain, fn);
+  std::vector<T> out(n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = fn(i);
+  return out;
+}
+
+}  // namespace rms::support

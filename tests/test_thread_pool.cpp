@@ -1,0 +1,157 @@
+// Unit tests for the work-stealing thread pool (support/thread_pool.hpp).
+//
+// The pool's contract is strict because the compile pipeline leans on it for
+// determinism: every index runs exactly once, results commit by index,
+// nested parallel_for degrades to inline execution, and exceptions
+// propagate deterministically (lowest failing chunk). Tests that need real
+// cross-thread schedules construct the pool with cap_to_hardware=false so
+// they exercise worker threads even on single-core CI machines.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "support/thread_pool.hpp"
+
+namespace rms::support {
+namespace {
+
+TEST(ThreadPool, ZeroWorkersRunsInline) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.thread_count(), 0u);
+  std::vector<int> hits(16, 0);
+  pool.parallel_for(0, hits.size(), 1,
+                    [&](std::size_t i) { hits[i] += 1; });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPool, CapToHardwareLeavesRoomForCaller) {
+  const unsigned hw = std::thread::hardware_concurrency();
+  ThreadPool pool(64);  // default cap_to_hardware = true
+  if (hw != 0) {
+    EXPECT_LE(pool.thread_count(), static_cast<std::size_t>(hw - 1));
+  }
+  // Capped or not, the loop contract holds.
+  std::atomic<int> count{0};
+  pool.parallel_for(0, 100, 1, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, EveryIndexExactlyOnce) {
+  ThreadPool pool(4, /*cap_to_hardware=*/false);
+  ASSERT_EQ(pool.thread_count(), 4u);
+  const std::size_t n = 10000;
+  std::vector<std::atomic<int>> hits(n);
+  for (auto& h : hits) h.store(0);
+  pool.parallel_for(0, n, 1, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, EmptyAndSingleItemRanges) {
+  ThreadPool pool(4, /*cap_to_hardware=*/false);
+  std::atomic<int> count{0};
+  pool.parallel_for(5, 5, 1, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 0);
+  pool.parallel_for(7, 8, 1, [&](std::size_t i) {
+    EXPECT_EQ(i, 7u);
+    count.fetch_add(1);
+  });
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPool, ParallelMapCommitsByIndex) {
+  ThreadPool pool(4, /*cap_to_hardware=*/false);
+  const std::size_t n = 4096;
+  std::vector<std::size_t> out =
+      pool.parallel_map<std::size_t>(n, 1, [](std::size_t i) { return i * i; });
+  ASSERT_EQ(out.size(), n);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(out[i], i * i);
+}
+
+TEST(ThreadPool, NestedParallelForRunsInline) {
+  ThreadPool pool(4, /*cap_to_hardware=*/false);
+  const std::size_t outer = 64;
+  const std::size_t inner = 32;
+  std::vector<std::size_t> sums(outer, 0);
+  pool.parallel_for(0, outer, 1, [&](std::size_t i) {
+    // The nested call must degrade to inline execution (no deadlock, no
+    // cross-chunk interleaving); writing to the same slot from the inner
+    // body would race if it did not.
+    pool.parallel_for(0, inner, 1, [&](std::size_t j) { sums[i] += j; });
+  });
+  const std::size_t expected = inner * (inner - 1) / 2;
+  for (std::size_t i = 0; i < outer; ++i) EXPECT_EQ(sums[i], expected);
+}
+
+TEST(ThreadPool, ExceptionPropagatesLowestChunk) {
+  ThreadPool pool(4, /*cap_to_hardware=*/false);
+  const std::size_t n = 1000;
+  // Every index from 100 on throws; the pool must rethrow the error of the
+  // lowest-numbered failing chunk, making the observed message a pure
+  // function of the range split — identical on every run.
+  std::string first_message;
+  for (int round = 0; round < 3; ++round) {
+    std::string caught;
+    try {
+      pool.parallel_for(0, n, 1, [&](std::size_t i) {
+        if (i >= 100) {
+          throw std::runtime_error("fail@" + std::to_string(i));
+        }
+      });
+      FAIL() << "expected exception";
+    } catch (const std::runtime_error& e) {
+      caught = e.what();
+    }
+    EXPECT_FALSE(caught.empty());
+    if (round == 0) {
+      first_message = caught;
+    } else {
+      EXPECT_EQ(caught, first_message);
+    }
+  }
+}
+
+TEST(ThreadPool, ExceptionDoesNotPoisonPool) {
+  ThreadPool pool(4, /*cap_to_hardware=*/false);
+  EXPECT_THROW(pool.parallel_for(0, 100, 1,
+                                 [](std::size_t) {
+                                   throw std::runtime_error("boom");
+                                 }),
+               std::runtime_error);
+  // The pool keeps working after a failed job.
+  std::atomic<int> count{0};
+  pool.parallel_for(0, 100, 1, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, RangesFlavourCoversRangeOnce) {
+  ThreadPool pool(4, /*cap_to_hardware=*/false);
+  const std::size_t n = 1023;
+  std::vector<std::atomic<int>> hits(n);
+  for (auto& h : hits) h.store(0);
+  pool.parallel_for_ranges(0, n, 8, [&](std::size_t lo, std::size_t hi) {
+    ASSERT_LE(lo, hi);
+    for (std::size_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+  });
+  for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(hits[i].load(), 1);
+}
+
+TEST(ThreadPool, FreeHelpersAcceptNullPool) {
+  std::vector<int> hits(10, 0);
+  parallel_for(nullptr, 0, hits.size(), 1,
+               [&](std::size_t i) { hits[i] += 1; });
+  for (int h : hits) EXPECT_EQ(h, 1);
+  std::vector<int> mapped = parallel_map<int>(
+      nullptr, 5, 1, [](std::size_t i) { return static_cast<int>(i) + 1; });
+  EXPECT_EQ(mapped, (std::vector<int>{1, 2, 3, 4, 5}));
+}
+
+}  // namespace
+}  // namespace rms::support
