@@ -1,0 +1,553 @@
+#include "verify/fuzzer.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <string>
+
+#include "chem/canonical.hpp"
+#include "chem/element.hpp"
+#include "chem/molecule.hpp"
+#include "support/strings.hpp"
+
+namespace rms::verify {
+
+namespace {
+
+// ------------------------------------------------------------- generation
+
+const chem::Element kFuzzElements[] = {chem::Element::kC, chem::Element::kN,
+                                       chem::Element::kO, chem::Element::kS};
+
+/// Random connected molecule: spanning tree plus an occasional ring bond.
+/// Saturation is optional — unsaturated valence is how RDL expresses
+/// radical sites, and radical chemistry is where the rules get interesting.
+chem::Molecule random_molecule(support::Xoshiro256& rng) {
+  chem::Molecule mol;
+  const int atoms = 1 + static_cast<int>(rng.below(6));
+  for (int i = 0; i < atoms; ++i) {
+    mol.add_atom(kFuzzElements[rng.below(std::size(kFuzzElements))]);
+  }
+  for (int i = 1; i < atoms; ++i) {
+    const auto parent = static_cast<chem::AtomIndex>(rng.below(i));
+    if (mol.free_valence(parent) >= 1) {
+      const std::uint8_t order =
+          rng.below(8) == 0 && mol.free_valence(parent) >= 2 ? 2 : 1;
+      mol.add_bond(static_cast<chem::AtomIndex>(i), parent, order);
+    }
+  }
+  if (rng.below(3) == 0 && atoms > 3) {
+    const auto a = static_cast<chem::AtomIndex>(rng.below(atoms));
+    const auto b = static_cast<chem::AtomIndex>(rng.below(atoms));
+    if (a != b && mol.bond_between(a, b) == chem::kNoBond &&
+        mol.free_valence(a) >= 1 && mol.free_valence(b) >= 1) {
+      mol.add_bond(a, b, 1);
+    }
+  }
+  if (rng.below(4) != 0) {
+    mol.saturate_with_hydrogens();  // 3/4 closed-shell, 1/4 radical
+  } else {
+    // Partially saturate so the radical count stays small.
+    for (chem::AtomIndex i = 0; i < mol.atom_count(); ++i) {
+      while (mol.free_valence(i) > 1) {
+        mol.atom(i).hydrogens = static_cast<std::uint8_t>(
+            mol.atom(i).hydrogens + 1);
+      }
+    }
+  }
+  return mol;
+}
+
+struct ModelSketch {
+  std::vector<std::string> species_names;  ///< declared (family base) names
+  std::vector<chem::Molecule> molecules;   ///< parallel, concrete species only
+  std::vector<std::string> const_names;
+};
+
+std::string random_constant_expr(support::Xoshiro256& rng,
+                                 const std::vector<std::string>& earlier) {
+  switch (earlier.empty() ? 0 : rng.below(4)) {
+    case 1:
+      return support::str_format(
+          "%s * %.6g", earlier[rng.below(earlier.size())].c_str(),
+          rng.uniform(0.1, 4.0));
+    case 2:
+      return support::str_format(
+          "%s + %.6g", earlier[rng.below(earlier.size())].c_str(),
+          rng.uniform(0.01, 2.0));
+    case 3:
+      return support::str_format("arrhenius(%.6g, %.6g)",
+                                 rng.uniform(1e2, 1e6),
+                                 rng.uniform(5e3, 4e4));
+    default:
+      return support::str_format("%.9g", rng.uniform(0.05, 10.0));
+  }
+}
+
+const char* random_site_element(support::Xoshiro256& rng) {
+  static const char* kSymbols[] = {"C", "N", "O", "S", "*"};
+  return kSymbols[rng.below(std::size(kSymbols))];
+}
+
+/// A rule whose sites/bond are copied from an actual bond of a declared
+/// molecule, so the pattern provably embeds somewhere: these rules are what
+/// make the generated networks non-trivial.
+std::string anchored_rule(support::Xoshiro256& rng, int index,
+                          const ModelSketch& sketch) {
+  const chem::Molecule& mol =
+      sketch.molecules[rng.below(sketch.molecules.size())];
+  if (mol.bond_count() == 0) return {};
+  const chem::Bond& bond =
+      mol.bond(static_cast<chem::BondIndex>(rng.below(mol.bond_count())));
+  const std::string ea{chem::element_symbol(mol.atom(bond.a).element)};
+  const std::string eb{chem::element_symbol(mol.atom(bond.b).element)};
+  const std::string rate =
+      sketch.const_names[rng.below(sketch.const_names.size())];
+  std::string rule = support::str_format(
+      "rule anchored_%d {\n  site a: %s;\n  site b: %s;\n  bond a b %d;\n",
+      index, ea.c_str(), eb.c_str(), static_cast<int>(bond.order));
+  if (bond.order > 1 && rng.below(2) == 0) {
+    rule += "  dec_bond a b;\n";
+  } else {
+    rule += "  disconnect a b;\n";
+  }
+  rule += "  rate " + rate + ";\n}\n";
+  // With a scission rule in play, a recombination rule keeps the network's
+  // radical population reacting (and exercises bimolecular matching).
+  if (rng.below(2) == 0) {
+    rule += support::str_format(
+        "rule recombine_%d {\n  site a: %s where radical;\n"
+        "  site b: %s where radical;\n  connect a b;\n  rate %s;\n}\n",
+        index, ea.c_str(), eb.c_str(),
+        sketch.const_names[rng.below(sketch.const_names.size())].c_str());
+  }
+  return rule;
+}
+
+std::string freeform_rule(support::Xoshiro256& rng, int index,
+                          const ModelSketch& sketch) {
+  const int sites = 1 + static_cast<int>(rng.below(3));
+  std::string rule = support::str_format("rule fuzz_%d {\n", index);
+  for (int s = 0; s < sites; ++s) {
+    rule += support::str_format("  site s%d: %s", s, random_site_element(rng));
+    switch (rng.below(5)) {
+      case 0:
+        rule += " where radical";
+        break;
+      case 1:
+        rule += support::str_format(" where h >= %d",
+                                    1 + static_cast<int>(rng.below(3)));
+        break;
+      case 2:
+        rule += support::str_format(" where depth >= %d",
+                                    1 + static_cast<int>(rng.below(2)));
+        break;
+      default:
+        break;
+    }
+    rule += ";\n";
+  }
+  if (sites >= 2 && rng.below(2) == 0) {
+    rule += support::str_format("  bond s0 s1 %d;\n",
+                                static_cast<int>(rng.below(2)));
+  }
+  const int actions = 1 + static_cast<int>(rng.below(2));
+  for (int a = 0; a < actions; ++a) {
+    const int x = static_cast<int>(rng.below(sites));
+    const int y = static_cast<int>(rng.below(sites));
+    switch (rng.below(6)) {
+      case 0:
+        rule += support::str_format("  disconnect s%d s%d;\n", x, y);
+        break;
+      case 1:
+        rule += support::str_format("  connect s%d s%d;\n", x, y);
+        break;
+      case 2:
+        rule += support::str_format("  inc_bond s%d s%d;\n", x, y);
+        break;
+      case 3:
+        rule += support::str_format("  dec_bond s%d s%d;\n", x, y);
+        break;
+      case 4:
+        rule += support::str_format("  remove_h s%d;\n", x);
+        break;
+      default:
+        rule += support::str_format("  add_h s%d;\n", x);
+        break;
+    }
+  }
+  rule += "  rate " +
+          sketch.const_names[rng.below(sketch.const_names.size())] + ";\n}\n";
+  return rule;
+}
+
+}  // namespace
+
+std::string random_rdl_model(support::Xoshiro256& rng) {
+  std::string src = "# fuzz-generated model\n";
+  ModelSketch sketch;
+
+  // Species: random molecules rendered through the canonical writer, so
+  // every declaration is valid SMILES by construction. Duplicate canonical
+  // forms are skipped (sema rejects duplicate structures).
+  const int species = 1 + static_cast<int>(rng.below(3));
+  std::vector<std::string> seen_canonical;
+  for (int i = 0; i < species; ++i) {
+    chem::Molecule mol = random_molecule(rng);
+    const std::string canonical = chem::canonical_smiles(mol);
+    if (std::find(seen_canonical.begin(), seen_canonical.end(), canonical) !=
+        seen_canonical.end()) {
+      continue;
+    }
+    seen_canonical.push_back(canonical);
+    const std::string name = support::str_format("M%d", i);
+    src += support::str_format("species %s = \"%s\";\n", name.c_str(),
+                               canonical.c_str());
+    sketch.species_names.push_back(name);
+    sketch.molecules.push_back(std::move(mol));
+  }
+  // Occasionally a compact variant family (the paper's chain-length form).
+  if (rng.below(3) == 0) {
+    static const char* kEnds[] = {"N", "O", "C"};
+    const char* left = kEnds[rng.below(std::size(kEnds))];
+    const char* right = kEnds[rng.below(std::size(kEnds))];
+    const int hi = 2 + static_cast<int>(rng.below(3));
+    src += support::str_format(
+        "species Fam(n = 1..%d) = \"%sS{n}%s\";\n", hi, left, right);
+    sketch.species_names.push_back("Fam");
+  }
+
+  const int constants = 2 + static_cast<int>(rng.below(3));
+  for (int i = 0; i < constants; ++i) {
+    const std::string name = support::str_format("k%d", i);
+    src += support::str_format(
+        "const %s = %s;\n", name.c_str(),
+        random_constant_expr(rng, sketch.const_names).c_str());
+    sketch.const_names.push_back(name);
+  }
+
+  for (const std::string& name : sketch.species_names) {
+    if (rng.below(10) < 7) {
+      src += support::str_format("init %s = %.6g;\n", name.c_str(),
+                                 rng.uniform(0.0, 1.5));
+    }
+  }
+
+  // Substructure forbids bound chain growth the same way real models do.
+  if (rng.below(2) == 0) src += "forbid substructure \"SSSS\";\n";
+  if (rng.below(6) == 0) src += "forbid \"O=O\";\n";
+
+  const int rules = 1 + static_cast<int>(rng.below(3));
+  for (int i = 0; i < rules; ++i) {
+    std::string rule;
+    if (!sketch.molecules.empty() && rng.below(5) < 3) {
+      rule = anchored_rule(rng, i, sketch);
+    }
+    if (rule.empty()) rule = freeform_rule(rng, i, sketch);
+    src += rule;
+  }
+  return src;
+}
+
+// -------------------------------------------------------------- mutation
+
+namespace {
+
+std::vector<std::string> split_lines(const std::string& source) {
+  std::vector<std::string> lines;
+  std::string current;
+  for (char c : source) {
+    if (c == '\n') {
+      lines.push_back(current);
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  if (!current.empty()) lines.push_back(current);
+  return lines;
+}
+
+std::string join_lines(const std::vector<std::string>& lines) {
+  std::string out;
+  for (const std::string& line : lines) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+/// Replaces a random numeric literal on the line, if any.
+bool mutate_number(std::string& line, support::Xoshiro256& rng) {
+  std::vector<std::pair<std::size_t, std::size_t>> numbers;
+  for (std::size_t i = 0; i < line.size();) {
+    if (std::isdigit(static_cast<unsigned char>(line[i]))) {
+      std::size_t j = i;
+      while (j < line.size() &&
+             (std::isdigit(static_cast<unsigned char>(line[j])) ||
+              line[j] == '.' || line[j] == 'e' || line[j] == '-' ||
+              line[j] == '+')) {
+        ++j;
+      }
+      numbers.emplace_back(i, j - i);
+      i = j;
+    } else {
+      ++i;
+    }
+  }
+  if (numbers.empty()) return false;
+  const auto [pos, len] = numbers[rng.below(numbers.size())];
+  std::string replacement;
+  switch (rng.below(5)) {
+    case 0: replacement = "0"; break;
+    case 1: replacement = support::str_format("%.6g", rng.uniform(0.0, 100.0));
+      break;
+    case 2: replacement = "1e30"; break;
+    case 3: replacement = support::str_format("%d", 1 + (int)rng.below(9));
+      break;
+    default:
+      replacement = support::str_format("-%.6g", rng.uniform(0.0, 10.0));
+      break;
+  }
+  line.replace(pos, len, replacement);
+  return true;
+}
+
+}  // namespace
+
+std::string mutate_rdl(const std::string& source, support::Xoshiro256& rng) {
+  std::vector<std::string> lines = split_lines(source);
+  if (lines.empty()) return source;
+  const int mutations = 1 + static_cast<int>(rng.below(4));
+  for (int m = 0; m < mutations; ++m) {
+    const std::size_t at = rng.below(lines.size());
+    switch (rng.below(6)) {
+      case 0:  // tweak a number
+        mutate_number(lines[at], rng);
+        break;
+      case 1:  // duplicate a line
+        lines.insert(lines.begin() + static_cast<long>(at), lines[at]);
+        break;
+      case 2:  // delete a line
+        if (lines.size() > 1) {
+          lines.erase(lines.begin() + static_cast<long>(at));
+        }
+        break;
+      case 3: {  // swap two lines
+        const std::size_t other = rng.below(lines.size());
+        std::swap(lines[at], lines[other]);
+        break;
+      }
+      case 4: {  // retarget a rate reference to another constant
+        const std::size_t pos = lines[at].find("rate ");
+        if (pos != std::string::npos) {
+          lines[at] = support::str_format(
+              "  rate k%d;", static_cast<int>(rng.below(4)));
+        }
+        break;
+      }
+      default: {  // widen/narrow a variant range
+        const std::size_t pos = lines[at].find("..");
+        if (pos != std::string::npos && pos + 2 < lines[at].size()) {
+          lines[at].replace(pos + 2, 1,
+                            support::str_format(
+                                "%d", 1 + static_cast<int>(rng.below(6))));
+        } else {
+          mutate_number(lines[at], rng);
+        }
+        break;
+      }
+    }
+  }
+  return join_lines(lines);
+}
+
+// ------------------------------------------------------------- fuzz loop
+
+std::uint64_t fuzz_iteration_seed(std::uint64_t run_seed, int iteration) {
+  std::uint64_t state = run_seed + 0x9E3779B97F4A7C15ull *
+                                       static_cast<std::uint64_t>(iteration + 1);
+  return support::splitmix64(state);
+}
+
+std::uint64_t unmix_iteration_seed(std::uint64_t iteration_seed) {
+  // Invert the SplitMix64 output mix (xorshifts and odd multiplies are all
+  // bijections mod 2^64; the multipliers below are the modular inverses of
+  // the forward constants).
+  std::uint64_t z = iteration_seed;
+  z ^= (z >> 31) ^ (z >> 62);
+  z *= 0x319642B2D24D8EC3ull;
+  z ^= (z >> 27) ^ (z >> 54);
+  z *= 0x96DE1B173F119089ull;
+  z ^= (z >> 30) ^ (z >> 60);
+  // splitmix64 advanced the state by one golden-ratio step on top of the
+  // iteration-0 offset applied by fuzz_iteration_seed.
+  return z - 2 * 0x9E3779B97F4A7C15ull;
+}
+
+FuzzResult run_fuzz(const FuzzOptions& options) {
+  FuzzResult result;
+  for (int i = 0; i < options.iterations; ++i) {
+    ++result.iterations;
+    const std::uint64_t seed = fuzz_iteration_seed(options.seed, i);
+    support::Xoshiro256 rng(seed);
+
+    std::string source;
+    if (!options.corpus.empty() && rng.below(2) == 0) {
+      source = mutate_rdl(options.corpus[rng.below(options.corpus.size())],
+                          rng);
+    } else {
+      source = random_rdl_model(rng);
+    }
+
+    auto built = build_model_from_rdl(source, options.generator);
+    if (!built.is_ok()) {
+      ++result.rejected;  // a clean Status error is the expected outcome
+      if (options.on_progress) {
+        options.on_progress(i, result.compiled,
+                            static_cast<int>(result.findings.size()));
+      }
+      continue;
+    }
+    ++result.compiled;
+
+    OracleOptions oracle_options = options.oracle;
+    oracle_options.seed = seed;
+    const DifferentialOracle oracle(oracle_options);
+    const std::string name = support::str_format("fuzz-%d", i);
+    OracleReport report = oracle.check_model(*built, name);
+
+    std::vector<Divergence> divergences = std::move(report.divergences);
+    if (options.run_invariants) {
+      InvariantOptions invariant_options = options.invariants;
+      invariant_options.seed = seed;
+      invariant_options.generator = options.generator;
+      if (options.thread_invariance_every > 0 &&
+          result.compiled % options.thread_invariance_every == 0) {
+        invariant_options.check_thread_invariance = true;
+      }
+      std::vector<Divergence> violations =
+          check_invariants(*built, name, invariant_options);
+      divergences.insert(divergences.end(),
+                         std::make_move_iterator(violations.begin()),
+                         std::make_move_iterator(violations.end()));
+    }
+
+    if (!divergences.empty()) {
+      FuzzCase finding;
+      finding.iteration_seed = seed;
+      finding.iteration = i;
+      finding.source = std::move(source);
+      finding.divergences = std::move(divergences);
+      result.findings.push_back(std::move(finding));
+      if (options.max_findings > 0 &&
+          static_cast<int>(result.findings.size()) >= options.max_findings) {
+        if (options.on_progress) {
+          options.on_progress(i, result.compiled,
+                              static_cast<int>(result.findings.size()));
+        }
+        break;
+      }
+    }
+    if (options.on_progress) {
+      options.on_progress(i, result.compiled,
+                          static_cast<int>(result.findings.size()));
+    }
+  }
+  return result;
+}
+
+// -------------------------------------------------------------- reduction
+
+namespace {
+
+/// Top-level chunk boundaries: a chunk is a run of lines ending with a
+/// depth-0 `;` or the `}` closing a rule block. Comments/blank lines attach
+/// to the following chunk.
+std::vector<std::pair<std::size_t, std::size_t>> chunk_ranges(
+    const std::vector<std::string>& lines) {
+  std::vector<std::pair<std::size_t, std::size_t>> chunks;
+  int depth = 0;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    bool closes = false;
+    for (char c : lines[i]) {
+      if (c == '#') break;
+      if (c == '{') ++depth;
+      if (c == '}') {
+        --depth;
+        if (depth == 0) closes = true;
+      }
+      if (c == ';' && depth == 0) closes = true;
+    }
+    if (closes) {
+      chunks.emplace_back(start, i + 1);
+      start = i + 1;
+    }
+  }
+  if (start < lines.size()) chunks.emplace_back(start, lines.size());
+  return chunks;
+}
+
+std::string without_range(const std::vector<std::string>& lines,
+                          std::size_t begin, std::size_t end) {
+  std::vector<std::string> kept;
+  kept.reserve(lines.size() - (end - begin));
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    if (i < begin || i >= end) kept.push_back(lines[i]);
+  }
+  return join_lines(kept);
+}
+
+}  // namespace
+
+std::string reduce_rdl(
+    const std::string& source,
+    const std::function<bool(const std::string&)>& still_fails) {
+  std::string best = source;
+  bool changed = true;
+  // Each round first drops whole statements/rules (coarse), then single
+  // lines inside what remains (fine: site constraints, actions). Rounds
+  // repeat until a fixpoint — deleting one statement often unlocks another.
+  while (changed) {
+    changed = false;
+    std::vector<std::string> lines = split_lines(best);
+    // Coarse pass, back to front so earlier indices stay valid.
+    const auto chunks = chunk_ranges(lines);
+    for (std::size_t c = chunks.size(); c-- > 0;) {
+      const std::string candidate =
+          without_range(lines, chunks[c].first, chunks[c].second);
+      if (candidate != best && still_fails(candidate)) {
+        best = candidate;
+        lines = split_lines(best);
+        changed = true;
+        break;  // chunk table is stale; restart the round
+      }
+    }
+    if (changed) continue;
+    // Fine pass: individual lines.
+    for (std::size_t i = lines.size(); i-- > 0;) {
+      const std::string candidate = without_range(lines, i, i + 1);
+      if (candidate != best && still_fails(candidate)) {
+        best = candidate;
+        changed = true;
+        break;
+      }
+    }
+  }
+  return best;
+}
+
+std::string reduce_divergence(const std::string& source,
+                              const OracleOptions& oracle_options,
+                              const network::GeneratorOptions& generator) {
+  const DifferentialOracle oracle(oracle_options);
+  auto still_fails = [&](const std::string& candidate) {
+    auto built = build_model_from_rdl(candidate, generator);
+    if (!built.is_ok()) return false;  // must keep compiling
+    return !oracle.check_model(*built, "reduce").ok();
+  };
+  if (!still_fails(source)) return source;  // nothing to reduce
+  return reduce_rdl(source, still_fails);
+}
+
+}  // namespace rms::verify

@@ -1,0 +1,123 @@
+// Structure-aware RDL fuzzing over the whole compiler/VM stack.
+//
+// Random character soup almost never gets past the parser, so the fuzzer
+// works at the language level: it *generates* mostly-well-formed RDL models
+// (random molecules rendered through the real canonical-SMILES writer,
+// variant families, constant expressions, rules assembled from the six edit
+// primitives — half of them "anchored" to a bond that provably exists in a
+// declared molecule so the network generator has real work to do) and
+// *mutates* existing models with statement-level edits that keep the input
+// near the language. Every model that compiles is handed to the
+// DifferentialOracle and the metamorphic invariants; any divergence is a
+// finding, and the greedy reducer shrinks the offending source to a minimal
+// reproducer by deleting statements and rule lines while the divergence
+// persists.
+//
+// Everything is seeded: iteration i of a run with seed S uses a generator
+// seeded with mix(S, i), so `--fuzz N --seed S` reproduces bit-for-bit and
+// any reported case can be regenerated from its printed iteration seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "support/rng.hpp"
+#include "verify/invariants.hpp"
+#include "verify/oracle.hpp"
+
+namespace rms::verify {
+
+/// Emits a random mostly-well-formed RDL model.
+std::string random_rdl_model(support::Xoshiro256& rng);
+
+/// Applies 1-4 statement/token-level mutations to an existing model.
+std::string mutate_rdl(const std::string& source, support::Xoshiro256& rng);
+
+struct FuzzOptions {
+  std::uint64_t seed = 1;
+  int iterations = 100;
+  /// Oracle configuration per compiled case. The fuzz defaults keep each
+  /// case hermetic and cheap: few trials, no shelling out to cc.
+  OracleOptions oracle = [] {
+    OracleOptions o;
+    o.trials = 3;
+    o.check_c_backend = false;
+    return o;
+  }();
+  /// Value-level invariants per compiled case (thread invariance recompiles
+  /// under real pools, so it runs on a sample of cases, not all).
+  InvariantOptions invariants = [] {
+    InvariantOptions o;
+    o.trials = 2;
+    o.check_thread_invariance = false;
+    return o;
+  }();
+  bool run_invariants = true;
+  /// Every Nth compiled case additionally runs the (expensive) thread-count
+  /// invariance recompiles; 0 disables.
+  int thread_invariance_every = 25;
+  /// Generation caps for adversarial inputs: small enough that a rule set
+  /// trying to grow molecules without bound fails fast.
+  network::GeneratorOptions generator = [] {
+    network::GeneratorOptions g;
+    g.max_species = 40;
+    g.max_reactions = 400;
+    g.max_rounds = 5;
+    g.max_atoms_per_species = 16;
+    return g;
+  }();
+  /// Seed corpus; when non-empty, half the iterations mutate a corpus entry
+  /// instead of generating from scratch.
+  std::vector<std::string> corpus;
+  /// Stop after this many divergent cases (0 = never stop early).
+  int max_findings = 10;
+  /// Progress sink, called after every iteration (may be null).
+  std::function<void(int iteration, int compiled, int divergent)> on_progress;
+};
+
+struct FuzzCase {
+  std::uint64_t iteration_seed = 0;
+  int iteration = -1;
+  std::string source;
+  std::vector<Divergence> divergences;
+};
+
+struct FuzzResult {
+  int iterations = 0;
+  int compiled = 0;   ///< cases that built through the full pipeline
+  int rejected = 0;   ///< cases rejected with a clean Status error
+  std::vector<FuzzCase> findings;
+
+  [[nodiscard]] bool ok() const { return findings.empty(); }
+};
+
+/// Runs the fuzz loop. Crashes/hangs are deliberately NOT caught — a crash
+/// under the fuzzer is exactly the signal it exists to surface.
+FuzzResult run_fuzz(const FuzzOptions& options);
+
+/// Per-iteration seed derivation (exposed so a finding can be reproduced
+/// without re-running the whole loop).
+std::uint64_t fuzz_iteration_seed(std::uint64_t run_seed, int iteration);
+
+/// Inverse of fuzz_iteration_seed for iteration 0 (every step of SplitMix64
+/// is bijective): given a reported iteration seed, returns the run seed
+/// that reproduces exactly that case as the sole iteration of a
+/// `--fuzz 1 --seed <result>` run.
+std::uint64_t unmix_iteration_seed(std::uint64_t iteration_seed);
+
+/// Greedy test-case reduction: repeatedly deletes top-level statements and
+/// single rule-body lines while `still_fails` stays true. Returns the
+/// smallest failing source found.
+std::string reduce_rdl(const std::string& source,
+                       const std::function<bool(const std::string&)>&
+                           still_fails);
+
+/// Convenience reducer predicate: "compiles AND the oracle (or invariants)
+/// still report a divergence".
+std::string reduce_divergence(const std::string& source,
+                              const OracleOptions& oracle_options,
+                              const network::GeneratorOptions& generator);
+
+}  // namespace rms::verify

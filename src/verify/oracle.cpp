@@ -1,0 +1,562 @@
+#include "verify/oracle.hpp"
+
+#include <dlfcn.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <limits>
+
+#include "codegen/bytecode_emitter.hpp"
+#include "codegen/c_emitter.hpp"
+#include "codegen/jacobian.hpp"
+#include "codegen/reference_backend.hpp"
+#include "support/rng.hpp"
+#include "support/strings.hpp"
+#include "vm/fuse.hpp"
+#include "vm/interpreter.hpp"
+#include "vm/regalloc.hpp"
+
+namespace rms::verify {
+
+// ---------------------------------------------------------------- compare
+
+double ulp_distance(double a, double b) {
+  if (a == b) return 0.0;  // covers +0 == -0
+  if (std::isnan(a) || std::isnan(b)) {
+    return std::numeric_limits<double>::infinity();
+  }
+  if (std::isinf(a) || std::isinf(b)) {
+    return std::numeric_limits<double>::infinity();
+  }
+  if ((a < 0.0) != (b < 0.0)) {
+    // Distance through zero: |a| and |b| ulps from their respective sides.
+    return ulp_distance(std::fabs(a), 0.0) + ulp_distance(std::fabs(b), 0.0);
+  }
+  std::int64_t ia = 0;
+  std::int64_t ib = 0;
+  const double fa = std::fabs(a);
+  const double fb = std::fabs(b);
+  std::memcpy(&ia, &fa, sizeof(double));
+  std::memcpy(&ib, &fb, sizeof(double));
+  return static_cast<double>(ia > ib ? ia - ib : ib - ia);
+}
+
+bool values_match(double a, double b, Tolerance tolerance,
+                  double vector_scale) {
+  if (a == b) return true;
+  if (std::isnan(a) && std::isnan(b)) return true;
+  // A component's noise floor is set by the terms that produced it, not by
+  // its own (possibly cancelled-to-tiny) value: admit a sliver of the
+  // whole-vector magnitude alongside the per-component scale.
+  const double scale =
+      std::max({1.0, std::fabs(a), std::fabs(b), 1e-2 * vector_scale});
+  switch (tolerance) {
+    case Tolerance::kTight:
+      return std::fabs(a - b) <= 1e-12 * scale || ulp_distance(a, b) <= 64.0;
+    case Tolerance::kReassociated:
+      return std::fabs(a - b) <= 1e-9 * scale;
+  }
+  return false;
+}
+
+namespace {
+
+double vector_scale_of(const std::vector<double>& a,
+                       const std::vector<double>& b) {
+  double scale = 0.0;
+  for (double v : a) scale = std::max(scale, std::fabs(v));
+  for (double v : b) scale = std::max(scale, std::fabs(v));
+  return scale;
+}
+
+/// First index where the vectors disagree under the tolerance, or npos.
+std::size_t first_mismatch(const std::vector<double>& a,
+                           const std::vector<double>& b,
+                           Tolerance tolerance) {
+  const double scale = vector_scale_of(a, b);
+  const std::size_t n = std::min(a.size(), b.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!values_match(a[i], b[i], tolerance, scale)) return i;
+  }
+  if (a.size() != b.size()) return n;
+  return static_cast<std::size_t>(-1);
+}
+
+}  // namespace
+
+// ----------------------------------------------------------------- report
+
+std::string Divergence::to_string() const {
+  std::string out = support::str_format(
+      "DIVERGENCE model=%s paths=%s|%s trial=%d seed=%llu\n"
+      "  equation %zu", model_name.c_str(), path_a.c_str(), path_b.c_str(),
+      trial, static_cast<unsigned long long>(seed), equation);
+  if (!equation_label.empty()) out += " (" + equation_label + ")";
+  out += support::str_format(":\n    %-12s = %.17g\n    %-12s = %.17g\n"
+                             "    ulp distance %.3g\n",
+                             path_a.c_str(), value_a, path_b.c_str(), value_b,
+                             ulp);
+  if (!stage.empty()) out += "  blamed stage: " + stage + "\n";
+  return out;
+}
+
+std::string OracleReport::to_string() const {
+  std::string out = support::str_format(
+      "oracle %-24s trials=%d paths=[", model_name.c_str(), trials);
+  for (std::size_t i = 0; i < paths_checked.size(); ++i) {
+    if (i != 0) out += ' ';
+    out += paths_checked[i];
+  }
+  out += ']';
+  for (const std::string& s : skipped) out += " skipped:" + s;
+  if (ok()) {
+    out += " OK\n";
+    return out;
+  }
+  out += support::str_format(" %zu DIVERGENCE(S)\n", divergences.size());
+  for (const Divergence& d : divergences) out += d.to_string();
+  return out;
+}
+
+// -------------------------------------------------------------- pipeline
+
+support::Expected<models::BuiltModel> build_model_from_rdl(
+    std::string_view source,
+    const network::GeneratorOptions& generator_options) {
+  models::BuiltModel built;
+  auto model = rdl::compile_rdl(source);
+  if (!model.is_ok()) return model.status();
+  built.model = std::move(model).value();
+
+  auto net = network::generate_network(built.model, generator_options);
+  if (!net.is_ok()) return net.status();
+  built.network = std::move(net).value();
+
+  auto rates = rcip::process_rate_constants(built.model, built.network);
+  if (!rates.is_ok()) return rates.status();
+  built.rates = std::move(rates).value();
+
+  auto odes = odegen::generate_odes(built.network, built.rates,
+                                    odegen::OdeGenOptions{true});
+  if (!odes.is_ok()) return odes.status();
+  built.odes = std::move(odes).value();
+
+  auto raw = odegen::generate_odes(built.network, built.rates,
+                                   odegen::OdeGenOptions{false});
+  if (!raw.is_ok()) return raw.status();
+  built.odes_raw = std::move(raw).value();
+
+  RMS_RETURN_IF_ERROR(models::finish_pipeline(built));
+  return built;
+}
+
+// ---------------------------------------------------------------- bisect
+
+namespace {
+
+/// Runs `program` once through the interpreter.
+std::vector<double> run_program(const vm::Program& program, double t,
+                                const std::vector<double>& y,
+                                const std::vector<double>& k) {
+  const std::size_t outputs =
+      program.output_count != 0 ? program.output_count : program.species_count;
+  std::vector<double> out(outputs);
+  vm::Scratch scratch;
+  scratch.prepare(program);
+  vm::Interpreter(program).run(t, y.data(), k.data(), out.data(), scratch);
+  return out;
+}
+
+/// Runs `program` through the batched entry point with every lane holding
+/// the same input; returns lane 0.
+std::vector<double> run_program_batched(const vm::Program& program, double t,
+                                        const std::vector<double>& y,
+                                        const std::vector<double>& k,
+                                        std::size_t lanes) {
+  const std::size_t outputs =
+      program.output_count != 0 ? program.output_count : program.species_count;
+  std::vector<double> ys(y.size() * lanes);
+  std::vector<double> ks(k.size() * lanes);
+  for (std::size_t lane = 0; lane < lanes; ++lane) {
+    std::copy(y.begin(), y.end(), ys.begin() + lane * y.size());
+    std::copy(k.begin(), k.end(), ks.begin() + lane * k.size());
+  }
+  std::vector<double> ydots(outputs * lanes);
+  vm::Scratch scratch;
+  scratch.prepare(program, lanes);
+  vm::Interpreter(program).run_batch(t, ys.data(), ks.data(), ydots.data(),
+                                     lanes, scratch);
+  return std::vector<double>(ydots.begin(), ydots.begin() + outputs);
+}
+
+struct StageOutput {
+  const char* name;
+  Tolerance tolerance;  ///< vs the previous stage
+  std::vector<double> values;
+};
+
+}  // namespace
+
+std::string bisect_stage(const models::BuiltModel& built, double t,
+                         const std::vector<double>& y,
+                         const std::vector<double>& k,
+                         std::size_t batch_lanes) {
+  const std::size_t species_count = built.odes.table.size();
+  const std::size_t rate_count = built.rates.size();
+
+  // Stage 0 baseline: the raw (uncombined) symbolic table. Regenerate it if
+  // the model was built without the reference baseline.
+  std::vector<double> baseline;
+  odegen::GeneratedOdes raw_local;
+  const odegen::EquationTable* raw = &built.odes_raw.table;
+  if (raw->size() == 0 && species_count != 0) {
+    auto regenerated = odegen::generate_odes(built.network, built.rates,
+                                             odegen::OdeGenOptions{false});
+    if (!regenerated.is_ok()) return "";
+    raw_local = std::move(regenerated).value();
+    raw = &raw_local.table;
+  }
+  raw->evaluate(y, k, t, baseline);
+
+  std::vector<StageOutput> stages;
+  stages.reserve(8);
+
+  // simplify: §3.1 like-term combining.
+  {
+    StageOutput s{"simplify", Tolerance::kReassociated, {}};
+    built.odes.table.evaluate(y, k, t, s.values);
+    stages.push_back(std::move(s));
+  }
+  // distopt: §3.2 factoring without CSE temporaries.
+  {
+    opt::OptimizerOptions options;
+    options.cse.enable_prefix_sharing = false;
+    options.cse.enable_temporaries = false;
+    const opt::OptimizedSystem system =
+        opt::optimize(built.odes.table, species_count, rate_count, options);
+    StageOutput s{"distopt", Tolerance::kReassociated, {}};
+    system.evaluate(y, k, t, s.values);
+    stages.push_back(std::move(s));
+  }
+  // cse + emit + fuse + regalloc + batch share the full optimized system.
+  const opt::OptimizedSystem full =
+      opt::optimize(built.odes.table, species_count, rate_count);
+  {
+    StageOutput s{"cse", Tolerance::kReassociated, {}};
+    full.evaluate(y, k, t, s.values);
+    stages.push_back(std::move(s));
+  }
+  const vm::Program emitted = codegen::emit_optimized(full);
+  stages.push_back(
+      {"emit", Tolerance::kTight, run_program(emitted, t, y, k)});
+  const vm::Program fused = vm::fuse_superinstructions(emitted);
+  stages.push_back({"fuse", Tolerance::kTight, run_program(fused, t, y, k)});
+  const vm::Program compacted = vm::compact_registers(fused);
+  stages.push_back(
+      {"regalloc", Tolerance::kTight, run_program(compacted, t, y, k)});
+  if (batch_lanes > 1) {
+    stages.push_back({"batch", Tolerance::kTight,
+                      run_program_batched(compacted, t, y, k, batch_lanes)});
+  }
+
+  const std::vector<double>* previous = &baseline;
+  for (const StageOutput& stage : stages) {
+    if (first_mismatch(*previous, stage.values, stage.tolerance) !=
+        static_cast<std::size_t>(-1)) {
+      return stage.name;
+    }
+    previous = &stage.values;
+  }
+  return "";
+}
+
+// ----------------------------------------------------------------- oracle
+
+namespace {
+
+/// One named RHS evaluation path: fills `out` for a (t, y, k) draw.
+struct RhsPath {
+  std::string name;
+  /// Tolerance against the reference path.
+  Tolerance tolerance = Tolerance::kTight;
+  /// Whether a divergence on this path should be stage-bisected.
+  bool bisectable = false;
+  /// Stage to blame when bisection is off / not applicable.
+  std::string fixed_stage;
+  std::function<void(double, const std::vector<double>&,
+                     const std::vector<double>&, std::vector<double>&)>
+      evaluate;
+};
+
+bool have_system_cc() {
+  static const bool available =
+      std::system("cc --version > /dev/null 2>&1") == 0;
+  return available;
+}
+
+using NativeRhsFn = void (*)(double, const double*, const double*, double*);
+
+/// Owns a dlopen()ed shared object compiled from emitted C.
+class NativeLibrary {
+ public:
+  ~NativeLibrary() {
+    if (handle_ != nullptr) dlclose(handle_);
+    if (!c_path_.empty()) std::remove(c_path_.c_str());
+    if (!so_path_.empty()) std::remove(so_path_.c_str());
+  }
+
+  /// Compiles `c_source` and resolves `symbol`; false on any failure.
+  bool build(const std::string& c_source, const std::string& symbol,
+             const std::string& tag) {
+    const std::string base = support::str_format(
+        "/tmp/rms_verify_%d_%s", static_cast<int>(getpid()), tag.c_str());
+    c_path_ = base + ".c";
+    so_path_ = base + ".so";
+    {
+      std::ofstream file(c_path_);
+      if (!file) return false;
+      file << c_source;
+    }
+    const std::string cmd = "cc -O1 -shared -fPIC " + c_path_ + " -o " +
+                            so_path_ + " 2>/dev/null";
+    if (std::system(cmd.c_str()) != 0) return false;
+    handle_ = dlopen(so_path_.c_str(), RTLD_NOW);
+    if (handle_ == nullptr) return false;
+    fn = reinterpret_cast<NativeRhsFn>(dlsym(handle_, symbol.c_str()));
+    return fn != nullptr;
+  }
+
+  NativeRhsFn fn = nullptr;
+
+ private:
+  void* handle_ = nullptr;
+  std::string c_path_;
+  std::string so_path_;
+};
+
+std::string sanitize_tag(std::string name) {
+  for (char& c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  return name;
+}
+
+}  // namespace
+
+OracleReport DifferentialOracle::check_model(const models::BuiltModel& built,
+                                             std::string model_name) const {
+  OracleReport report;
+  report.model_name = std::move(model_name);
+  report.trials = options_.trials;
+
+  const std::size_t species_count = built.odes.table.size();
+  const std::size_t rate_count = built.rates.size();
+  const std::vector<std::string>& names = built.odes.species_names;
+  auto species_label = [&](std::size_t i) {
+    return i < names.size() ? names[i] : support::str_format("y[%zu]", i);
+  };
+
+  // ------------------------------------------------ assemble the RHS paths
+  std::vector<RhsPath> paths;
+  report.paths_checked.push_back("reference");
+
+  const bool have_raw = built.odes_raw.table.size() != 0;
+  if (have_raw) {
+    paths.push_back({"raw-reference", Tolerance::kReassociated, true, "",
+                     [&built](double t, const std::vector<double>& y,
+                              const std::vector<double>& k,
+                              std::vector<double>& out) {
+                       built.odes_raw.table.evaluate(y, k, t, out);
+                     }});
+  }
+  if (have_raw && !built.program_unoptimized.code.empty()) {
+    paths.push_back({"unopt-vm", Tolerance::kReassociated, false, "unopt-emit",
+                     [&built](double t, const std::vector<double>& y,
+                              const std::vector<double>& k,
+                              std::vector<double>& out) {
+                       out = run_program(built.program_unoptimized, t, y, k);
+                     }});
+  }
+  paths.push_back({"opt-sym", Tolerance::kReassociated, true, "",
+                   [&built](double t, const std::vector<double>& y,
+                            const std::vector<double>& k,
+                            std::vector<double>& out) {
+                     built.optimized.evaluate(y, k, t, out);
+                   }});
+  paths.push_back({"opt-vm", Tolerance::kReassociated, true, "",
+                   [&built](double t, const std::vector<double>& y,
+                            const std::vector<double>& k,
+                            std::vector<double>& out) {
+                     out = run_program(built.program_optimized, t, y, k);
+                   }});
+  if (options_.check_batch) {
+    const std::size_t lanes = std::max<std::size_t>(2, options_.batch_lanes);
+    paths.push_back({"batch-vm", Tolerance::kReassociated, true, "",
+                     [&built, lanes](double t, const std::vector<double>& y,
+                                     const std::vector<double>& k,
+                                     std::vector<double>& out) {
+                       out = run_program_batched(built.program_optimized, t, y,
+                                                 k, lanes);
+                     }});
+  }
+
+  // The "commercial compiler" backend model re-lowers the unoptimized
+  // program with local value numbering; values must be preserved exactly.
+  codegen::BackendResult backend;
+  bool have_backend = false;
+  if (options_.check_reference_backend && have_raw &&
+      !built.program_unoptimized.code.empty()) {
+    auto compiled = codegen::reference_compile(built.program_unoptimized);
+    if (compiled.is_ok()) {
+      backend = std::move(compiled).value();
+      have_backend = true;
+      paths.push_back({"backend-vm", Tolerance::kReassociated, false,
+                       "backend-vn",
+                       [&backend](double t, const std::vector<double>& y,
+                                  const std::vector<double>& k,
+                                  std::vector<double>& out) {
+                         out = run_program(backend.program, t, y, k);
+                       }});
+    } else {
+      report.skipped.push_back("backend-vm (" +
+                               compiled.status().to_string() + ")");
+    }
+  }
+
+  // Native C path: the paper's real output format through the system cc.
+  NativeLibrary native;
+  if (options_.check_c_backend) {
+    if (!have_system_cc()) {
+      report.skipped.push_back("native-c (no system cc)");
+    } else if (!native.build(
+                   codegen::emit_c_optimized(built.optimized,
+                                             {"rms_verify_rhs"}),
+                   "rms_verify_rhs",
+                   sanitize_tag(report.model_name))) {
+      report.skipped.push_back("native-c (cc failed)");
+    } else {
+      paths.push_back({"native-c", Tolerance::kReassociated, true, "",
+                       [&native, species_count](
+                           double t, const std::vector<double>& y,
+                           const std::vector<double>& k,
+                           std::vector<double>& out) {
+                         out.assign(species_count, 0.0);
+                         native.fn(t, y.data(), k.data(), out.data());
+                       }});
+    }
+  }
+  for (const RhsPath& path : paths) report.paths_checked.push_back(path.name);
+
+  // -------------------------------------------------- the Jacobian paths
+  codegen::SymbolicJacobian jac_sym;
+  codegen::CompiledJacobian jac_vm;
+  if (options_.check_jacobian && species_count != 0) {
+    jac_sym = codegen::differentiate(built.odes.table, species_count);
+    jac_vm = codegen::compile_jacobian(built.odes.table, species_count,
+                                       rate_count);
+    report.paths_checked.push_back("jacobian");
+  }
+  auto jacobian_label = [&](std::size_t entry) {
+    std::size_t row = 0;
+    while (row + 1 < jac_vm.row_offsets.size() &&
+           jac_vm.row_offsets[row + 1] <= entry) {
+      ++row;
+    }
+    const std::size_t col = jac_vm.col_indices[entry];
+    return "d f(" + species_label(row) + ") / d " + species_label(col);
+  };
+
+  // --------------------------------------------------------- the trials
+  // Per path-pair, only the first divergence is recorded (one bad stage
+  // corrupts many equations; the report should name the transform, not
+  // enumerate the fallout).
+  std::vector<bool> path_diverged(paths.size(), false);
+  bool jacobian_diverged = false;
+
+  support::Xoshiro256 rng(options_.seed);
+  std::vector<double> reference;
+  std::vector<double> candidate;
+  std::vector<double> jac_reference;
+  std::vector<double> jac_values(jac_vm.col_indices.size());
+  for (int trial = 0; trial < options_.trials; ++trial) {
+    const double t = rng.uniform(0.0, 1.0);
+    std::vector<double> y(species_count);
+    for (double& v : y) v = rng.uniform(0.0, 2.0);
+    std::vector<double> k(rate_count);
+    for (double& v : k) v = rng.uniform(0.05, 10.0);
+
+    built.odes.table.evaluate(y, k, t, reference);
+
+    for (std::size_t p = 0; p < paths.size(); ++p) {
+      if (path_diverged[p]) continue;
+      paths[p].evaluate(t, y, k, candidate);
+      const std::size_t bad =
+          first_mismatch(reference, candidate, paths[p].tolerance);
+      if (bad == static_cast<std::size_t>(-1)) continue;
+      path_diverged[p] = true;
+      Divergence d;
+      d.model_name = report.model_name;
+      d.path_a = "reference";
+      d.path_b = paths[p].name;
+      d.equation = bad;
+      d.equation_label = species_label(bad);
+      d.value_a = bad < reference.size() ? reference[bad] : 0.0;
+      d.value_b = bad < candidate.size() ? candidate[bad] : 0.0;
+      d.ulp = ulp_distance(d.value_a, d.value_b);
+      d.trial = trial;
+      d.seed = options_.seed;
+      if (paths[p].bisectable && options_.bisect) {
+        d.stage = bisect_stage(built, t, y, k,
+                               options_.check_batch ? options_.batch_lanes : 0);
+        if (d.stage.empty()) d.stage = "unlocalized";
+      } else {
+        d.stage = paths[p].fixed_stage;
+      }
+      report.divergences.push_back(std::move(d));
+    }
+
+    if (options_.check_jacobian && species_count != 0 && !jacobian_diverged &&
+        !jac_vm.program.code.empty()) {
+      jac_sym.entries.evaluate(y, k, t, jac_reference);
+      jac_values = run_program(jac_vm.program, t, y, k);
+      const std::size_t bad = first_mismatch(jac_reference, jac_values,
+                                             Tolerance::kReassociated);
+      if (bad != static_cast<std::size_t>(-1)) {
+        jacobian_diverged = true;
+        Divergence d;
+        d.model_name = report.model_name;
+        d.path_a = "jac-sym";
+        d.path_b = "jac-vm";
+        d.stage = "jacobian";
+        d.equation = bad;
+        d.equation_label =
+            bad < jac_vm.col_indices.size() ? jacobian_label(bad) : "";
+        d.value_a = bad < jac_reference.size() ? jac_reference[bad] : 0.0;
+        d.value_b = bad < jac_values.size() ? jac_values[bad] : 0.0;
+        d.ulp = ulp_distance(d.value_a, d.value_b);
+        d.trial = trial;
+        d.seed = options_.seed;
+        report.divergences.push_back(std::move(d));
+      }
+    }
+  }
+  (void)have_backend;
+  return report;
+}
+
+support::Expected<OracleReport> DifferentialOracle::check_rdl(
+    std::string_view source, std::string model_name,
+    const network::GeneratorOptions& generator_options) const {
+  auto built = build_model_from_rdl(source, generator_options);
+  if (!built.is_ok()) return built.status();
+  return check_model(*built, std::move(model_name));
+}
+
+}  // namespace rms::verify

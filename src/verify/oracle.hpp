@@ -1,0 +1,152 @@
+// DifferentialOracle: cross-checks every evaluation path the compiler
+// produces for one model against every other, at randomized states and
+// rate-constant vectors, with ULP-bounded comparison.
+//
+// The paper's claim is that the algebraic optimizations (§3) and the
+// execution pipeline (§4) are semantics-preserving. After the VM fusion and
+// parallel-pipeline PRs the repository has five independent ways to compute
+// the same right-hand side:
+//
+//   reference   the symbolic equation table, tree-walk evaluated
+//   unopt-vm    the unoptimized bytecode program (raw equation emission)
+//   opt-vm      the fused + register-compacted optimized program
+//   batch-vm    the same program through the lane-blocked batch entry point
+//   backend-vm  the "commercial compiler" reference backend's re-lowering
+//   native-c    the emitted C function compiled by the system C compiler
+//               (auto-skipped when no `cc` is on PATH)
+//
+// plus the compiled analytic Jacobian against the symbolically
+// differentiated entry table. Any disagreement beyond tolerance becomes a
+// structured Divergence naming the first diverging equation; the oracle then
+// re-runs the compile one optimization stage at a time (simplify -> distopt
+// -> cse -> emit -> fuse -> regalloc -> batch) and blames the first stage
+// whose output steps away from the previous stage's — so a report does not
+// just say "the optimized build is wrong", it says *which transform* broke
+// the value and on which equation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "models/vulcanization.hpp"
+#include "network/generator.hpp"
+#include "support/status.hpp"
+
+namespace rms::verify {
+
+// ---------------------------------------------------------------- compare
+
+/// ULP distance between two doubles (0 for bit-equal values, +inf across
+/// sign changes / NaN / infinity mismatches).
+[[nodiscard]] double ulp_distance(double a, double b);
+
+/// Tolerance classes for value comparison. Paths that execute the *same*
+/// computation graph (fusion, register renaming, lane batching, value
+/// numbering, the compiled C) must agree to kTight; paths separated by an
+/// algebraic rewrite (like-term combining, DistOpt factoring, CSE) may
+/// legitimately round differently and are held to kReassociated.
+enum class Tolerance {
+  kTight,         ///< <= 64 ULP or 1e-12 * scale
+  kReassociated,  ///< 1e-9 * scale
+};
+
+/// Per-component comparison under a tolerance class. `vector_scale` is the
+/// largest magnitude across the whole output vector: a near-cancelling
+/// component is allowed the (scaled-down) noise floor of the terms that
+/// produced it, not just of its own tiny value.
+[[nodiscard]] bool values_match(double a, double b, Tolerance tolerance,
+                                double vector_scale);
+
+// ----------------------------------------------------------------- report
+
+/// One confirmed disagreement between two evaluation paths.
+struct Divergence {
+  std::string model_name;
+  std::string path_a;  ///< e.g. "reference"
+  std::string path_b;  ///< e.g. "opt-vm"
+  /// Optimization stage blamed by bisection ("simplify", "distopt", "cse",
+  /// "emit", "fuse", "regalloc", "batch"; empty when bisection was not
+  /// applicable, "unlocalized" when no single stage reproduces the step).
+  std::string stage;
+  std::size_t equation = 0;    ///< first diverging output slot
+  std::string equation_label;  ///< species name / Jacobian entry
+  double value_a = 0.0;
+  double value_b = 0.0;
+  double ulp = 0.0;        ///< ULP distance of the diverging pair
+  int trial = -1;          ///< which random draw exposed it
+  std::uint64_t seed = 0;  ///< oracle seed (reproduces the draw exactly)
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+struct OracleReport {
+  std::string model_name;
+  int trials = 0;
+  std::vector<std::string> paths_checked;
+  std::vector<std::string> skipped;  ///< e.g. "native-c (no system cc)"
+  std::vector<Divergence> divergences;
+
+  [[nodiscard]] bool ok() const { return divergences.empty(); }
+  [[nodiscard]] std::string to_string() const;
+};
+
+// ----------------------------------------------------------------- oracle
+
+struct OracleOptions {
+  std::uint64_t seed = 1;
+  int trials = 8;  ///< random (t, y, k) draws per model
+  /// Path toggles. The C path shells out to `cc` per model and is the only
+  /// non-hermetic one; fuzz loops turn it off.
+  bool check_jacobian = true;
+  bool check_reference_backend = true;
+  bool check_c_backend = true;
+  bool check_batch = true;
+  /// Run stage bisection on RHS divergences (adds recompiles per
+  /// divergence, not per clean run).
+  bool bisect = true;
+  /// Lanes exercised by the batch path (also re-checked at 1 to cover the
+  /// single-lane fallback).
+  std::size_t batch_lanes = 16;
+};
+
+class DifferentialOracle {
+ public:
+  explicit DifferentialOracle(OracleOptions options = {})
+      : options_(options) {}
+
+  /// Cross-checks every configured path on an already-built model. The
+  /// model must have been built with build_reference_baseline (the facade
+  /// default) so the raw table / unoptimized program exist.
+  [[nodiscard]] OracleReport check_model(const models::BuiltModel& built,
+                                         std::string model_name) const;
+
+  /// Compiles RDL source through the full pipeline, then checks it.
+  [[nodiscard]] support::Expected<OracleReport> check_rdl(
+      std::string_view source, std::string model_name,
+      const network::GeneratorOptions& generator_options = {}) const;
+
+  [[nodiscard]] const OracleOptions& options() const { return options_; }
+
+ private:
+  OracleOptions options_;
+};
+
+/// Compiles RDL through the same pipeline the Suite facade runs (including
+/// the raw baseline the oracle needs), with generation caps suitable for
+/// adversarial inputs. Shared by the oracle, the fuzzer and rms_verify.
+support::Expected<models::BuiltModel> build_model_from_rdl(
+    std::string_view source,
+    const network::GeneratorOptions& generator_options = {});
+
+/// Re-runs the compile one stage at a time on the model's equation tables
+/// and returns the name of the first stage whose output diverges from the
+/// previous stage's at the given draw ("" when every stage agrees —
+/// i.e. the end-to-end divergence does not localize to one transform).
+[[nodiscard]] std::string bisect_stage(const models::BuiltModel& built,
+                                       double t, const std::vector<double>& y,
+                                       const std::vector<double>& k,
+                                       std::size_t batch_lanes);
+
+}  // namespace rms::verify

@@ -1,5 +1,6 @@
 #include "vm/fuse.hpp"
 
+#include <utility>
 #include <vector>
 
 #include "vm/regalloc.hpp"
@@ -9,6 +10,9 @@ namespace rms::vm {
 namespace {
 
 constexpr std::size_t kNoIndex = ~std::size_t{0};
+
+// Test-only miscompile switch; see set_fuse_fault_for_testing in the header.
+bool g_fuse_fault_enabled = false;
 
 bool defines_register(const Instr& instr) {
   return instr.op != Op::kStoreOut && instr.op != Op::kStoreNeg;
@@ -123,6 +127,9 @@ Program fuse_superinstructions(const Program& input, FusionStats* stats) {
       }
       if (mul == kNoIndex) continue;
       instr = Instr{Op::kMulAdd, instr.dst, code[mul].a, code[mul].b, other};
+      if (g_fuse_fault_enabled && local.mul_adds == 0) {
+        std::swap(instr.b, instr.c);  // deliberate miscompile for tests
+      }
       dead[mul] = true;
       ++local.mul_adds;
     } else if (instr.op == Op::kSub) {
@@ -179,6 +186,10 @@ Program fuse_superinstructions(const Program& input, FusionStats* stats) {
 
 Program fuse_and_compact(const Program& input, FusionStats* fusion_stats) {
   return compact_registers(fuse_superinstructions(input, fusion_stats));
+}
+
+void set_fuse_fault_for_testing(bool enabled) {
+  g_fuse_fault_enabled = enabled;
 }
 
 }  // namespace rms::vm

@@ -56,4 +56,12 @@ struct FusionStats {
 [[nodiscard]] Program fuse_and_compact(const Program& input,
                                        FusionStats* fusion_stats = nullptr);
 
+/// TEST ONLY. While enabled, fuse_superinstructions mis-wires the first
+/// kMulAdd it forms in each call: the multiplicand and the addend are
+/// swapped, so the fused instruction computes r[a]*r[x]+r[b] instead of
+/// r[a]*r[b]+r[x]. This deliberate miscompile exists so the differential
+/// oracle's detection and stage-attribution paths can be exercised against
+/// a known-bad optimizer; it must never be enabled outside tests.
+void set_fuse_fault_for_testing(bool enabled);
+
 }  // namespace rms::vm

@@ -8,9 +8,11 @@
 #include "chem/canonical.hpp"
 #include "chem/smiles.hpp"
 #include "data/experiment.hpp"
+#include "network/generator.hpp"
 #include "rdl/parser.hpp"
 #include "rdl/sema.hpp"
 #include "support/rng.hpp"
+#include "verify/fuzzer.hpp"
 
 namespace rms {
 namespace {
@@ -126,6 +128,58 @@ TEST_P(FuzzSeeds, RandomMoleculeCanonicalInvariance) {
     auto back = chem::parse_smiles(canon);
     ASSERT_TRUE(back.is_ok()) << canon;
     EXPECT_EQ(chem::canonical_smiles(*back), canon);
+  }
+}
+
+TEST_P(FuzzSeeds, RdlSemaNeverCrashesOnStructuredModels) {
+  // Grammar-level fuzz: full mostly-well-formed models (not token soup)
+  // drive sema's cross-statement checks — duplicate species, unknown rate
+  // names, variant-range expansion, forbid patterns. Everything must come
+  // back as a model or a clean Status.
+  support::Xoshiro256 rng(GetParam() + 5000);
+  int accepted = 0;
+  for (int trial = 0; trial < 60; ++trial) {
+    const std::string source = verify::random_rdl_model(rng);
+    auto model = rdl::compile_rdl(source);
+    if (model.is_ok()) ++accepted;
+  }
+  EXPECT_GT(accepted, 0);  // the generator must not drift out of the grammar
+}
+
+TEST_P(FuzzSeeds, NetworkGeneratorNeverCrashesOnRandomRuleSets) {
+  // The network generator applies random rule sets to random seed
+  // molecules under tight caps. Rule sets that blow up must hit the caps
+  // and return a resource-exhausted Status; nothing may crash or hang.
+  support::Xoshiro256 rng(GetParam() + 6000);
+  network::GeneratorOptions caps;
+  caps.max_species = 30;
+  caps.max_reactions = 200;
+  caps.max_rounds = 4;
+  caps.max_atoms_per_species = 12;
+  int generated = 0;
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::string source = verify::random_rdl_model(rng);
+    auto model = rdl::compile_rdl(source);
+    if (!model.is_ok()) continue;
+    auto net = network::generate_network(*model, caps);
+    if (net.is_ok()) {
+      ++generated;
+      EXPECT_LE(net->species.size(), caps.max_species);
+      EXPECT_LE(net->reactions.size(), caps.max_reactions);
+    }
+  }
+  EXPECT_GT(generated, 0);
+}
+
+TEST_P(FuzzSeeds, MutatedRdlNeverCrashesFullPipeline) {
+  // Statement-level mutations of a known-good model: near-miss inputs that
+  // exercise every diagnostic path through sema and generation.
+  support::Xoshiro256 rng(GetParam() + 7000);
+  support::Xoshiro256 gen_rng(GetParam() + 8000);
+  const std::string base = verify::random_rdl_model(gen_rng);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::string mutated = verify::mutate_rdl(base, rng);
+    (void)verify::build_model_from_rdl(mutated);
   }
 }
 

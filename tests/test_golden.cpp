@@ -1,0 +1,135 @@
+// Golden snapshot tests: the generated network and the optimized equation
+// table for fixed-size test cases and for every checked-in RDL model are
+// compared against checked-in snapshots in tests/golden/.
+//
+// The snapshots pin the OBSERVABLE compiler output — species set, reaction
+// list, factored equation structure, emitted program size — so an
+// unintended change anywhere in the front half of the pipeline (canonical
+// SMILES, rule matching, like-term combining, DistOpt, CSE, emission,
+// fusion) shows up as a readable text diff, not as a downstream numeric
+// wobble.
+//
+// To regenerate after an INTENDED change:
+//   RMS_UPDATE_GOLDEN=1 ctest -R Golden
+// then review the diff like any other code change.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "models/test_cases.hpp"
+#include "network/io.hpp"
+#include "support/status.hpp"
+#include "verify/oracle.hpp"
+
+namespace rms {
+namespace {
+
+std::string read_file(const std::string& path, bool& ok) {
+  std::ifstream in(path, std::ios::binary);
+  ok = in.good();
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// First line where the two texts disagree, for a readable failure message.
+std::string first_difference(const std::string& expected,
+                             const std::string& actual) {
+  std::istringstream e(expected);
+  std::istringstream a(actual);
+  std::string el;
+  std::string al;
+  int line = 1;
+  while (true) {
+    const bool have_e = static_cast<bool>(std::getline(e, el));
+    const bool have_a = static_cast<bool>(std::getline(a, al));
+    if (!have_e && !have_a) return "(texts are equal)";
+    if (el != al || have_e != have_a) {
+      std::ostringstream out;
+      out << "line " << line << ":\n  golden: "
+          << (have_e ? el : "<end of file>")
+          << "\n  actual: " << (have_a ? al : "<end of file>");
+      return out.str();
+    }
+    ++line;
+  }
+}
+
+/// The snapshot text: everything downstream consumers can observe about the
+/// compile, in a stable, diff-friendly order.
+std::string render_model(const models::BuiltModel& built) {
+  std::vector<std::string> names;
+  names.reserve(built.network.species.size());
+  for (const network::SpeciesEntry& entry : built.network.species.entries()) {
+    names.push_back(entry.name);
+  }
+  std::ostringstream out;
+  out << "== network ==\n" << network::serialize_network(built.network);
+  out << "== optimized ==\n" << built.optimized.to_string(&names);
+  out << "== program ==\n"
+      << "instructions=" << built.program_optimized.code.size()
+      << " registers=" << built.program_optimized.register_count
+      << " consts=" << built.program_optimized.consts.size()
+      << " outputs=" << built.program_optimized.output_count << "\n";
+  return out.str();
+}
+
+void check_golden(const std::string& name, const std::string& actual) {
+  const std::string path = std::string(RMS_GOLDEN_DIR) + "/" + name +
+                           ".golden";
+  if (std::getenv("RMS_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(path, std::ios::binary);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << actual;
+    return;
+  }
+  bool ok = false;
+  const std::string expected = read_file(path, ok);
+  ASSERT_TRUE(ok) << "missing golden file " << path
+                  << " — run RMS_UPDATE_GOLDEN=1 ctest -R Golden to create "
+                     "it, then commit the result";
+  EXPECT_EQ(expected, actual)
+      << "snapshot mismatch for " << name << " — if the change is intended, "
+      << "regenerate with RMS_UPDATE_GOLDEN=1 and review the diff.\nFirst "
+      << "difference at " << first_difference(expected, actual);
+}
+
+void check_synthetic(const std::string& name,
+                     const models::SyntheticNetworkConfig& config) {
+  auto built = models::build_test_case(config);
+  ASSERT_TRUE(built.is_ok()) << built.status().to_string();
+  check_golden(name, render_model(*built));
+}
+
+void check_rdl_file(const std::string& name, const std::string& file) {
+  bool ok = false;
+  const std::string source =
+      read_file(std::string(RMS_MODELS_DIR) + "/" + file, ok);
+  ASSERT_TRUE(ok) << "missing model source " << file;
+  auto built = verify::build_model_from_rdl(source);
+  ASSERT_TRUE(built.is_ok()) << built.status().to_string();
+  check_golden(name, render_model(*built));
+}
+
+// Fixed literal configurations (NOT scaled_config output): the snapshots
+// must not churn if the benchmark scaling heuristics are retuned.
+TEST(Golden, Tc1Shape) { check_synthetic("tc1_n2_v3", {2, 3}); }
+TEST(Golden, Tc2Shape) { check_synthetic("tc2_n3_v5", {3, 5}); }
+TEST(Golden, Tc3Shape) { check_synthetic("tc3_n4_v7", {4, 7}); }
+
+TEST(Golden, Methanethiol) {
+  check_rdl_file("methanethiol", "methanethiol.rdl");
+}
+TEST(Golden, VulcanizationS4) {
+  check_rdl_file("vulcanization_s4", "vulcanization_s4.rdl");
+}
+TEST(Golden, VulcanizationArrhenius) {
+  check_rdl_file("vulcanization_arrhenius", "vulcanization_arrhenius.rdl");
+}
+
+}  // namespace
+}  // namespace rms
