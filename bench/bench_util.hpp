@@ -42,6 +42,15 @@ class Flags {
     return static_cast<long>(get_double(name, static_cast<double>(fallback)));
   }
 
+  [[nodiscard]] std::string get_string(const std::string& name,
+                                       std::string fallback) const {
+    const std::string prefix = "--" + name + "=";
+    for (const std::string& a : args_) {
+      if (a.rfind(prefix, 0) == 0) return a.substr(prefix.size());
+    }
+    return fallback;
+  }
+
  private:
   std::vector<std::string> args_;
 };

@@ -1,14 +1,25 @@
 // C source emission: the paper's actual compiler output format ("The output
 // from the Equation Generator is a C code function that evaluates the
-// ODEs"). The emitted translation unit is self-contained:
+// ODEs"). The emitted translation units are self-contained:
 //
 //   void rms_ode_rhs(double t, const double* y, const double* k,
 //                    double* ydot);
+//   void rms_ode_rhs_batch(double t, const double* ys, const double* k,
+//                          double* ydots, long n);
+//   void rms_ode_jac(double t, const double* y, const double* k,
+//                    double* jac);
 //
 // emit_c_unoptimized produces the naive form (one giant expression per
 // equation — the machine-generated code that "stresses commercial compilers
 // to the point of failure"); emit_c_optimized produces the temp-structured
-// form after DistOpt + CSE.
+// form after DistOpt + CSE. emit_c_batch wraps the optimized body in a loop
+// over `n` lane-major contiguous states (lane l's state at ys + l * dim,
+// the layout of vm::Interpreter::run_batch_shared_k) with restrict-
+// qualified pointers so the host compiler can vectorize and pipeline across
+// the straight-line body. emit_c_jacobian takes the *Jacobian's* optimized
+// system (one equation per nonzero entry, codegen::differentiate order) and
+// emits a CSR-fill function writing the nonzero values in the exact layout
+// of codegen::CompiledJacobian.
 #pragma once
 
 #include <string>
@@ -27,5 +38,16 @@ std::string emit_c_unoptimized(const odegen::EquationTable& table,
 
 std::string emit_c_optimized(const opt::OptimizedSystem& system,
                              const CEmitOptions& options = {});
+
+/// Batched multi-state RHS over the optimized system. The system's
+/// species_count must be set (opt::optimize fills it); output stride equals
+/// the equation count.
+std::string emit_c_batch(const opt::OptimizedSystem& system,
+                         const CEmitOptions& options = {});
+
+/// CSR value fill for an optimized *Jacobian* system (entries in
+/// codegen::differentiate CSR order): jac[e] = entry e.
+std::string emit_c_jacobian(const opt::OptimizedSystem& jacobian_system,
+                            const CEmitOptions& options = {});
 
 }  // namespace rms::codegen

@@ -63,24 +63,49 @@ Status ObjectiveFunction::solve_file(std::size_t file_index,
 
   // The interpreter is shared across ranks (run() is const; registers live
   // in per-thread scratch), so concurrent solves are race-free without
-  // per-file interpreter state.
+  // per-file interpreter state. The native backend is stateless outright:
+  // its entry points are compiled functions over caller-owned buffers.
   const vm::Interpreter& interpreter = interpreter_;
+  const codegen::NativeBackend* native = options_.native_backend;
   solver::OdeSystem system;
   system.dimension = program_->species_count;
-  system.rhs = [&interpreter, &rates](double t, const double* y, double* ydot) {
-    interpreter.run(t, y, rates.data(), ydot);
-  };
-  // Batched RHS: the solver's finite-difference Jacobian evaluates chunks
-  // of perturbed states in one pass over the tape.
   vm::Scratch batch_scratch;
-  system.rhs_batch = [&interpreter, &rates, &batch_scratch](
-                         double t, const double* ys, double* ydots,
-                         std::size_t count) {
-    interpreter.run_batch_shared_k(t, ys, rates.data(), ydots, count,
-                                   batch_scratch);
-  };
+  if (native != nullptr) {
+    system.rhs = [native, &rates](double t, const double* y, double* ydot) {
+      native->rhs(t, y, rates.data(), ydot);
+    };
+    if (native->has_batch()) {
+      system.rhs_batch = [native, &rates](double t, const double* ys,
+                                          double* ydots, std::size_t count) {
+        native->rhs_batch(t, ys, rates.data(), ydots, count);
+      };
+    }
+  } else {
+    system.rhs = [&interpreter, &rates](double t, const double* y,
+                                        double* ydot) {
+      interpreter.run(t, y, rates.data(), ydot);
+    };
+    // Batched RHS: the solver's finite-difference Jacobian evaluates chunks
+    // of perturbed states in one pass over the tape.
+    system.rhs_batch = [&interpreter, &rates, &batch_scratch](
+                           double t, const double* ys, double* ydots,
+                           std::size_t count) {
+      interpreter.run_batch_shared_k(t, ys, rates.data(), ydots, count,
+                                     batch_scratch);
+    };
+  }
   solver::IntegrationOptions integration = options_.integration;
-  if (options_.compiled_jacobian != nullptr) {
+  if (native != nullptr && native->has_jacobian()) {
+    system.sparse_jacobian = [native, &rates](double t, const double* y,
+                                              linalg::CsrMatrix& out) {
+      out.rows = out.cols = native->dimension();
+      out.row_offsets = native->jacobian_row_offsets();
+      out.col_indices = native->jacobian_col_indices();
+      out.values.resize(out.col_indices.size());
+      native->jacobian_values(t, y, rates.data(), out.values.data());
+    };
+    integration.newton_linear_solver = solver::NewtonLinearSolver::kSparseLu;
+  } else if (options_.compiled_jacobian != nullptr) {
     system.sparse_jacobian =
         codegen::SparseJacobianEvaluator(options_.compiled_jacobian, &rates);
     integration.newton_linear_solver = solver::NewtonLinearSolver::kSparseLu;

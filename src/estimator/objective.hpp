@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "codegen/jacobian.hpp"
+#include "codegen/native_backend.hpp"
 #include "data/experiment.hpp"
 #include "data/synthetic.hpp"
 #include "linalg/matrix.hpp"
@@ -64,6 +65,12 @@ struct ObjectiveOptions {
   /// differences — the fast configuration for large models. Must outlive
   /// the objective.
   const codegen::CompiledJacobian* compiled_jacobian = nullptr;
+  /// When set, every per-file solve runs the RHS, the batched RHS, and —
+  /// when the module carries one — the analytic sparse Jacobian through
+  /// the AOT-compiled native backend instead of the bytecode VM. Must
+  /// outlive the objective; `program` is then only consulted for the
+  /// system dimension. Takes precedence over compiled_jacobian.
+  const codegen::NativeBackend* native_backend = nullptr;
 };
 
 class ObjectiveFunction {

@@ -1,0 +1,135 @@
+#include "rms/execution.hpp"
+
+#include <cstdlib>
+
+#include "support/assert.hpp"
+#include "vm/interpreter.hpp"
+
+namespace rms {
+
+const char* backend_name(Backend backend) {
+  switch (backend) {
+    case Backend::kVm: return "vm";
+    case Backend::kNative: return "native";
+    case Backend::kAuto: return "auto";
+  }
+  RMS_UNREACHABLE();
+}
+
+bool parse_backend(std::string_view name, Backend& out) {
+  if (name == "vm") {
+    out = Backend::kVm;
+  } else if (name == "native") {
+    out = Backend::kNative;
+  } else if (name == "auto") {
+    out = Backend::kAuto;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+namespace {
+
+/// kAuto resolution: $RMS_BACKEND wins (a bad value is ignored), else
+/// native-with-fallback.
+Backend resolve_backend(Backend requested) {
+  if (requested != Backend::kAuto) return requested;
+  if (const char* env = std::getenv("RMS_BACKEND");
+      env != nullptr && *env != '\0') {
+    Backend from_env = Backend::kAuto;
+    if (parse_backend(env, from_env) && from_env != Backend::kAuto) {
+      return from_env;
+    }
+  }
+  return Backend::kNative;
+}
+
+}  // namespace
+
+Execution Execution::create(const models::BuiltModel& built,
+                            const ExecutionOptions& options) {
+  Execution exec;
+  exec.built_ = &built;
+  exec.dimension_ = built.equation_count();
+
+  const Backend requested = resolve_backend(options.backend);
+  if (requested == Backend::kNative) {
+    codegen::NativeBackendOptions native_options = options.native;
+    native_options.emit_jacobian = options.with_jacobian;
+    auto native = codegen::NativeBackend::create(
+        built.optimized, options.with_jacobian ? &built.odes.table : nullptr,
+        built.equation_count(), built.rates.size(), native_options);
+    if (native.is_ok()) {
+      exec.backend_ = Backend::kNative;
+      exec.native_ = std::move(native).value();
+      return exec;
+    }
+    exec.fallback_reason_ = native.status().to_string();
+  }
+
+  exec.backend_ = Backend::kVm;
+  if (options.with_jacobian) {
+    exec.vm_jacobian_ = std::make_shared<codegen::CompiledJacobian>(
+        codegen::compile_jacobian(built.odes.table, built.equation_count(),
+                                  built.rates.size()));
+  }
+  return exec;
+}
+
+solver::OdeSystem Execution::make_system(
+    const std::vector<double>* rates) const {
+  RMS_CHECK(built_ != nullptr && rates != nullptr);
+  solver::OdeSystem system;
+  system.dimension = dimension_;
+
+  if (backend_ == Backend::kNative) {
+    // Native: straight function-pointer calls, no scratch state at all.
+    std::shared_ptr<const codegen::NativeBackend> native = native_;
+    system.rhs = [native, rates](double t, const double* y, double* ydot) {
+      native->rhs(t, y, rates->data(), ydot);
+    };
+    if (native->has_batch()) {
+      system.rhs_batch = [native, rates](double t, const double* ys,
+                                         double* ydots, std::size_t n) {
+        native->rhs_batch(t, ys, rates->data(), ydots, n);
+      };
+    }
+    if (native->has_jacobian()) {
+      system.sparse_jacobian = [native, rates](double t, const double* y,
+                                               linalg::CsrMatrix& out) {
+        out.rows = out.cols = native->dimension();
+        out.row_offsets = native->jacobian_row_offsets();
+        out.col_indices = native->jacobian_col_indices();
+        out.values.resize(out.col_indices.size());
+        native->jacobian_values(t, y, rates->data(), out.values.data());
+      };
+    }
+    return system;
+  }
+
+  // VM: a shared const interpreter plus per-system scratch (the batch entry
+  // point needs a register file per concurrent caller).
+  const vm::Interpreter interpreter(built_->program_optimized);
+  system.rhs = [interpreter, rates](double t, const double* y, double* ydot) {
+    interpreter.run(t, y, rates->data(), ydot);
+  };
+  auto batch_scratch = std::make_shared<vm::Scratch>();
+  system.rhs_batch = [interpreter, rates, batch_scratch](
+                         double t, const double* ys, double* ydots,
+                         std::size_t n) {
+    interpreter.run_batch_shared_k(t, ys, rates->data(), ydots, n,
+                                   *batch_scratch);
+  };
+  if (const codegen::CompiledJacobian* jacobian = compiled_jacobian();
+      jacobian != nullptr) {
+    std::shared_ptr<const codegen::CompiledJacobian> shared = vm_jacobian_;
+    system.sparse_jacobian = [shared, rates](double t, const double* y,
+                                             linalg::CsrMatrix& out) {
+      codegen::SparseJacobianEvaluator(shared.get(), rates)(t, y, out);
+    };
+  }
+  return system;
+}
+
+}  // namespace rms

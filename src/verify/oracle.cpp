@@ -1,21 +1,15 @@
 #include "verify/oracle.hpp"
 
-#include <dlfcn.h>
-#include <unistd.h>
-
 #include <algorithm>
-#include <cctype>
 #include <cmath>
-#include <cstdio>
-#include <cstdlib>
 #include <cstring>
-#include <fstream>
 #include <functional>
 #include <limits>
+#include <memory>
 
 #include "codegen/bytecode_emitter.hpp"
-#include "codegen/c_emitter.hpp"
 #include "codegen/jacobian.hpp"
+#include "codegen/native_backend.hpp"
 #include "codegen/reference_backend.hpp"
 #include "support/rng.hpp"
 #include "support/strings.hpp"
@@ -295,59 +289,6 @@ struct RhsPath {
       evaluate;
 };
 
-bool have_system_cc() {
-  static const bool available =
-      std::system("cc --version > /dev/null 2>&1") == 0;
-  return available;
-}
-
-using NativeRhsFn = void (*)(double, const double*, const double*, double*);
-
-/// Owns a dlopen()ed shared object compiled from emitted C.
-class NativeLibrary {
- public:
-  ~NativeLibrary() {
-    if (handle_ != nullptr) dlclose(handle_);
-    if (!c_path_.empty()) std::remove(c_path_.c_str());
-    if (!so_path_.empty()) std::remove(so_path_.c_str());
-  }
-
-  /// Compiles `c_source` and resolves `symbol`; false on any failure.
-  bool build(const std::string& c_source, const std::string& symbol,
-             const std::string& tag) {
-    const std::string base = support::str_format(
-        "/tmp/rms_verify_%d_%s", static_cast<int>(getpid()), tag.c_str());
-    c_path_ = base + ".c";
-    so_path_ = base + ".so";
-    {
-      std::ofstream file(c_path_);
-      if (!file) return false;
-      file << c_source;
-    }
-    const std::string cmd = "cc -O1 -shared -fPIC " + c_path_ + " -o " +
-                            so_path_ + " 2>/dev/null";
-    if (std::system(cmd.c_str()) != 0) return false;
-    handle_ = dlopen(so_path_.c_str(), RTLD_NOW);
-    if (handle_ == nullptr) return false;
-    fn = reinterpret_cast<NativeRhsFn>(dlsym(handle_, symbol.c_str()));
-    return fn != nullptr;
-  }
-
-  NativeRhsFn fn = nullptr;
-
- private:
-  void* handle_ = nullptr;
-  std::string c_path_;
-  std::string so_path_;
-};
-
-std::string sanitize_tag(std::string name) {
-  for (char& c : name) {
-    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
-  }
-  return name;
-}
-
 }  // namespace
 
 OracleReport DifferentialOracle::check_model(const models::BuiltModel& built,
@@ -430,26 +371,54 @@ OracleReport DifferentialOracle::check_model(const models::BuiltModel& built,
     }
   }
 
-  // Native C path: the paper's real output format through the system cc.
-  NativeLibrary native;
+  // Native paths: the emitted C compiled by the system cc through the AOT
+  // backend (content-addressed .so cache, temp-file hygiene, VM fallback).
+  // The scalar entry shares the VM's computation graph (kTight candidate),
+  // but the reference here is the symbolic table, so kReassociated applies;
+  // the batch entry must agree with it and the native Jacobian is held
+  // kTight against the compiled VM Jacobian below.
+  std::unique_ptr<codegen::NativeBackend> native;
   if (options_.check_c_backend) {
-    if (!have_system_cc()) {
-      report.skipped.push_back("native-c (no system cc)");
-    } else if (!native.build(
-                   codegen::emit_c_optimized(built.optimized,
-                                             {"rms_verify_rhs"}),
-                   "rms_verify_rhs",
-                   sanitize_tag(report.model_name))) {
-      report.skipped.push_back("native-c (cc failed)");
+    auto compiled = codegen::NativeBackend::create(
+        built.optimized,
+        options_.check_jacobian ? &built.odes.table : nullptr, species_count,
+        rate_count, options_.native);
+    if (!compiled.is_ok()) {
+      report.skipped.push_back("native-c (" + compiled.status().to_string() +
+                               ")");
     } else {
+      native = std::move(compiled).value();
+      const codegen::NativeBackend* module = native.get();
       paths.push_back({"native-c", Tolerance::kReassociated, true, "",
-                       [&native, species_count](
+                       [module, species_count](
                            double t, const std::vector<double>& y,
                            const std::vector<double>& k,
                            std::vector<double>& out) {
                          out.assign(species_count, 0.0);
-                         native.fn(t, y.data(), k.data(), out.data());
+                         module->rhs(t, y.data(), k.data(), out.data());
                        }});
+      if (module->has_batch()) {
+        const std::size_t lanes =
+            std::max<std::size_t>(2, options_.batch_lanes);
+        paths.push_back(
+            {"native-batch", Tolerance::kReassociated, true, "",
+             [module, species_count, lanes](double t,
+                                            const std::vector<double>& y,
+                                            const std::vector<double>& k,
+                                            std::vector<double>& out) {
+               // Every lane holds the same state; report the last lane so a
+               // broken lane stride cannot hide behind lane 0.
+               std::vector<double> ys(species_count * lanes);
+               for (std::size_t lane = 0; lane < lanes; ++lane) {
+                 std::copy(y.begin(), y.end(),
+                           ys.begin() + lane * species_count);
+               }
+               std::vector<double> ydots(species_count * lanes, 0.0);
+               module->rhs_batch(t, ys.data(), k.data(), ydots.data(), lanes);
+               out.assign(ydots.begin() + (lanes - 1) * species_count,
+                          ydots.end());
+             }});
+      }
     }
   }
   for (const RhsPath& path : paths) report.paths_checked.push_back(path.name);
@@ -479,11 +448,28 @@ OracleReport DifferentialOracle::check_model(const models::BuiltModel& built,
   // enumerate the fallout).
   std::vector<bool> path_diverged(paths.size(), false);
   bool jacobian_diverged = false;
+  bool jac_native_diverged = false;
+
+  // The native Jacobian fills CSR values for its own (differentiate-derived)
+  // pattern; entry-by-entry comparison against the VM program is only
+  // meaningful when the two patterns coincide — they always should, both
+  // sides run codegen::differentiate on the same table.
+  const bool check_native_jacobian =
+      options_.check_jacobian && species_count != 0 && native != nullptr &&
+      native->has_jacobian() &&
+      native->jacobian_row_offsets() == jac_vm.row_offsets &&
+      native->jacobian_col_indices() == jac_vm.col_indices;
+  if (options_.check_jacobian && native != nullptr && native->has_jacobian() &&
+      !check_native_jacobian) {
+    report.skipped.push_back("jac-native (sparsity pattern mismatch)");
+  }
+  if (check_native_jacobian) report.paths_checked.push_back("jac-native");
 
   support::Xoshiro256 rng(options_.seed);
   std::vector<double> reference;
   std::vector<double> candidate;
   std::vector<double> jac_reference;
+  std::vector<double> jac_native;
   std::vector<double> jac_values(jac_vm.col_indices.size());
   for (int trial = 0; trial < options_.trials; ++trial) {
     const double t = rng.uniform(0.0, 1.0);
@@ -522,10 +508,17 @@ OracleReport DifferentialOracle::check_model(const models::BuiltModel& built,
       report.divergences.push_back(std::move(d));
     }
 
-    if (options_.check_jacobian && species_count != 0 && !jacobian_diverged &&
-        !jac_vm.program.code.empty()) {
-      jac_sym.entries.evaluate(y, k, t, jac_reference);
+    const bool want_vm_jacobian =
+        options_.check_jacobian && species_count != 0 &&
+        !jac_vm.program.code.empty() && !jacobian_diverged;
+    const bool want_native_jacobian =
+        check_native_jacobian && !jac_vm.program.code.empty() &&
+        !jac_native_diverged;
+    if (want_vm_jacobian || want_native_jacobian) {
       jac_values = run_program(jac_vm.program, t, y, k);
+    }
+    if (want_vm_jacobian) {
+      jac_sym.entries.evaluate(y, k, t, jac_reference);
       const std::size_t bad = first_mismatch(jac_reference, jac_values,
                                              Tolerance::kReassociated);
       if (bad != static_cast<std::size_t>(-1)) {
@@ -540,6 +533,31 @@ OracleReport DifferentialOracle::check_model(const models::BuiltModel& built,
             bad < jac_vm.col_indices.size() ? jacobian_label(bad) : "";
         d.value_a = bad < jac_reference.size() ? jac_reference[bad] : 0.0;
         d.value_b = bad < jac_values.size() ? jac_values[bad] : 0.0;
+        d.ulp = ulp_distance(d.value_a, d.value_b);
+        d.trial = trial;
+        d.seed = options_.seed;
+        report.divergences.push_back(std::move(d));
+      }
+    }
+    if (want_native_jacobian) {
+      // Both sides optimize the same differentiated entry table, so the
+      // native CSR fill is bit-comparable to the VM Jacobian program.
+      jac_native.assign(jac_vm.col_indices.size(), 0.0);
+      native->jacobian_values(t, y.data(), k.data(), jac_native.data());
+      const std::size_t bad =
+          first_mismatch(jac_values, jac_native, Tolerance::kTight);
+      if (bad != static_cast<std::size_t>(-1)) {
+        jac_native_diverged = true;
+        Divergence d;
+        d.model_name = report.model_name;
+        d.path_a = "jac-vm";
+        d.path_b = "jac-native";
+        d.stage = "jacobian-native";
+        d.equation = bad;
+        d.equation_label =
+            bad < jac_vm.col_indices.size() ? jacobian_label(bad) : "";
+        d.value_a = bad < jac_values.size() ? jac_values[bad] : 0.0;
+        d.value_b = bad < jac_native.size() ? jac_native[bad] : 0.0;
         d.ulp = ulp_distance(d.value_a, d.value_b);
         d.trial = trial;
         d.seed = options_.seed;

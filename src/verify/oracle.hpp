@@ -7,16 +7,21 @@
 // parallel-pipeline PRs the repository has five independent ways to compute
 // the same right-hand side:
 //
-//   reference   the symbolic equation table, tree-walk evaluated
-//   unopt-vm    the unoptimized bytecode program (raw equation emission)
-//   opt-vm      the fused + register-compacted optimized program
-//   batch-vm    the same program through the lane-blocked batch entry point
-//   backend-vm  the "commercial compiler" reference backend's re-lowering
-//   native-c    the emitted C function compiled by the system C compiler
-//               (auto-skipped when no `cc` is on PATH)
+//   reference     the symbolic equation table, tree-walk evaluated
+//   unopt-vm      the unoptimized bytecode program (raw equation emission)
+//   opt-vm        the fused + register-compacted optimized program
+//   batch-vm      the same program through the lane-blocked batch entry point
+//   backend-vm    the "commercial compiler" reference backend's re-lowering
+//   native-c      the emitted C function through codegen::NativeBackend
+//                 (system cc + dlopen with a content-addressed .so cache;
+//                 auto-skipped when no compiler is available)
+//   native-batch  the AOT module's lane-major batched entry point
 //
 // plus the compiled analytic Jacobian against the symbolically
-// differentiated entry table. Any disagreement beyond tolerance becomes a
+// differentiated entry table, and — when the native module carries one —
+// the native CSR Jacobian fill against the VM Jacobian program at kTight
+// (both optimize the same differentiated table, so they must be
+// bit-comparable). Any disagreement beyond tolerance becomes a
 // structured Divergence naming the first diverging equation; the oracle then
 // re-runs the compile one optimization stage at a time (simplify -> distopt
 // -> cse -> emit -> fuse -> regalloc -> batch) and blames the first stage
@@ -30,6 +35,7 @@
 #include <string_view>
 #include <vector>
 
+#include "codegen/native_backend.hpp"
 #include "models/vulcanization.hpp"
 #include "network/generator.hpp"
 #include "support/status.hpp"
@@ -97,12 +103,15 @@ struct OracleReport {
 struct OracleOptions {
   std::uint64_t seed = 1;
   int trials = 8;  ///< random (t, y, k) draws per model
-  /// Path toggles. The C path shells out to `cc` per model and is the only
-  /// non-hermetic one; fuzz loops turn it off.
+  /// Path toggles. The native paths invoke the system compiler (once per
+  /// distinct model — the NativeBackend .so cache absorbs repeats) and are
+  /// the only non-hermetic ones; fuzz loops default them off.
   bool check_jacobian = true;
   bool check_reference_backend = true;
   bool check_c_backend = true;
   bool check_batch = true;
+  /// Knobs for the native paths (cache dir, compiler, flags).
+  codegen::NativeBackendOptions native;
   /// Run stage bisection on RHS divergences (adds recompiles per
   /// divergence, not per clean run).
   bool bisect = true;

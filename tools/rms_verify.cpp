@@ -19,7 +19,10 @@
 //   --trials N       random (t, y, k) draws per model (default 8)
 //   --max-findings N stop a fuzz run after N divergent cases (default 5)
 //   --no-jacobian    skip the compiled-Jacobian cross-check
-//   --no-c-backend   skip the native C path (cc + dlopen)
+//   --no-c-backend   skip the native paths (AOT backend: cc + dlopen)
+//   --native         force the native paths ON in fuzz mode (they default
+//                    off there; the backend's .so cache keeps the per-case
+//                    compile cost bounded)
 //   --no-invariants  skip conservation/thread/opt-level/seed-switch checks
 //   --no-bisect      report divergences without stage attribution
 //   -v               verbose (per-model path lists, fuzz progress)
@@ -48,8 +51,9 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--fuzz N | --reduce FILE] [--seed S] [--trials N]\n"
                "          [--max-findings N] [--no-jacobian] [--no-c-backend]"
-               " [--no-invariants]\n"
-               "          [--no-bisect] [-v] [MODEL.rdl ...]\n",
+               " [--native]\n"
+               "          [--no-invariants] [--no-bisect] [-v]"
+               " [MODEL.rdl ...]\n",
                argv0);
   return 1;
 }
@@ -71,6 +75,7 @@ struct Flags {
   std::string reduce_path;
   bool jacobian = true;
   bool c_backend = true;
+  bool native_lane = false;  ///< force native paths on in fuzz mode
   bool invariants = true;
   bool bisect = true;
   bool verbose = false;
@@ -165,6 +170,11 @@ int run_fuzz_mode(const Flags& flags) {
   options.oracle.trials = std::min(flags.trials, 4);
   options.oracle.bisect = flags.bisect;
   options.oracle.check_jacobian = flags.jacobian;
+  // Fuzz defaults keep the native paths off (each distinct case costs one
+  // compiler run); --native turns them on, --no-c-backend wins.
+  if (flags.native_lane && flags.c_backend) {
+    options.oracle.check_c_backend = true;
+  }
   options.run_invariants = flags.invariants;
   if (flags.verbose) {
     options.on_progress = [](int iteration, int compiled, int divergent) {
@@ -266,6 +276,8 @@ int main(int argc, char** argv) {
       flags.jacobian = false;
     } else if (arg == "--no-c-backend") {
       flags.c_backend = false;
+    } else if (arg == "--native") {
+      flags.native_lane = true;
     } else if (arg == "--no-invariants") {
       flags.invariants = false;
     } else if (arg == "--no-bisect") {

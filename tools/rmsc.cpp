@@ -6,11 +6,18 @@
 // Options:
 //   --emit=c          write the optimized C function (default)
 //   --emit=c-raw      write the unoptimized C function
+//   --emit=c-batch    write the batched multi-state C function
+//   --emit=c-jac      write the analytic-Jacobian CSR-fill C function
 //   --emit=network    print the reaction network (Fig. 3 form)
 //   --emit=odes       print the generated ODEs (Fig. 5 form)
 //   --emit=optimized  print the optimized equations + temporaries
 //   --emit=asm        print the bytecode disassembly
 //   --emit=stats      print pipeline statistics only
+//   --run[=T]         integrate to time T (default 10) and print the final
+//                     concentrations instead of emitting code
+//   --backend=B       execution backend for --run: vm | native | auto
+//                     (default auto: $RMS_BACKEND, else native with VM
+//                     fallback; see docs/native_backend.md)
 //   -o FILE           output file (default: stdout)
 //   --no-distopt      disable the distributive optimization
 //   --no-cse          disable CSE temporaries
@@ -20,7 +27,7 @@
 //   --load-network=F  skip network generation: reuse a cached network
 //                     (constants and rules still come from MODEL.rdl)
 //
-// Exit status: 0 ok, 1 usage error, 2 compilation error.
+// Exit status: 0 ok, 1 usage error, 2 compilation error, 3 solver error.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -29,9 +36,12 @@
 #include <string>
 
 #include "codegen/c_emitter.hpp"
+#include "codegen/jacobian.hpp"
 #include "network/io.hpp"
 #include "odegen/equation_table.hpp"
+#include "rms/execution.hpp"
 #include "rms/suite.hpp"
+#include "solver/adams_gear.hpp"
 #include "support/strings.hpp"
 
 namespace {
@@ -40,12 +50,55 @@ using namespace rms;
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s MODEL.rdl [--emit=c|c-raw|network|odes|optimized|"
-               "asm|stats] [-o FILE]\n"
+               "usage: %s MODEL.rdl [--emit=c|c-raw|c-batch|c-jac|network|"
+               "odes|optimized|asm|stats] [-o FILE]\n"
+               "          [--run[=T]] [--backend=vm|native|auto]\n"
                "          [--no-distopt] [--no-cse] [--max-species=N] "
                "[--function=NAME]\n",
                argv0);
   return 1;
+}
+
+/// --run: integrate the model on the selected backend and print the final
+/// state (one "name concentration" line per species).
+int run_model(const models::BuiltModel& built, Backend backend,
+              double t_end, std::FILE* out) {
+  ExecutionOptions exec_options;
+  exec_options.backend = backend;
+  const Execution exec = Execution::create(built, exec_options);
+  std::fprintf(stderr, "rmsc: backend=%s%s%s\n", backend_name(exec.backend()),
+               exec.fallback_reason().empty() ? "" : " (fallback: ",
+               exec.fallback_reason().empty()
+                   ? ""
+                   : (exec.fallback_reason() + ")").c_str());
+
+  const std::vector<double> rates = built.rates.values();
+  solver::OdeSystem system = exec.make_system(&rates);
+  solver::IntegrationOptions integration;
+  if (system.sparse_jacobian) {
+    integration.newton_linear_solver = solver::NewtonLinearSolver::kSparseLu;
+  }
+  solver::AdamsGear integrator(system, integration);
+  auto status = integrator.initialize(0.0, built.odes.init_concentrations);
+  std::vector<double> y;
+  if (status.is_ok()) status = integrator.advance_to(t_end, y);
+  if (!status.is_ok()) {
+    std::fprintf(stderr, "rmsc: solve failed: %s\n",
+                 status.to_string().c_str());
+    return 3;
+  }
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    const std::string& name = i < built.odes.species_names.size()
+                                  ? built.odes.species_names[i]
+                                  : support::str_format("y[%zu]", i);
+    std::fprintf(out, "%-24s %.12g\n", name.c_str(), y[i]);
+  }
+  const solver::IntegrationStats& stats = integrator.stats();
+  std::fprintf(stderr,
+               "rmsc: t=%g steps=%zu rhs=%zu jacobians=%zu newton=%zu\n",
+               t_end, stats.steps, stats.rhs_evaluations,
+               stats.jacobian_evaluations, stats.newton_iterations);
+  return 0;
 }
 
 }  // namespace
@@ -59,6 +112,9 @@ int main(int argc, char** argv) {
   std::string load_network_path;
   bool distopt = true;
   bool cse = true;
+  bool run = false;
+  double run_t_end = 10.0;
+  Backend backend = Backend::kAuto;
   std::size_t max_species = 20000;
 
   for (int i = 1; i < argc; ++i) {
@@ -68,6 +124,15 @@ int main(int argc, char** argv) {
       output_path = argv[i];
     } else if (arg.rfind("--emit=", 0) == 0) {
       emit = arg.substr(7);
+    } else if (arg == "--run") {
+      run = true;
+    } else if (arg.rfind("--run=", 0) == 0) {
+      run = true;
+      if (!support::parse_double(arg.substr(6), run_t_end)) {
+        return usage(argv[0]);
+      }
+    } else if (arg.rfind("--backend=", 0) == 0) {
+      if (!parse_backend(arg.substr(10), backend)) return usage(argv[0]);
     } else if (arg.rfind("--function=", 0) == 0) {
       function_name = arg.substr(11);
     } else if (arg.rfind("--save-network=", 0) == 0) {
@@ -164,12 +229,34 @@ int main(int argc, char** argv) {
     built->program_optimized = codegen::emit_optimized(built->optimized);
   }
 
+  if (run) {
+    std::FILE* out = stdout;
+    if (!output_path.empty()) {
+      out = std::fopen(output_path.c_str(), "w");
+      if (out == nullptr) {
+        std::fprintf(stderr, "rmsc: cannot write %s\n", output_path.c_str());
+        return 2;
+      }
+    }
+    const int rc = run_model(*built, backend, run_t_end, out);
+    if (out != stdout) std::fclose(out);
+    return rc;
+  }
+
   std::string output;
   if (emit == "c") {
     output = codegen::emit_c_optimized(built->optimized, {function_name});
   } else if (emit == "c-raw") {
     output = codegen::emit_c_unoptimized(built->odes_raw.table,
                                          {function_name});
+  } else if (emit == "c-batch") {
+    output = codegen::emit_c_batch(built->optimized, {function_name + "_batch"});
+  } else if (emit == "c-jac") {
+    codegen::SymbolicJacobian jacobian =
+        codegen::differentiate(built->odes.table, built->equation_count());
+    const opt::OptimizedSystem jac_system = opt::optimize(
+        jacobian.entries, built->equation_count(), built->rates.size());
+    output = codegen::emit_c_jacobian(jac_system, {function_name + "_jac"});
   } else if (emit == "network") {
     output = built->network.to_string();
   } else if (emit == "odes") {
