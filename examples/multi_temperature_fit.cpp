@@ -15,6 +15,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "codegen/jacobian.hpp"
 #include "data/synthetic.hpp"
 #include "estimator/estimator.hpp"
 #include "rms/suite.hpp"
@@ -140,6 +141,16 @@ int main() {
   }
   estimator::ObjectiveOptions options;
   options.rate_table = &built->rates;
+  // Throughput layer: persistent 2-worker pool, LPT-ordered (column, file)
+  // Jacobian tasks, warm-started per-file solves with sparse-LU reuse
+  // (results are bit-identical for any worker count; see
+  // docs/estimator.md).
+  const codegen::CompiledJacobian compiled_jacobian =
+      codegen::compile_jacobian(built->odes.table, n, n_params);
+  options.compiled_jacobian = &compiled_jacobian;
+  options.pool_workers = 2;
+  options.warm_start = true;
+  options.dynamic_load_balancing = true;
   estimator::ObjectiveFunction objective(built->program_optimized, observable,
                                          std::move(experiments), slots,
                                          true_prefactors, options);
@@ -151,9 +162,19 @@ int main() {
                  result.status().to_string().c_str());
     return 1;
   }
-  std::printf("  %s after %zu iterations, cost %.3e\n\n",
+  std::printf("  %s after %zu iterations, cost %.3e\n",
               result->message.c_str(), result->iterations,
               result->final_cost);
+  const estimator::SolverStats& sstats = result->solver_stats;
+  std::printf(
+      "  solver: %zu solves, %zu steps, %zu Newton iterations, "
+      "%zu Jacobians, %zu factorizations (%zu reused), %zu warm starts\n\n",
+      sstats.solves, sstats.integration.steps,
+      sstats.integration.newton_iterations,
+      sstats.integration.jacobian_evaluations,
+      sstats.integration.factorizations,
+      sstats.integration.factor_cache_hits,
+      sstats.integration.warm_starts);
 
   std::printf("%-12s %14s %14s %10s\n", "constant", "true A", "estimated A",
               "error");

@@ -11,7 +11,17 @@ support::Expected<EstimationResult> estimate_parameters(
                                   linalg::Vector& r) -> support::Status {
     return objective.evaluate(x, r);
   };
-  auto lm = nlopt::bounded_least_squares(residual_fn, objective.residual_size(),
+  // The objective owns the FD Jacobian: the optimizer hands over the base
+  // residual and the bound-aware steps, and all (column, file) solves run
+  // as one flat task pool (warm-started from the base solve when enabled).
+  auto jacobian_fn = [&objective](const linalg::Vector& x,
+                                  const linalg::Vector& r,
+                                  const linalg::Vector& steps,
+                                  linalg::Matrix& jacobian) -> support::Status {
+    return objective.evaluate_jacobian(x, r, steps, jacobian);
+  };
+  auto lm = nlopt::bounded_least_squares(residual_fn, jacobian_fn,
+                                         objective.residual_size(),
                                          std::move(x0), lower_bounds,
                                          upper_bounds, options.levmar);
   if (!lm.is_ok()) return lm.status();
@@ -24,6 +34,7 @@ support::Expected<EstimationResult> estimate_parameters(
   result.converged = lm->converged;
   result.message = lm->message;
   result.file_times = objective.last_file_times();
+  result.solver_stats = objective.solver_stats();
   return result;
 }
 

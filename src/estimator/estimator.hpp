@@ -21,6 +21,10 @@ struct EstimationResult {
   std::string message;
   /// Per-file solve seconds from the final objective evaluation.
   std::vector<double> file_times;
+  /// Aggregated Adams-Gear work over every per-file solve of the run
+  /// (steps, Newton iterations, Jacobian evaluations, factorizations,
+  /// warm-start hits).
+  SolverStats solver_stats;
 };
 
 struct EstimatorOptions {

@@ -2,18 +2,32 @@
 
 #include <algorithm>
 #include <mutex>
+#include <numeric>
 
 #include "parallel/minimpi.hpp"
 #include "parallel/schedule.hpp"
-#include "solver/adams_gear.hpp"
 #include "support/assert.hpp"
 #include "support/strings.hpp"
+#include "support/thread_pool.hpp"
 #include "support/timer.hpp"
-#include "vm/interpreter.hpp"
 
 namespace rms::estimator {
 
 using support::Status;
+
+/// Everything one in-flight solve needs, reusable across solves: the rate
+/// buffer the ODE closures read through a stable pointer, the VM's batch
+/// registers, the solver (its history, Newton and Jacobian workspaces
+/// persist across initialize() calls), and the interpolation output. A
+/// scratch is checked out of a freelist per task; which scratch a task gets
+/// never affects results because initialize() resets all result-bearing
+/// solver state.
+struct ObjectiveFunction::SolveScratch {
+  std::vector<double> rates;
+  vm::Scratch batch_scratch;
+  std::unique_ptr<solver::AdamsGear> integrator;
+  std::vector<double> y;
+};
 
 ObjectiveFunction::ObjectiveFunction(const vm::Program& program,
                                      data::Observable observable,
@@ -28,117 +42,198 @@ ObjectiveFunction::ObjectiveFunction(const vm::Program& program,
       estimated_slots_(std::move(estimated_slots)),
       base_rates_(std::move(base_rates)),
       options_(options) {
-  for (const Experiment& e : experiments_) {
-    max_records_ = std::max(max_records_, e.data.record_count());
+  file_offsets_.resize(experiments_.size());
+  for (std::size_t f = 0; f < experiments_.size(); ++f) {
+    const std::size_t count = experiments_[f].data.record_count();
+    file_offsets_[f] = total_records_;
+    total_records_ += count;
+    max_records_ = std::max(max_records_, count);
   }
   file_times_.assign(experiments_.size(), 0.0);
+  if (options_.warm_start) {
+    warm_profiles_.resize(experiments_.size());
+    new_profiles_.resize(experiments_.size());
+    warm_valid_.assign(experiments_.size(), false);
+    factor_caches_.resize(experiments_.size());
+    new_factor_caches_.resize(experiments_.size());
+  }
+  if (options_.pool_workers > 0) {
+    // cap_to_hardware=false: the pool exists for deterministic task-level
+    // parallelism, and the worker count must match what the caller asked
+    // for even on small machines (results are bit-identical regardless).
+    pool_ = std::make_unique<support::ThreadPool>(
+        static_cast<std::size_t>(options_.pool_workers),
+        /*cap_to_hardware=*/false);
+  }
 }
 
+ObjectiveFunction::~ObjectiveFunction() = default;
+
 std::size_t ObjectiveFunction::residual_size() const {
-  if (options_.layout == ResidualLayout::kGlobalPerTimestep) {
-    return max_records_;
+  return options_.layout == ResidualLayout::kGlobalPerTimestep
+             ? max_records_
+             : total_records_;
+}
+
+void ObjectiveFunction::rates_for(const linalg::Vector& x,
+                                  std::vector<double>& rates) const {
+  rates = base_rates_;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    RMS_CHECK(estimated_slots_[i] < rates.size());
+    rates[estimated_slots_[i]] = x[i];
   }
-  std::size_t total = 0;
-  for (const Experiment& e : experiments_) total += e.data.record_count();
-  return total;
 }
 
 Status ObjectiveFunction::solve_file(std::size_t file_index,
                                      const std::vector<double>& prefactors,
-                                     std::vector<double>& local_errors,
-                                     double& solve_seconds) const {
+                                     SolveScratch& scratch,
+                                     const solver::WarmStartProfile* warm,
+                                     const solver::FactorCache* factors,
+                                     solver::WarmStartProfile* capture,
+                                     solver::FactorCache* factor_capture,
+                                     double* segment, double& solve_seconds,
+                                     solver::IntegrationStats& stats) const {
   const Experiment& experiment = experiments_[file_index];
   support::WallTimer timer;
 
   // Evaluate the rate law at the file's cure temperature: Arrhenius slots
   // combine the (possibly estimated) prefactor with their activation
   // energy; plain slots pass through.
-  std::vector<double> rates = prefactors;
+  scratch.rates.assign(prefactors.begin(), prefactors.end());
   if (options_.rate_table != nullptr && experiment.temperature > 0.0) {
-    for (std::uint32_t s = 0; s < rates.size(); ++s) {
-      rates[s] = options_.rate_table->value_with_prefactor(
+    for (std::uint32_t s = 0; s < scratch.rates.size(); ++s) {
+      scratch.rates[s] = options_.rate_table->value_with_prefactor(
           s, prefactors[s], experiment.temperature);
     }
   }
 
-  // The interpreter is shared across ranks (run() is const; registers live
-  // in per-thread scratch), so concurrent solves are race-free without
-  // per-file interpreter state. The native backend is stateless outright:
-  // its entry points are compiled functions over caller-owned buffers.
-  const vm::Interpreter& interpreter = interpreter_;
-  const codegen::NativeBackend* native = options_.native_backend;
-  solver::OdeSystem system;
-  system.dimension = program_->species_count;
-  vm::Scratch batch_scratch;
-  if (native != nullptr) {
-    system.rhs = [native, &rates](double t, const double* y, double* ydot) {
-      native->rhs(t, y, rates.data(), ydot);
-    };
-    if (native->has_batch()) {
-      system.rhs_batch = [native, &rates](double t, const double* ys,
-                                          double* ydots, std::size_t count) {
-        native->rhs_batch(t, ys, rates.data(), ydots, count);
+  if (scratch.integrator == nullptr) {
+    // The ODE closures read the scratch's rate buffer through a pointer, so
+    // the system (and the solver holding it) is built once per scratch and
+    // reused for every file and parameter vector. The interpreter is shared
+    // across threads (run() is const; registers live in per-scratch state);
+    // the native backend is stateless outright.
+    const vm::Interpreter* interpreter = &interpreter_;
+    const codegen::NativeBackend* native = options_.native_backend;
+    std::vector<double>* rates = &scratch.rates;
+    vm::Scratch* batch = &scratch.batch_scratch;
+    solver::OdeSystem system;
+    system.dimension = program_->species_count;
+    if (native != nullptr) {
+      system.rhs = [native, rates](double t, const double* y, double* ydot) {
+        native->rhs(t, y, rates->data(), ydot);
+      };
+      if (native->has_batch()) {
+        system.rhs_batch = [native, rates](double t, const double* ys,
+                                           double* ydots, std::size_t count) {
+          native->rhs_batch(t, ys, rates->data(), ydots, count);
+        };
+      }
+    } else {
+      system.rhs = [interpreter, rates](double t, const double* y,
+                                        double* ydot) {
+        interpreter->run(t, y, rates->data(), ydot);
+      };
+      // Batched RHS: the solver's finite-difference Jacobian evaluates
+      // chunks of perturbed states in one pass over the tape.
+      system.rhs_batch = [interpreter, rates, batch](double t,
+                                                     const double* ys,
+                                                     double* ydots,
+                                                     std::size_t count) {
+        interpreter->run_batch_shared_k(t, ys, rates->data(), ydots, count,
+                                        *batch);
       };
     }
-  } else {
-    system.rhs = [&interpreter, &rates](double t, const double* y,
-                                        double* ydot) {
-      interpreter.run(t, y, rates.data(), ydot);
-    };
-    // Batched RHS: the solver's finite-difference Jacobian evaluates chunks
-    // of perturbed states in one pass over the tape.
-    system.rhs_batch = [&interpreter, &rates, &batch_scratch](
-                           double t, const double* ys, double* ydots,
-                           std::size_t count) {
-      interpreter.run_batch_shared_k(t, ys, rates.data(), ydots, count,
-                                     batch_scratch);
-    };
-  }
-  solver::IntegrationOptions integration = options_.integration;
-  if (native != nullptr && native->has_jacobian()) {
-    system.sparse_jacobian = [native, &rates](double t, const double* y,
-                                              linalg::CsrMatrix& out) {
-      out.rows = out.cols = native->dimension();
-      out.row_offsets = native->jacobian_row_offsets();
-      out.col_indices = native->jacobian_col_indices();
-      out.values.resize(out.col_indices.size());
-      native->jacobian_values(t, y, rates.data(), out.values.data());
-    };
-    integration.newton_linear_solver = solver::NewtonLinearSolver::kSparseLu;
-  } else if (options_.compiled_jacobian != nullptr) {
-    system.sparse_jacobian =
-        codegen::SparseJacobianEvaluator(options_.compiled_jacobian, &rates);
-    integration.newton_linear_solver = solver::NewtonLinearSolver::kSparseLu;
+    solver::IntegrationOptions integration = options_.integration;
+    if (native != nullptr && native->has_jacobian()) {
+      system.sparse_jacobian = [native, rates](double t, const double* y,
+                                               linalg::CsrMatrix& out) {
+        out.rows = out.cols = native->dimension();
+        out.row_offsets = native->jacobian_row_offsets();
+        out.col_indices = native->jacobian_col_indices();
+        out.values.resize(out.col_indices.size());
+        native->jacobian_values(t, y, rates->data(), out.values.data());
+      };
+      integration.newton_linear_solver = solver::NewtonLinearSolver::kSparseLu;
+    } else if (options_.compiled_jacobian != nullptr) {
+      system.sparse_jacobian =
+          codegen::SparseJacobianEvaluator(options_.compiled_jacobian, rates);
+      integration.newton_linear_solver = solver::NewtonLinearSolver::kSparseLu;
+    }
+    scratch.integrator =
+        std::make_unique<solver::AdamsGear>(system, integration);
   }
 
-  solver::AdamsGear integrator(system, integration);
-  RMS_RETURN_IF_ERROR(
-      integrator.initialize(experiment.data.times.empty()
-                                ? 0.0
-                                : std::min(0.0, experiment.data.times.front()),
-                            experiment.initial_state));
-
-  // Offset of this file's records in the per-file layout.
-  std::size_t offset = 0;
-  if (options_.layout == ResidualLayout::kPerFileRecord) {
-    for (std::size_t f = 0; f < file_index; ++f) {
-      offset += experiments_[f].data.record_count();
+  solver::AdamsGear& integrator = *scratch.integrator;
+  integrator.set_warm_start(warm);
+  integrator.set_factor_cache(factors);
+  integrator.set_factor_recorder(factor_capture);
+  Status status = integrator.initialize(
+      experiment.data.times.empty()
+          ? 0.0
+          : std::min(0.0, experiment.data.times.front()),
+      experiment.initial_state);
+  if (status.is_ok()) {
+    for (std::size_t j = 0; j < experiment.data.record_count(); ++j) {
+      status = integrator.advance_to(experiment.data.times[j], scratch.y);
+      if (!status.is_ok()) break;
+      const double simulated = observable_.measure(scratch.y);
+      segment[j] = simulated - experiment.data.values[j];
     }
   }
-
-  std::vector<double> y;
-  for (std::size_t j = 0; j < experiment.data.record_count(); ++j) {
-    RMS_RETURN_IF_ERROR(integrator.advance_to(experiment.data.times[j], y));
-    const double simulated = observable_.measure(y);
-    const double difference = simulated - experiment.data.values[j];
-    if (options_.layout == ResidualLayout::kGlobalPerTimestep) {
-      local_errors[j] += difference;
-    } else {
-      local_errors[offset + j] = difference;
-    }
+  integrator.set_warm_start(nullptr);
+  integrator.set_factor_cache(nullptr);
+  integrator.set_factor_recorder(nullptr);
+  if (status.is_ok() && capture != nullptr) {
+    integrator.capture_warm_start(*capture);
   }
+  stats = integrator.stats();
   solve_seconds = timer.seconds();
-  return Status::ok();
+  return status;
+}
+
+ObjectiveFunction::SolveScratch& ObjectiveFunction::acquire_scratch() {
+  std::lock_guard<std::mutex> lock(scratch_mutex_);
+  if (free_scratch_.empty()) {
+    scratch_pool_.push_back(std::make_unique<SolveScratch>());
+    return *scratch_pool_.back();
+  }
+  SolveScratch* scratch = free_scratch_.back();
+  free_scratch_.pop_back();
+  return *scratch;
+}
+
+void ObjectiveFunction::release_scratch(SolveScratch& scratch) {
+  std::lock_guard<std::mutex> lock(scratch_mutex_);
+  free_scratch_.push_back(&scratch);
+}
+
+void ObjectiveFunction::run_tasks(
+    std::size_t count, const std::vector<double>& predicted,
+    const std::function<void(std::size_t)>& body) {
+  // Longest-predicted-first task order: §4.4's priority queue as a list
+  // schedule. With the work-stealing pool this behaves like dynamic LPT
+  // (idle workers pull the longest remaining work); serially it is just a
+  // permutation. Either way every task commits into its own slot, so the
+  // execution order never shows in the results.
+  task_order_.resize(count);
+  std::iota(task_order_.begin(), task_order_.end(), std::size_t{0});
+  const bool have_predictions =
+      predicted.size() == count &&
+      std::any_of(predicted.begin(), predicted.end(),
+                  [](double t) { return t > 0.0; });
+  if (have_predictions) {
+    std::stable_sort(task_order_.begin(), task_order_.end(),
+                     [&predicted](std::size_t a, std::size_t b) {
+                       return predicted[a] > predicted[b];
+                     });
+  }
+  const auto run_one = [this, &body](std::size_t i) { body(task_order_[i]); };
+  if (pool_ != nullptr) {
+    pool_->parallel_for(0, count, 1, run_one);
+  } else {
+    for (std::size_t i = 0; i < count; ++i) run_one(i);
+  }
 }
 
 Status ObjectiveFunction::evaluate(const linalg::Vector& x,
@@ -148,47 +243,122 @@ Status ObjectiveFunction::evaluate(const linalg::Vector& x,
         "expected %zu parameters, got %zu", estimated_slots_.size(),
         x.size()));
   }
-  std::vector<double> rates = base_rates_;
-  for (std::size_t i = 0; i < x.size(); ++i) {
-    RMS_CHECK(estimated_slots_[i] < rates.size());
-    rates[estimated_slots_[i]] = x[i];
-  }
+  std::vector<double> rates;
+  rates_for(x, rates);
+
+  const std::size_t files = experiments_.size();
+  const std::size_t m = residual_size();
+  const int ranks = std::max(options_.ranks, 1);
+  const bool have_times =
+      !file_times_.empty() &&
+      *std::max_element(file_times_.begin(), file_times_.end()) > 0.0;
 
   // Schedule: block distribution, or LPT on the previous call's times
   // ("at the next objective function call, every processor will receive the
   //  balanced workload calculated by the current objective function call").
-  const int ranks = std::max(options_.ranks, 1);
-  const bool have_times =
-      *std::max_element(file_times_.begin(), file_times_.end()) > 0.0;
+  // In pool mode the assignment is the §4.4 plan over the pool's workers;
+  // work stealing may rebalance execution without affecting results.
+  const int schedule_ranks =
+      options_.pool_workers > 0 ? options_.pool_workers : ranks;
   if (options_.dynamic_load_balancing && have_times) {
-    assignment_ = parallel::lpt_schedule(file_times_, ranks);
+    assignment_ = parallel::lpt_schedule(file_times_, schedule_ranks);
   } else {
-    assignment_ = parallel::block_schedule(experiments_.size(), ranks);
+    assignment_ = parallel::block_schedule(files, schedule_ranks);
   }
 
-  const std::size_t m = residual_size();
   residuals.assign(m, 0.0);
-  std::vector<double> new_times(experiments_.size(), 0.0);
+  std::vector<double> new_times(files, 0.0);
+  const bool per_file = options_.layout == ResidualLayout::kPerFileRecord;
 
   Status first_error = Status::ok();
   std::mutex error_mutex;
 
-  if (ranks == 1) {
-    for (std::size_t f = 0; f < experiments_.size(); ++f) {
-      RMS_RETURN_IF_ERROR(solve_file(f, rates, residuals, new_times[f]));
+  if (options_.pool_workers > 0 || ranks == 1) {
+    // Throughput path: one task per file over the persistent pool (or
+    // inline), disjoint per-file segments, deterministic serial reduction.
+    const bool warm = options_.warm_start;
+    eval_segments_.assign(total_records_, 0.0);
+    task_seconds_.assign(files, 0.0);
+    task_stats_.assign(files, solver::IntegrationStats{});
+    run_tasks(files, file_times_, [&](std::size_t f) {
+      SolveScratch& scratch = acquire_scratch();
+      const solver::WarmStartProfile* seed =
+          warm && warm_valid_[f] ? &warm_profiles_[f] : nullptr;
+      const solver::FactorCache* factors =
+          warm && !factor_caches_[f].empty() ? &factor_caches_[f] : nullptr;
+      solver::WarmStartProfile* capture = warm ? &new_profiles_[f] : nullptr;
+      solver::FactorCache* factor_capture =
+          warm ? &new_factor_caches_[f] : nullptr;
+      Status s = solve_file(f, rates, scratch, seed, factors, capture,
+                            factor_capture,
+                            eval_segments_.data() + file_offsets_[f],
+                            task_seconds_[f], task_stats_[f]);
+      release_scratch(scratch);
+      if (!s.is_ok()) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (first_error.is_ok()) first_error = s;
+      }
+    });
+    RMS_RETURN_IF_ERROR(first_error);
+    for (std::size_t f = 0; f < files; ++f) {
+      const std::size_t count = experiments_[f].data.record_count();
+      const double* segment = eval_segments_.data() + file_offsets_[f];
+      if (per_file) {
+        std::copy(segment, segment + count,
+                  residuals.begin() +
+                      static_cast<std::ptrdiff_t>(file_offsets_[f]));
+      } else {
+        for (std::size_t j = 0; j < count; ++j) residuals[j] += segment[j];
+      }
+      new_times[f] = task_seconds_[f];
+      solver_stats_.solves += 1;
+      solver_stats_.integration += task_stats_[f];
+      if (warm && !new_profiles_[f].empty()) {
+        // The base evaluation is the warm cache's single writer: Jacobian
+        // column solves read these profiles but never update them, so the
+        // cache content is independent of task interleaving.
+        std::swap(warm_profiles_[f], new_profiles_[f]);
+        new_profiles_[f].clear();
+        warm_valid_[f] = true;
+      }
+      if (warm && !new_factor_caches_[f].empty()) {
+        // Same single-writer rule for the factorization cache.
+        std::swap(factor_caches_[f], new_factor_caches_[f]);
+        new_factor_caches_[f].clear();
+      }
     }
   } else {
     // Fig. 9: every rank solves its files into a local error vector, then
     // Allreduce(SUM) combines error vectors and timing vectors.
     parallel::run_parallel(ranks, [&](parallel::Communicator& comm) {
       std::vector<double> local_errors(m, 0.0);
-      std::vector<double> local_times(experiments_.size(), 0.0);
-      for (std::size_t f = 0; f < experiments_.size(); ++f) {
+      std::vector<double> local_times(files, 0.0);
+      std::vector<double> segment;
+      SolveScratch scratch;
+      solver::IntegrationStats local_stats;
+      std::size_t local_solves = 0;
+      for (std::size_t f = 0; f < files; ++f) {
         if (assignment_[f] != comm.rank()) continue;
-        Status s = solve_file(f, rates, local_errors, local_times[f]);
+        const std::size_t count = experiments_[f].data.record_count();
+        segment.assign(count, 0.0);
+        solver::IntegrationStats stats;
+        Status s = solve_file(f, rates, scratch, nullptr, nullptr, nullptr,
+                              nullptr, segment.data(), local_times[f], stats);
+        local_stats += stats;
+        ++local_solves;
         if (!s.is_ok()) {
           std::lock_guard<std::mutex> lock(error_mutex);
           if (first_error.is_ok()) first_error = s;
+          continue;
+        }
+        if (per_file) {
+          std::copy(segment.begin(), segment.end(),
+                    local_errors.begin() +
+                        static_cast<std::ptrdiff_t>(file_offsets_[f]));
+        } else {
+          for (std::size_t j = 0; j < count; ++j) {
+            local_errors[j] += segment[j];
+          }
         }
       }
       comm.all_reduce_sum(local_errors);
@@ -197,12 +367,123 @@ Status ObjectiveFunction::evaluate(const linalg::Vector& x,
         for (std::size_t i = 0; i < m; ++i) residuals[i] = local_errors[i];
         new_times = local_times;
       }
+      {
+        // Integer sums are order-independent, so accumulating under a mutex
+        // keeps the aggregate deterministic.
+        std::lock_guard<std::mutex> lock(error_mutex);
+        solver_stats_.solves += local_solves;
+        solver_stats_.integration += local_stats;
+      }
       comm.barrier();
     });
     RMS_RETURN_IF_ERROR(first_error);
   }
 
   file_times_ = std::move(new_times);
+  return Status::ok();
+}
+
+Status ObjectiveFunction::evaluate_jacobian(const linalg::Vector& x,
+                                            const linalg::Vector& r,
+                                            const linalg::Vector& steps,
+                                            linalg::Matrix& jacobian) {
+  const std::size_t n = x.size();
+  const std::size_t m = residual_size();
+  const std::size_t files = experiments_.size();
+  if (n != estimated_slots_.size()) {
+    return support::invalid_argument(support::str_format(
+        "expected %zu parameters, got %zu", estimated_slots_.size(), n));
+  }
+  if (steps.size() != n || r.size() != m) {
+    return support::invalid_argument("jacobian input size mismatch");
+  }
+
+  // One full prefactor vector per FD column, shared read-only by that
+  // column's file tasks. Built through the same x -> rates mapping a
+  // perturbed evaluate() call would use, so the hook path reproduces the
+  // serial per-column loop bit for bit.
+  column_rates_.resize(n);
+  linalg::Vector x_pert = x;
+  for (std::size_t c = 0; c < n; ++c) {
+    x_pert[c] = x[c] + steps[c];
+    rates_for(x_pert, column_rates_[c]);
+    x_pert[c] = x[c];
+  }
+
+  // The flat task pool of the tentpole: one LM iteration's Jacobian is
+  // n_columns x n_files independent solves, ordered by recorded per-file
+  // time and committed into disjoint flat-buffer segments.
+  const std::size_t tasks = n * files;
+  jacobian_segments_.assign(n * total_records_, 0.0);
+  task_seconds_.assign(tasks, 0.0);
+  task_stats_.assign(tasks, solver::IntegrationStats{});
+  std::vector<double> predicted(tasks, 0.0);
+  if (file_times_.size() == files) {
+    for (std::size_t t = 0; t < tasks; ++t) {
+      predicted[t] = file_times_[t % files];
+    }
+  }
+
+  const bool warm = options_.warm_start;
+  Status first_error = Status::ok();
+  std::mutex error_mutex;
+  run_tasks(tasks, predicted, [&](std::size_t t) {
+    const std::size_t c = t / files;
+    const std::size_t f = t % files;
+    SolveScratch& scratch = acquire_scratch();
+    // Columns warm-start from the current iterate's base-solve profile and
+    // factorizations (the perturbation is tiny, so the base trajectory's
+    // step/order history and iteration matrices are near-perfect seeds) and
+    // never write either cache back.
+    const solver::WarmStartProfile* seed =
+        warm && warm_valid_[f] ? &warm_profiles_[f] : nullptr;
+    const solver::FactorCache* factors =
+        warm && !factor_caches_[f].empty() ? &factor_caches_[f] : nullptr;
+    Status s = solve_file(
+        f, column_rates_[c], scratch, seed, factors, nullptr, nullptr,
+        jacobian_segments_.data() + c * total_records_ + file_offsets_[f],
+        task_seconds_[t], task_stats_[t]);
+    release_scratch(scratch);
+    if (!s.is_ok()) {
+      std::lock_guard<std::mutex> lock(error_mutex);
+      if (first_error.is_ok()) first_error = s;
+    }
+  });
+  RMS_RETURN_IF_ERROR(first_error);
+
+  const bool per_file = options_.layout == ResidualLayout::kPerFileRecord;
+  std::vector<double> column(per_file ? 0 : m);
+  for (std::size_t c = 0; c < n; ++c) {
+    const double* flat = jacobian_segments_.data() + c * total_records_;
+    const double* r_pert = flat;
+    if (!per_file) {
+      std::fill(column.begin(), column.end(), 0.0);
+      for (std::size_t f = 0; f < files; ++f) {
+        const std::size_t count = experiments_[f].data.record_count();
+        const double* segment = flat + file_offsets_[f];
+        for (std::size_t j = 0; j < count; ++j) column[j] += segment[j];
+      }
+      r_pert = column.data();
+    }
+    const double inv_step = 1.0 / steps[c];
+    for (std::size_t i = 0; i < m; ++i) {
+      jacobian(i, c) = (r_pert[i] - r[i]) * inv_step;
+    }
+  }
+
+  // Per-file time for the next schedule: mean over this iteration's
+  // columns. Work and stats aggregate in fixed task order.
+  if (n > 0) {
+    for (std::size_t f = 0; f < files; ++f) {
+      double sum = 0.0;
+      for (std::size_t c = 0; c < n; ++c) sum += task_seconds_[c * files + f];
+      file_times_[f] = sum / static_cast<double>(n);
+    }
+  }
+  for (std::size_t t = 0; t < tasks; ++t) {
+    solver_stats_.solves += 1;
+    solver_stats_.integration += task_stats_[t];
+  }
   return Status::ok();
 }
 

@@ -4,13 +4,27 @@
 // file is solved: the ODE system is integrated with the Adams-Gear solver
 // over the file's time grid, the simulated property is compared against the
 // measured values, and the differences accumulate into an error vector.
-// Ranks process disjoint file subsets (block distribution, or the §4.4
-// dynamic load balancing schedule built from the previous call's recorded
-// per-file solve times) and combine their local error vectors with
-// Allreduce(SUM), exactly as in Fig. 9.
+//
+// Two execution engines are provided:
+//   - the paper-faithful MiniMpi path (Fig. 9): `ranks` threads are
+//     launched per call, each solves a disjoint file subset (block
+//     distribution, or the §4.4 LPT schedule built from the previous call's
+//     recorded per-file solve times) and the local error vectors combine
+//     with Allreduce(SUM);
+//   - the throughput path (`pool_workers` > 0): a *persistent* work-stealing
+//     pool owned by the objective. One Levenberg-Marquardt iteration is a
+//     flat pool of independent (FD column, file) solve tasks
+//     (evaluate_jacobian), ordered longest-recorded-time-first (§4.4 LPT as
+//     a list schedule) and committed into disjoint buffers, so results are
+//     bit-identical for any worker count. Per-worker scratch (solver,
+//     VM registers, rate buffers) and per-file warm-start profiles make the
+//     steady-state solve allocation-free and skip the solver's cold-start
+//     ramp.
 #pragma once
 
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "codegen/jacobian.hpp"
@@ -19,10 +33,15 @@
 #include "data/synthetic.hpp"
 #include "linalg/matrix.hpp"
 #include "rcip/rate_table.hpp"
+#include "solver/adams_gear.hpp"
 #include "solver/ode.hpp"
 #include "support/status.hpp"
 #include "vm/interpreter.hpp"
 #include "vm/program.hpp"
+
+namespace rms::support {
+class ThreadPool;
+}
 
 namespace rms::estimator {
 
@@ -47,14 +66,37 @@ enum class ResidualLayout {
   kPerFileRecord,
 };
 
+/// Aggregated Adams-Gear work over every per-file solve the objective ran,
+/// surfaced end-to-end into EstimationResult so warm-start and
+/// factorization savings are observable, not just believed.
+struct SolverStats {
+  std::size_t solves = 0;
+  solver::IntegrationStats integration;
+};
+
 struct ObjectiveOptions {
   solver::IntegrationOptions integration;
   ResidualLayout layout = ResidualLayout::kPerFileRecord;
-  /// Ranks for the MiniMpi execution of Fig. 9. 1 = sequential.
+  /// Ranks for the MiniMpi execution of Fig. 9. 1 = sequential. Ignored
+  /// when pool_workers > 0.
   int ranks = 1;
   /// Use the §4.4 dynamic load balancing schedule (LPT on the previous
   /// call's recorded times) instead of the block distribution.
   bool dynamic_load_balancing = false;
+  /// Workers of the persistent solve pool. 0 disables the pool (MiniMpi /
+  /// sequential execution); N > 0 keeps N worker threads alive for the
+  /// objective's lifetime — no thread spawn per objective call — and runs
+  /// every evaluation (and every batched-Jacobian column) over them.
+  /// Results are bit-identical for any value.
+  int pool_workers = 0;
+  /// Warm-start every per-file solve from the state the previous solve of
+  /// the same file recorded: its step-size/order profile seeds the step
+  /// controller (skipping the cold-start ramp), and its iteration-matrix
+  /// factorizations are reused whenever the needed d0 is within the
+  /// solver's drift band — FD Jacobian columns then solve with almost no
+  /// sparse-LU factorization work. The error controller still validates
+  /// every step, so accuracy is at solver tolerance either way.
+  bool warm_start = false;
   /// When set, experiments with a positive cure temperature evaluate
   /// Arrhenius-form rate constants at that temperature; an estimated
   /// parameter for an Arrhenius slot is its (temperature-independent)
@@ -83,6 +125,10 @@ class ObjectiveFunction {
                     std::vector<std::uint32_t> estimated_slots,
                     std::vector<double> base_rates,
                     ObjectiveOptions options = {});
+  ~ObjectiveFunction();
+
+  ObjectiveFunction(const ObjectiveFunction&) = delete;
+  ObjectiveFunction& operator=(const ObjectiveFunction&) = delete;
 
   /// Length of the residual vector under the configured layout.
   [[nodiscard]] std::size_t residual_size() const;
@@ -90,14 +136,25 @@ class ObjectiveFunction {
   /// Evaluates the residuals for parameter vector x.
   support::Status evaluate(const linalg::Vector& x, linalg::Vector& residuals);
 
-  /// Per-file solve seconds recorded by the most recent evaluate() — the
-  /// timing list the dynamic load balancer consumes (§4.4) and the input to
-  /// the SimCluster Table 2 replay.
+  /// Batched forward-difference Jacobian (the nlopt::JacobianFunction
+  /// contract): fills column j with (r(x + steps[j] e_j) - r) / steps[j],
+  /// scheduling all (column, file) solves as one flat LPT-ordered task pool
+  /// over the persistent workers (serially without a pool — identical
+  /// results either way).
+  support::Status evaluate_jacobian(const linalg::Vector& x,
+                                    const linalg::Vector& r,
+                                    const linalg::Vector& steps,
+                                    linalg::Matrix& jacobian);
+
+  /// Per-file solve seconds recorded by the most recent evaluate() or
+  /// evaluate_jacobian() — the timing list the dynamic load balancer
+  /// consumes (§4.4) and the input to the SimCluster Table 2 replay.
   [[nodiscard]] const std::vector<double>& last_file_times() const {
     return file_times_;
   }
 
-  /// Schedule used by the most recent evaluate().
+  /// Schedule used (pool mode: planned; work stealing may rebalance
+  /// execution without affecting results) by the most recent evaluate().
   [[nodiscard]] const std::vector<int>& last_assignment() const {
     return assignment_;
   }
@@ -106,11 +163,39 @@ class ObjectiveFunction {
     return experiments_.size();
   }
 
+  /// Aggregated Adams-Gear statistics over every solve since construction.
+  [[nodiscard]] const SolverStats& solver_stats() const {
+    return solver_stats_;
+  }
+
  private:
+  struct SolveScratch;
+
+  /// Builds the full prefactor vector for parameter vector x.
+  void rates_for(const linalg::Vector& x, std::vector<double>& rates) const;
+
+  /// Solves one file and writes the residual of record j to segment[j]
+  /// (record_count entries). `warm` seeds the solver and `factors` lends it
+  /// reusable iteration-matrix factorizations (either may be null);
+  /// `capture` / `factor_capture` receive the accepted-step profile and the
+  /// factorizations this solve performed (may be null).
   support::Status solve_file(std::size_t file_index,
-                             const std::vector<double>& rates,
-                             std::vector<double>& local_errors,
-                             double& solve_seconds) const;
+                             const std::vector<double>& prefactors,
+                             SolveScratch& scratch,
+                             const solver::WarmStartProfile* warm,
+                             const solver::FactorCache* factors,
+                             solver::WarmStartProfile* capture,
+                             solver::FactorCache* factor_capture,
+                             double* segment, double& solve_seconds,
+                             solver::IntegrationStats& stats) const;
+
+  SolveScratch& acquire_scratch();
+  void release_scratch(SolveScratch& scratch);
+
+  /// Runs tasks 0..count-1 through `body` over the persistent pool
+  /// (inline when absent), longest-predicted-first.
+  void run_tasks(std::size_t count, const std::vector<double>& predicted,
+                 const std::function<void(std::size_t)>& body);
 
   const vm::Program* program_;
   /// Shared across all ranks: Interpreter::run is const and keeps its
@@ -123,8 +208,36 @@ class ObjectiveFunction {
   std::vector<double> base_rates_;
   ObjectiveOptions options_;
   std::size_t max_records_ = 0;
+  std::size_t total_records_ = 0;
+  /// Record offset of file f in the kPerFileRecord layout (and in the flat
+  /// per-column task buffers of evaluate_jacobian).
+  std::vector<std::size_t> file_offsets_;
   std::vector<double> file_times_;
   std::vector<int> assignment_;
+  SolverStats solver_stats_;
+
+  // Persistent execution state (tentpole): long-lived worker pool,
+  // per-worker scratch, per-file warm-start profiles, reusable buffers.
+  std::unique_ptr<support::ThreadPool> pool_;
+  std::vector<std::unique_ptr<SolveScratch>> scratch_pool_;
+  std::vector<SolveScratch*> free_scratch_;
+  std::mutex scratch_mutex_;
+  std::vector<solver::WarmStartProfile> warm_profiles_;
+  std::vector<bool> warm_valid_;
+  std::vector<solver::WarmStartProfile> new_profiles_;
+  /// Per-file iteration-matrix factorizations recorded by the latest base
+  /// evaluation (single writer, like the warm profiles): the solver reuses
+  /// a cached factor instead of refactoring whenever the needed d0 lies
+  /// within the warm drift band of a recorded one, which removes most of
+  /// the sparse-LU cost from FD column solves.
+  std::vector<solver::FactorCache> factor_caches_;
+  std::vector<solver::FactorCache> new_factor_caches_;
+  std::vector<double> eval_segments_;      ///< evaluate(): per-file residuals
+  std::vector<double> jacobian_segments_;  ///< evaluate_jacobian(): per (column, file)
+  std::vector<double> task_seconds_;
+  std::vector<solver::IntegrationStats> task_stats_;
+  std::vector<std::size_t> task_order_;
+  std::vector<std::vector<double>> column_rates_;
 };
 
 }  // namespace rms::estimator

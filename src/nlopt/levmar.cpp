@@ -28,10 +28,35 @@ void clamp_to_bounds(Vector& x, const Vector& lower, const Vector& upper) {
 
 }  // namespace
 
+double bound_aware_fd_step(double x, double lower, double upper,
+                           double relative_step) {
+  double step = relative_step * std::max(std::fabs(x), 1e-8);
+  const double up_room = upper - x;
+  const double down_room = x - lower;
+  if (step <= up_room) return step;
+  if (step <= down_room) return -step;
+  // Box narrower than the step on both sides (x hugging a bound of a tight
+  // box): take the wider side at its full width so the perturbed point
+  // stays feasible and the step stays nonzero.
+  if (up_room >= down_room && up_room > 0.0) return up_room;
+  if (down_room > 0.0) return -down_room;
+  // Zero-width box: the parameter is pinned, its column cannot matter, but
+  // a zero step would divide by zero — keep the nominal forward step.
+  return step;
+}
+
 support::Expected<LevMarResult> bounded_least_squares(
     const ResidualFunction& residuals, std::size_t residual_size,
     Vector x0, const Vector& lower, const Vector& upper,
     const LevMarOptions& options) {
+  return bounded_least_squares(residuals, JacobianFunction{}, residual_size,
+                               std::move(x0), lower, upper, options);
+}
+
+support::Expected<LevMarResult> bounded_least_squares(
+    const ResidualFunction& residuals, const JacobianFunction& jacobian_fn,
+    std::size_t residual_size, Vector x0, const Vector& lower,
+    const Vector& upper, const LevMarOptions& options) {
   const std::size_t n = x0.size();
   const std::size_t m = residual_size;
   if (lower.size() != n || upper.size() != n) {
@@ -76,19 +101,28 @@ support::Expected<LevMarResult> bounded_least_squares(
   for (result.iterations = 0; result.iterations < options.max_iterations;
        ++result.iterations) {
     if (!jacobian_valid) {
-      // Forward-difference Jacobian with bound-aware perturbations: when
-      // x_j sits at its upper bound, perturb downward instead.
+      // Forward-difference Jacobian with bound-aware, never-zero
+      // perturbations (backward when forward leaves the box, shrunk when
+      // the box is narrower than the step).
+      Vector steps(n);
       for (std::size_t j = 0; j < n; ++j) {
-        double step = options.fd_relative_step *
-                      std::max(std::fabs(result.x[j]), 1e-8);
-        if (result.x[j] + step > upper[j]) step = -step;
-        Vector x_pert = result.x;
-        x_pert[j] += step;
-        RMS_RETURN_IF_ERROR(residuals(x_pert, r_pert));
-        ++result.residual_evaluations;
-        const double inv_step = 1.0 / step;
-        for (std::size_t i = 0; i < m; ++i) {
-          jacobian(i, j) = (r_pert[i] - r[i]) * inv_step;
+        steps[j] = bound_aware_fd_step(result.x[j], lower[j], upper[j],
+                                       options.fd_relative_step);
+      }
+      if (jacobian_fn) {
+        // The caller owns the n perturbed evaluations (parallel FD columns).
+        RMS_RETURN_IF_ERROR(jacobian_fn(result.x, r, steps, jacobian));
+        result.residual_evaluations += n;
+      } else {
+        for (std::size_t j = 0; j < n; ++j) {
+          Vector x_pert = result.x;
+          x_pert[j] += steps[j];
+          RMS_RETURN_IF_ERROR(residuals(x_pert, r_pert));
+          ++result.residual_evaluations;
+          const double inv_step = 1.0 / steps[j];
+          for (std::size_t i = 0; i < m; ++i) {
+            jacobian(i, j) = (r_pert[i] - r[i]) * inv_step;
+          }
         }
       }
       ++result.jacobian_evaluations;

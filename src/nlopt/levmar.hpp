@@ -23,6 +23,17 @@ namespace rms::nlopt {
 using ResidualFunction =
     std::function<support::Status(const linalg::Vector& x, linalg::Vector& r)>;
 
+/// Batched forward-difference Jacobian hook: fills the m x n matrix with
+/// column j = (r(x + steps[j] e_j) - r) / steps[j]. The optimizer supplies
+/// the base point x, the base residual r(x), and the bound-aware (always
+/// nonzero) perturbations `steps`; the *caller* owns how the n perturbed
+/// residual evaluations are computed — the parallel estimator schedules
+/// them as one flat pool of (column, data file) ODE solves instead of n
+/// serial objective calls.
+using JacobianFunction = std::function<support::Status(
+    const linalg::Vector& x, const linalg::Vector& r,
+    const linalg::Vector& steps, linalg::Matrix& jacobian)>;
+
 struct LevMarOptions {
   std::size_t max_iterations = 200;
   /// Convergence: ||J^T r||_inf below this.
@@ -56,5 +67,22 @@ support::Expected<LevMarResult> bounded_least_squares(
     const ResidualFunction& residuals, std::size_t residual_size,
     linalg::Vector x0, const linalg::Vector& lower, const linalg::Vector& upper,
     const LevMarOptions& options = {});
+
+/// Same, with the Jacobian computed through `jacobian` (null falls back to
+/// the serial per-column loop over `residuals`). Each hook invocation
+/// counts as n residual evaluations.
+support::Expected<LevMarResult> bounded_least_squares(
+    const ResidualFunction& residuals, const JacobianFunction& jacobian,
+    std::size_t residual_size, linalg::Vector x0, const linalg::Vector& lower,
+    const linalg::Vector& upper, const LevMarOptions& options = {});
+
+/// The forward-difference perturbation for a parameter at `x` inside
+/// [lower, upper]: relative-sized, flipped backward when the forward step
+/// leaves the box, shrunk to the wider in-box side when neither full step
+/// fits, and never zero (a parameter pinned by a zero-width box keeps the
+/// nominal forward step). Exposed for tests and for callers implementing
+/// JacobianFunction against the same step convention.
+double bound_aware_fd_step(double x, double lower, double upper,
+                           double relative_step);
 
 }  // namespace rms::nlopt

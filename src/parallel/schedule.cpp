@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 #include <queue>
+#include <tuple>
 
 #include "support/assert.hpp"
 
@@ -31,18 +32,20 @@ Assignment lpt_schedule(const std::vector<double>& costs, int ranks) {
     return costs[a] > costs[b];
   });
 
-  // Min-heap of (load, rank): the least-loaded processor is popped for each
-  // task in turn.
-  using Slot = std::pair<double, int>;
+  // Min-heap of (load, assigned count, rank): the least-loaded processor is
+  // popped for each task in turn. Ties on load break on the count so
+  // zero-cost tasks (no recorded times yet) still spread round-robin
+  // instead of piling onto rank 0.
+  using Slot = std::tuple<double, std::size_t, int>;
   std::priority_queue<Slot, std::vector<Slot>, std::greater<>> heap;
-  for (int r = 0; r < ranks; ++r) heap.emplace(0.0, r);
+  for (int r = 0; r < ranks; ++r) heap.emplace(0.0, std::size_t{0}, r);
 
   Assignment assignment(costs.size(), 0);
   for (std::size_t task : order) {
-    auto [load, rank] = heap.top();
+    auto [load, count, rank] = heap.top();
     heap.pop();
     assignment[task] = rank;
-    heap.emplace(load + costs[task], rank);
+    heap.emplace(load + costs[task], count + 1, rank);
   }
   return assignment;
 }

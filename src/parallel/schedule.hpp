@@ -25,7 +25,9 @@ using Assignment = std::vector<int>;
 Assignment block_schedule(std::size_t tasks, int ranks);
 
 /// LPT: sort tasks by cost non-increasing; give each to the currently
-/// least-loaded rank (priority queue on rank loads).
+/// least-loaded rank (priority queue on rank loads). Load ties — all-zero
+/// costs in particular — break on assigned-task count, so missing recorded
+/// times degenerate to round-robin rather than "everything on rank 0".
 Assignment lpt_schedule(const std::vector<double>& costs, int ranks);
 
 /// Completion time of the slowest rank under an assignment.

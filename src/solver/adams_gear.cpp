@@ -14,6 +14,27 @@ namespace {
 constexpr double kSafety = 0.9;
 constexpr double kMinShrink = 0.25;
 constexpr double kMaxGrow = 4.0;
+// Growth cap while chasing a warm-start profile: the profile proves larger
+// steps were accepted here on a nearby trajectory, so the controller may
+// close the gap faster than the cold 4x-per-step ramp.
+constexpr double kWarmMaxGrow = 64.0;
+// Warm-mode step hysteresis (the CVODE eta threshold): an accepted step
+// keeps its size unless the controller wants at least 1.5x growth. A
+// constant h keeps d0 constant, and a constant d0 keeps the factored
+// iteration matrix valid — refactorization is ~30x a Newton iteration on
+// the paper-scale sparse systems, so trading a few extra steps for long
+// constant-h stretches is a large net win.
+constexpr double kWarmGrowThreshold = 1.5;
+// Warm-mode d0 drift band before refactoring (the role of CVODE's dgmax,
+// widened). At the band edge (d0 ratio 1.5x either way) the stale-d0
+// correction below bounds the extra per-iteration Newton error factor at
+// ~1/3, costing a couple of extra iterations — roughly 1/30th of the
+// refactorization it avoids. The cold band stays at 0.2.
+constexpr double kWarmDriftBand = 0.5;
+// Recorded factorizations per solve are capped: a sparse LU on paper-scale
+// systems is a few hundred kilobytes, and a well-behaved solve records
+// ~10 rungs — the cap only guards against reject storms.
+constexpr std::size_t kFactorCacheCap = 64;
 constexpr int kMaxNewtonIterations = 7;
 constexpr int kMaxStepAttempts = 64;
 
@@ -34,17 +55,43 @@ support::Status AdamsGear::initialize(double t0, const std::vector<double>& y0) 
   if (y0.size() != system_.dimension) {
     return support::invalid_argument("initial state dimension mismatch");
   }
-  history_.clear();
-  history_.push_front(HistoryPoint{t0, y0});
+  // Recycle history buffers: clear() would free the per-point state
+  // vectors, and a re-initialized solver (the estimator re-solves each data
+  // file hundreds of times) should reach steady state without reallocating.
+  while (history_.size() > 1) history_.pop_back();
+  if (history_.empty()) {
+    history_.push_front(HistoryPoint{});
+  }
+  history_.front().t = t0;
+  history_.front().y = y0;
   stats_ = IntegrationStats{};
   order_ = 1;
   accepts_at_order_ = 0;
   consecutive_rejects_ = 0;
   have_jacobian_ = false;
   jacobian_fresh_ = false;
+  has_factorization_ = false;
+  active_sparse_lu_ = nullptr;
+  if (factor_recorder_ != nullptr) factor_recorder_->clear();
+  profile_times_.clear();
+  profile_steps_.clear();
+  profile_orders_.clear();
+  warm_cursor_ = 0;
 
   if (options_.initial_step > 0.0) {
     h_ = options_.initial_step;
+  } else if (warm_ != nullptr && !warm_->empty()) {
+    // Start with the largest step the previous solve accepted during its
+    // own order-1 startup: the trajectories differ only by a parameter
+    // perturbation, so the step that worked there works here (and a
+    // rejection merely halves it back).
+    double h0 = 0.0;
+    for (std::size_t i = 0; i < warm_->steps.size() && warm_->orders[i] == 1;
+         ++i) {
+      h0 = std::max(h0, warm_->steps[i]);
+    }
+    h_ = h0 > options_.min_step ? h0 : 1e-6;
+    stats_.warm_starts = 1;
   } else {
     system_.rhs(t0, y0.data(), f_work_.data());
     ++stats_.rhs_evaluations;
@@ -59,6 +106,20 @@ support::Status AdamsGear::initialize(double t0, const std::vector<double>& y0) 
   return support::Status::ok();
 }
 
+void AdamsGear::capture_warm_start(WarmStartProfile& out) const {
+  out.times = profile_times_;
+  out.steps = profile_steps_;
+  out.orders = profile_orders_;
+}
+
+std::size_t AdamsGear::warm_index_at(double t) {
+  const std::vector<double>& times = warm_->times;
+  while (warm_cursor_ + 1 < times.size() && times[warm_cursor_ + 1] <= t) {
+    ++warm_cursor_;
+  }
+  return warm_cursor_;
+}
+
 void AdamsGear::compute_jacobian(double t, const std::vector<double>& y) {
   const std::size_t n = system_.dimension;
   if (jacobian_.rows() != n) jacobian_ = linalg::Matrix(n, n);
@@ -69,45 +130,46 @@ void AdamsGear::compute_jacobian(double t, const std::vector<double>& y) {
     have_jacobian_ = true;
     return;
   }
-  std::vector<double> f0(n);
-  system_.rhs(t, y.data(), f0.data());
+  jac_f0_.resize(n);
+  system_.rhs(t, y.data(), jac_f0_.data());
   ++stats_.rhs_evaluations;
+  const std::vector<double>& f0 = jac_f0_;
   if (system_.rhs_batch) {
     // Batched forward differences: evaluate a chunk of perturbed states in
     // one pass over the RHS (one tape traversal in the bytecode case)
     // instead of one full sweep per column.
     constexpr std::size_t kChunk = 16;
-    std::vector<double> ys(kChunk * n);
-    std::vector<double> fs(kChunk * n);
-    std::vector<double> deltas(kChunk);
+    jac_ys_.resize(kChunk * n);
+    jac_fs_.resize(kChunk * n);
+    jac_deltas_.resize(kChunk);
     for (std::size_t j0 = 0; j0 < n; j0 += kChunk) {
       const std::size_t m = std::min(kChunk, n - j0);
       for (std::size_t c = 0; c < m; ++c) {
         const std::size_t j = j0 + c;
-        deltas[c] = std::sqrt(1e-16) * std::max(std::fabs(y[j]), 1e-5);
-        double* row = ys.data() + c * n;
+        jac_deltas_[c] = std::sqrt(1e-16) * std::max(std::fabs(y[j]), 1e-5);
+        double* row = jac_ys_.data() + c * n;
         std::copy(y.begin(), y.end(), row);
-        row[j] += deltas[c];
+        row[j] += jac_deltas_[c];
       }
-      system_.rhs_batch(t, ys.data(), fs.data(), m);
+      system_.rhs_batch(t, jac_ys_.data(), jac_fs_.data(), m);
       stats_.rhs_evaluations += m;
       for (std::size_t c = 0; c < m; ++c) {
-        const double inv_delta = 1.0 / deltas[c];
-        const double* f = fs.data() + c * n;
+        const double inv_delta = 1.0 / jac_deltas_[c];
+        const double* f = jac_fs_.data() + c * n;
         for (std::size_t i = 0; i < n; ++i) {
           jacobian_(i, j0 + c) = (f[i] - f0[i]) * inv_delta;
         }
       }
     }
   } else {
-    std::vector<double> y_pert = y;
+    jac_y_pert_ = y;
     for (std::size_t j = 0; j < n; ++j) {
       const double delta =
           std::sqrt(1e-16) * std::max(std::fabs(y[j]), 1e-5);
-      y_pert[j] = y[j] + delta;
-      system_.rhs(t, y_pert.data(), f_work_.data());
+      jac_y_pert_[j] = y[j] + delta;
+      system_.rhs(t, jac_y_pert_.data(), f_work_.data());
       ++stats_.rhs_evaluations;
-      y_pert[j] = y[j];
+      jac_y_pert_[j] = y[j];
       const double inv_delta = 1.0 / delta;
       for (std::size_t i = 0; i < n; ++i) {
         jacobian_(i, j) = (f_work_[i] - f0[i]) * inv_delta;
@@ -129,18 +191,48 @@ void AdamsGear::compute_sparse_jacobian(double t,
   have_jacobian_ = true;
 }
 
-bool AdamsGear::factor_sparse_iteration_matrix(double d0) {
-  // M = d0*I - J, built row by row; J's per-row columns are assumed sorted
-  // (true for compiled Jacobians and from_dense conversions).
+bool AdamsGear::iteration_structure_matches() const {
+  const linalg::CsrMatrix& jac = sparse_jacobian_;
+  return iteration_matrix_.rows == jac.rows &&
+         iteration_source_.size() == iteration_matrix_.values.size() &&
+         iteration_diagonal_.size() == jac.rows &&
+         // The symbolic merge depends only on J's pattern; compare it
+         // entry-for-entry against the pattern the cache was built from.
+         iteration_matrix_.row_offsets.size() == jac.row_offsets.size() &&
+         [&] {
+           std::size_t e_jac = 0;
+           for (std::size_t e = 0; e < iteration_source_.size(); ++e) {
+             if (iteration_source_[e] == kNoSource) continue;
+             if (iteration_source_[e] != e_jac ||
+                 e_jac >= jac.col_indices.size() ||
+                 iteration_matrix_.col_indices[e] != jac.col_indices[e_jac]) {
+               return false;
+             }
+             ++e_jac;
+           }
+           return e_jac == jac.col_indices.size();
+         }();
+}
+
+void AdamsGear::build_iteration_structure() {
+  // Symbolic merge of J's pattern with the full diagonal; J's per-row
+  // columns are assumed sorted (true for compiled Jacobians and from_dense
+  // conversions). Each M entry records which J entry feeds it (kNoSource
+  // for a diagonal inserted where J has none), so refactorizations rewrite
+  // values without touching the structure.
   const std::size_t n = system_.dimension;
   const linalg::CsrMatrix& jac = sparse_jacobian_;
   RMS_CHECK(jac.rows == n && jac.cols == n);
-  linalg::CsrMatrix m;
+  linalg::CsrMatrix& m = iteration_matrix_;
   m.rows = m.cols = n;
+  m.row_offsets.clear();
   m.row_offsets.reserve(n + 1);
   m.row_offsets.push_back(0);
+  m.col_indices.clear();
   m.col_indices.reserve(jac.nonzero_count() + n);
-  m.values.reserve(jac.nonzero_count() + n);
+  iteration_source_.clear();
+  iteration_source_.reserve(jac.nonzero_count() + n);
+  iteration_diagonal_.assign(n, 0);
   for (std::size_t r = 0; r < n; ++r) {
     bool wrote_diagonal = false;
     for (std::uint32_t e = jac.row_offsets[r]; e < jac.row_offsets[r + 1];
@@ -148,27 +240,91 @@ bool AdamsGear::factor_sparse_iteration_matrix(double d0) {
       const std::uint32_t c = jac.col_indices[e];
       if (!wrote_diagonal && c >= r) {
         if (c == r) {
+          iteration_diagonal_[r] =
+              static_cast<std::uint32_t>(m.col_indices.size());
           m.col_indices.push_back(c);
-          m.values.push_back(d0 - jac.values[e]);
+          iteration_source_.push_back(e);
           wrote_diagonal = true;
           continue;
         }
+        iteration_diagonal_[r] =
+            static_cast<std::uint32_t>(m.col_indices.size());
         m.col_indices.push_back(static_cast<std::uint32_t>(r));
-        m.values.push_back(d0);
+        iteration_source_.push_back(kNoSource);
         wrote_diagonal = true;
       }
       m.col_indices.push_back(c);
-      m.values.push_back(-jac.values[e]);
+      iteration_source_.push_back(e);
     }
     if (!wrote_diagonal) {
+      iteration_diagonal_[r] =
+          static_cast<std::uint32_t>(m.col_indices.size());
       m.col_indices.push_back(static_cast<std::uint32_t>(r));
-      m.values.push_back(d0);
+      iteration_source_.push_back(kNoSource);
     }
-    m.row_offsets.push_back(static_cast<std::uint32_t>(m.values.size()));
+    m.row_offsets.push_back(static_cast<std::uint32_t>(m.col_indices.size()));
+  }
+  m.values.resize(m.col_indices.size());
+}
+
+bool AdamsGear::factor_sparse_iteration_matrix(double d0) {
+  // M = d0*I - J into the cached structure: values only, unless the
+  // Jacobian pattern changed since the structure was built.
+  if (!iteration_structure_matches()) build_iteration_structure();
+  const linalg::CsrMatrix& jac = sparse_jacobian_;
+  linalg::CsrMatrix& m = iteration_matrix_;
+  for (std::size_t e = 0; e < m.values.size(); ++e) {
+    m.values[e] =
+        iteration_source_[e] == kNoSource ? 0.0 : -jac.values[iteration_source_[e]];
+  }
+  for (std::size_t r = 0; r < m.rows; ++r) {
+    m.values[iteration_diagonal_[r]] += d0;
   }
   ++stats_.factorizations;
   if (!sparse_lu_.factor(m)) return false;
   factored_d0_ = d0;
+  has_factorization_ = true;
+  active_sparse_lu_ = &sparse_lu_;
+  if (factor_recorder_ != nullptr &&
+      factor_recorder_->entries.size() < kFactorCacheCap) {
+    factor_recorder_->entries.push_back({d0, sparse_lu_});
+  }
+  return true;
+}
+
+bool AdamsGear::try_factor_cache(double d0) {
+  if (factor_cache_ == nullptr || factor_cache_->empty()) return false;
+  // Closest recorded d0; usable when within the warm drift band, where the
+  // stale-d0 Newton correction keeps the corrector contracting.
+  const FactorCache::Entry* best = nullptr;
+  double best_gap = kWarmDriftBand;
+  for (const FactorCache::Entry& e : factor_cache_->entries) {
+    const double gap = std::fabs(e.d0 - d0) / std::fabs(e.d0);
+    if (gap < best_gap) {
+      best_gap = gap;
+      best = &e;
+    }
+  }
+  if (best == nullptr) return false;
+  active_sparse_lu_ = &best->lu;
+  factored_d0_ = best->d0;
+  has_factorization_ = true;
+  ++stats_.factor_cache_hits;
+  if (factor_recorder_ != nullptr) {
+    // Re-record the reused rung so the recording stays a complete ladder
+    // for the next solve even when this one mostly hit the cache. A rung
+    // reused many times is recorded once (exact d0 match: copied doubles).
+    bool recorded = false;
+    for (const FactorCache::Entry& e : factor_recorder_->entries) {
+      if (e.d0 == best->d0) {
+        recorded = true;
+        break;
+      }
+    }
+    if (!recorded && factor_recorder_->entries.size() < kFactorCacheCap) {
+      factor_recorder_->entries.push_back(*best);
+    }
+  }
   return true;
 }
 
@@ -184,24 +340,24 @@ bool AdamsGear::factor_iteration_matrix(double d0) {
   ++stats_.factorizations;
   if (!lu_.factor(m)) return false;
   factored_d0_ = d0;
+  has_factorization_ = true;
   return true;
 }
 
-void AdamsGear::predict(double t_new, std::vector<double>& y_pred) const {
+void AdamsGear::predict(double t_new, std::vector<double>& y_pred) {
   // Extrapolate through order+1 points when available: the predictor then
   // has the corrector's order, so corrector - predictor estimates the local
   // truncation term.
   const int points = static_cast<int>(std::min<std::size_t>(
       history_.size(), static_cast<std::size_t>(order_) + 1));
-  std::vector<double> nodes(points);
-  for (int i = 0; i < points; ++i) nodes[i] = history_[i].t;
-  std::vector<double> w;
-  fornberg_weights(t_new, nodes.data(), points, 0, w);
+  interp_nodes_.resize(points);
+  for (int i = 0; i < points; ++i) interp_nodes_[i] = history_[i].t;
+  fornberg_weights(t_new, interp_nodes_.data(), points, 0, interp_w_);
   const std::size_t n = system_.dimension;
   y_pred.assign(n, 0.0);
   for (int i = 0; i < points; ++i) {
     const std::vector<double>& y = history_[i].y;
-    const double wi = w[i];
+    const double wi = interp_w_[i];
     for (std::size_t j = 0; j < n; ++j) y_pred[j] += wi * y[j];
   }
 }
@@ -215,11 +371,12 @@ support::Status AdamsGear::newton_solve(double t_new,
   converged = false;
 
   // Constant part of the corrector: sum_{i>=1} d_i y_{n-i}.
-  std::vector<double> history_term(n, 0.0);
+  history_term_.assign(n, 0.0);
   for (int i = 1; i < q_points; ++i) {
     const std::vector<double>& yh = history_[i - 1].y;
-    for (std::size_t j = 0; j < n; ++j) history_term[j] += d[i] * yh[j];
+    for (std::size_t j = 0; j < n; ++j) history_term_[j] += d[i] * yh[j];
   }
+  const std::vector<double>& history_term = history_term_;
 
   const bool matrix_free = options_.newton_linear_solver ==
                            NewtonLinearSolver::kMatrixFreeGmres;
@@ -264,9 +421,22 @@ support::Status AdamsGear::newton_solve(double t_new,
       }
     } else if (options_.newton_linear_solver ==
                NewtonLinearSolver::kSparseLu) {
-      sparse_lu_.solve(g_work_, delta_);
+      active_sparse_lu_->solve(g_work_, delta_);
     } else {
       lu_.solve(g_work_, delta_);
+    }
+    // Warm-mode stale-d0 correction (CVODE's 2/(1+gamrat) scaling): the
+    // factored matrix is d0_old I - J but the residual uses the current d0,
+    // so each eigenmode of the update is off by (d0_old - l)/(d0 - l),
+    // a factor between 1 and d0_old/d0. Scaling the step by the harmonic
+    // midpoint keeps the modified Newton contraction healthy across the
+    // widened drift band without touching the fixed point.
+    const bool warm_assisted =
+        (warm_ != nullptr && !warm_->empty()) || factor_cache_ != nullptr;
+    if (warm_assisted && !matrix_free &&
+        has_factorization_ && factored_d0_ != d[0]) {
+      const double relax = 2.0 / (1.0 + d[0] / factored_d0_);
+      for (std::size_t j = 0; j < n; ++j) delta_[j] *= relax;
     }
     for (std::size_t j = 0; j < n; ++j) y[j] += delta_[j];
 
@@ -287,6 +457,7 @@ support::Status AdamsGear::newton_solve(double t_new,
 support::Status AdamsGear::step() {
   const std::size_t n = system_.dimension;
   const double t = history_.front().t;
+  const bool warm = warm_ != nullptr && !warm_->empty();
   bool refreshed_jacobian_this_step = false;
 
   for (int attempt = 0; attempt < kMaxStepAttempts; ++attempt) {
@@ -295,12 +466,15 @@ support::Status AdamsGear::step() {
     const double t_new = t + h_;
 
     // BDF weights on [t_new, history...] for the first derivative at t_new.
-    std::vector<double> nodes(q + 1);
-    nodes[0] = t_new;
-    for (int i = 0; i < q; ++i) nodes[i + 1] = history_[i].t;
-    fornberg_weights(t_new, nodes.data(), q + 1, 1, weights_);
-    std::vector<double> d(q + 1);
-    for (int i = 0; i <= q; ++i) d[i] = weights_[(q + 1) + i];  // derivative row
+    step_nodes_.resize(q + 1);
+    step_nodes_[0] = t_new;
+    for (int i = 0; i < q; ++i) step_nodes_[i + 1] = history_[i].t;
+    fornberg_weights(t_new, step_nodes_.data(), q + 1, 1, weights_);
+    step_d_.resize(q + 1);
+    for (int i = 0; i <= q; ++i) {
+      step_d_[i] = weights_[(q + 1) + i];  // derivative row
+    }
+    const std::vector<double>& d = step_d_;
 
     // (Re)factor the iteration matrix when d0 drifted or J was refreshed.
     // The matrix-free path has no Jacobian or factorization at all.
@@ -314,27 +488,33 @@ support::Status AdamsGear::step() {
           compute_jacobian(t, history_.front().y);
         }
       }
+      const double drift_band = warm ? kWarmDriftBand : 0.2;
       const bool d0_drifted =
-          factored_d0_ == 0.0 ||
-          std::fabs(d[0] - factored_d0_) > 0.2 * std::fabs(factored_d0_);
+          !has_factorization_ ||
+          std::fabs(d[0] - factored_d0_) > drift_band * std::fabs(factored_d0_);
       if (d0_drifted || jacobian_fresh_) {
         jacobian_fresh_ = false;
-        const bool factored = sparse ? factor_sparse_iteration_matrix(d[0])
-                                     : factor_iteration_matrix(d[0]);
-        if (!factored) {
-          h_ *= 0.5;
-          ++stats_.rejected_steps;
-          continue;
+        // Borrowed factorizations first (sparse path): a nearby solve
+        // already factored this d0 neighbourhood. After a Newton failure
+        // this step, insist on own fresh factors.
+        if (!(sparse && !refreshed_jacobian_this_step &&
+              try_factor_cache(d[0]))) {
+          const bool factored = sparse ? factor_sparse_iteration_matrix(d[0])
+                                       : factor_iteration_matrix(d[0]);
+          if (!factored) {
+            h_ *= 0.5;
+            ++stats_.rejected_steps;
+            continue;
+          }
         }
       }
     }
 
     // Predict, then correct by Newton.
-    std::vector<double> y_new;
-    predict(t_new, y_new);
-    std::vector<double> y_pred = y_new;
+    predict(t_new, y_pred_);
+    y_new_ = y_pred_;
     bool converged = false;
-    RMS_RETURN_IF_ERROR(newton_solve(t_new, d, y_new, converged));
+    RMS_RETURN_IF_ERROR(newton_solve(t_new, d, y_new_, converged));
     if (!converged) {
       // Retry once with a fresh Jacobian at the current state; afterwards
       // only a smaller step can help. (The matrix-free path has no Jacobian
@@ -367,38 +547,65 @@ support::Status AdamsGear::step() {
     }
 
     // Local error estimate: corrector minus predictor, scaled by order.
-    std::vector<double> err_vec(n);
+    err_vec_.resize(n);
     const double scale = 1.0 / static_cast<double>(q + 1);
     for (std::size_t j = 0; j < n; ++j) {
-      err_vec[j] = (y_new[j] - y_pred[j]) * scale;
+      err_vec_[j] = (y_new_[j] - y_pred_[j]) * scale;
     }
-    const double err = error_norm(err_vec, y_new, options_.relative_tolerance,
+    const double err = error_norm(err_vec_, y_new_, options_.relative_tolerance,
                                   options_.absolute_tolerance);
 
     if (err <= 1.0 || h_ <= options_.min_step) {
-      // Accept the step.
-      history_.push_front(HistoryPoint{t_new, std::move(y_new)});
-      while (history_.size() >
-             static_cast<std::size_t>(options_.max_order) + 2) {
+      // Accept the step. Recycle the oldest history point's storage so the
+      // steady-state loop performs no allocation.
+      profile_times_.push_back(t);
+      profile_steps_.push_back(h_);
+      profile_orders_.push_back(q);
+      HistoryPoint recycled;
+      if (history_.size() >=
+          static_cast<std::size_t>(options_.max_order) + 2) {
+        recycled = std::move(history_.back());
         history_.pop_back();
       }
+      recycled.t = t_new;
+      recycled.y.swap(y_new_);
+      history_.push_front(std::move(recycled));
       ++stats_.steps;
       consecutive_rejects_ = 0;
       ++accepts_at_order_;
 
       // Order raise heuristic: after a stretch of clean accepts at this
-      // order, try the next one (history permitting).
+      // order, try the next one (history permitting). A warm-start profile
+      // that used a higher order at this time shortens the stretch to one
+      // accept — the previous solve already proved the order works here.
+      int accepts_needed = order_ + 2;
+      if (warm && warm_->orders[warm_index_at(t_new)] > order_) {
+        accepts_needed = 1;
+      }
       if (order_ < options_.max_order &&
-          accepts_at_order_ >= order_ + 2 &&
+          accepts_at_order_ >= accepts_needed &&
           history_.size() > static_cast<std::size_t>(order_)) {
         ++order_;
         accepts_at_order_ = 0;
       }
+      // Warm solves let the error controller, not the conservative cold 4x
+      // cap, limit step growth: the previous solve of this file already
+      // proved large steps work on this trajectory, and every accepted step
+      // still passes the same error test. This collapses the start-up ramp
+      // (four decades of h) from ~7 growth steps — each a d0 jump forcing a
+      // refactorization — to ~3.
+      const double grow_cap = warm ? kWarmMaxGrow : kMaxGrow;
       const double grow =
           err > 1e-10
               ? kSafety * std::pow(1.0 / err, 1.0 / static_cast<double>(q + 1))
-              : kMaxGrow;
-      h_ *= std::clamp(grow, kMinShrink, kMaxGrow);
+              : grow_cap;
+      const double factor = std::clamp(grow, kMinShrink, grow_cap);
+      if (warm && factor < kWarmGrowThreshold) {
+        // Hysteresis: keep h (and with it d0 and the factored matrix)
+        // unless the controller wants a decisive change.
+        return support::Status::ok();
+      }
+      h_ *= factor;
       return support::Status::ok();
     }
 
@@ -419,18 +626,17 @@ support::Status AdamsGear::step() {
   return support::numeric_error("step repeatedly rejected");
 }
 
-void AdamsGear::interpolate(double t, std::vector<double>& y_out) const {
+void AdamsGear::interpolate(double t, std::vector<double>& y_out) {
   const int points = static_cast<int>(std::min<std::size_t>(
       history_.size(), static_cast<std::size_t>(order_) + 1));
-  std::vector<double> nodes(points);
-  for (int i = 0; i < points; ++i) nodes[i] = history_[i].t;
-  std::vector<double> w;
-  fornberg_weights(t, nodes.data(), points, 0, w);
+  interp_nodes_.resize(points);
+  for (int i = 0; i < points; ++i) interp_nodes_[i] = history_[i].t;
+  fornberg_weights(t, interp_nodes_.data(), points, 0, interp_w_);
   const std::size_t n = system_.dimension;
   y_out.assign(n, 0.0);
   for (int i = 0; i < points; ++i) {
     const std::vector<double>& y = history_[i].y;
-    for (std::size_t j = 0; j < n; ++j) y_out[j] += w[i] * y[j];
+    for (std::size_t j = 0; j < n; ++j) y_out[j] += interp_w_[i] * y[j];
   }
 }
 
@@ -441,11 +647,21 @@ support::Status AdamsGear::advance_to(double t_target,
                            "initialize() must be called first");
   }
   std::size_t steps = 0;
+  // Warm solves keep the step size the error controller chose and
+  // interpolate record times out of the step's interior; the loop stops as
+  // soon as the newest accepted step passes the target, so the target
+  // always lies inside the newest history interval. Clamping h to every
+  // record gap (the cold behaviour below) makes h track the record grid
+  // instead of the solution, which churns d0 and forces constant
+  // refactorization on densely-sampled files.
+  const bool warm = warm_ != nullptr && !warm_->empty();
   while (history_.front().t < t_target) {
-    // Do not overshoot the target by more than one step; clamp h so the
-    // final step lands close to it (interpolation covers the interior).
-    h_ = std::min(h_, std::max(t_target - history_.front().t,
-                               options_.min_step));
+    if (!warm) {
+      // Do not overshoot the target by more than one step; clamp h so the
+      // final step lands close to it (interpolation covers the interior).
+      h_ = std::min(h_, std::max(t_target - history_.front().t,
+                                 options_.min_step));
+    }
     RMS_RETURN_IF_ERROR(step());
     if (++steps > options_.max_steps_per_call) {
       return support::numeric_error("max_steps_per_call exceeded");

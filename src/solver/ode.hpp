@@ -87,6 +87,24 @@ struct IntegrationStats {
   std::size_t jacobian_evaluations = 0;
   std::size_t factorizations = 0;
   std::size_t newton_iterations = 0;
+  /// 1 when this integration was initialized from a warm-start profile
+  /// captured on an earlier solve (AdamsGear::set_warm_start).
+  std::size_t warm_starts = 0;
+  /// Iteration-matrix factorizations avoided by reusing a factorization
+  /// recorded on an earlier solve (AdamsGear::set_factor_cache).
+  std::size_t factor_cache_hits = 0;
+
+  IntegrationStats& operator+=(const IntegrationStats& other) {
+    steps += other.steps;
+    rejected_steps += other.rejected_steps;
+    rhs_evaluations += other.rhs_evaluations;
+    jacobian_evaluations += other.jacobian_evaluations;
+    factorizations += other.factorizations;
+    newton_iterations += other.newton_iterations;
+    warm_starts += other.warm_starts;
+    factor_cache_hits += other.factor_cache_hits;
+    return *this;
+  }
 };
 
 /// Abstract solver: initialize once, then advance to increasing times.

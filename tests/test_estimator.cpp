@@ -6,6 +6,7 @@
 #include <cmath>
 
 #include "codegen/bytecode_emitter.hpp"
+#include "codegen/jacobian.hpp"
 #include "data/synthetic.hpp"
 #include "estimator/estimator.hpp"
 #include "estimator/objective.hpp"
@@ -23,6 +24,7 @@ using expr::VarId;
 /// Tiny kinetic model: A -k0-> B -k1-> C. Observable: [C].
 struct TinyModel {
   vm::Program program;
+  codegen::CompiledJacobian jacobian;
   data::Observable observable;
   std::vector<double> true_rates = {1.2, 0.6};
 
@@ -38,6 +40,7 @@ struct TinyModel {
         Product(1.0, {VarId::rate_const(1), VarId::species(1)}));
     opt::OptimizedSystem system = opt::optimize(table, 3, 2);
     program = codegen::emit_optimized(system);
+    jacobian = codegen::compile_jacobian(table, 3, 2);
     observable.weighted_species = {{2, 1.0}};
   }
 
@@ -260,6 +263,158 @@ TEST(Estimator, SubsetOfParametersEstimated) {
   auto result = estimate_parameters(objective, {0.1}, {0.01}, {10.0});
   ASSERT_TRUE(result.is_ok());
   EXPECT_NEAR(result->rate_constants[0], model.true_rates[1], 5e-3);
+}
+
+TEST(Objective, JacobianHookMatchesSerialPerturbedEvaluations) {
+  TinyModel model;
+  std::vector<Experiment> experiments;
+  experiments.push_back(model.make_experiment(1.0, 40));
+  experiments.push_back(model.make_experiment(0.5, 30));
+  ObjectiveFunction objective(model.program, model.observable,
+                              std::move(experiments), {0, 1},
+                              model.true_rates);
+  const linalg::Vector x = {1.1, 0.45};
+  const linalg::Vector steps = {1e-4, -2e-5};
+  const std::size_t m = objective.residual_size();
+  linalg::Vector r0;
+  ASSERT_TRUE(objective.evaluate(x, r0).is_ok());
+  linalg::Matrix jacobian(m, 2);
+  ASSERT_TRUE(objective.evaluate_jacobian(x, r0, steps, jacobian).is_ok());
+  // Reference: the serial per-column loop the optimizer would otherwise
+  // run. Both paths do cold solves of identical systems, so the columns
+  // must match bit for bit.
+  for (std::size_t c = 0; c < 2; ++c) {
+    linalg::Vector x_pert = x;
+    x_pert[c] += steps[c];
+    linalg::Vector r_pert;
+    ASSERT_TRUE(objective.evaluate(x_pert, r_pert).is_ok());
+    for (std::size_t i = 0; i < m; ++i) {
+      EXPECT_DOUBLE_EQ(jacobian(i, c), (r_pert[i] - r0[i]) / steps[c]);
+    }
+  }
+}
+
+TEST(Objective, PoolBitIdenticalAcrossWorkerCounts) {
+  TinyModel model;
+  // Worker counts 0 (inline), 1, 2, 8 with warm starting on: residuals,
+  // Jacobians and warm-start counts must agree to the bit.
+  struct Run {
+    linalg::Vector r;
+    linalg::Matrix jacobian{0, 0};
+    std::size_t warm_starts = 0;
+  };
+  auto run = [&](int workers) {
+    std::vector<Experiment> experiments;
+    experiments.push_back(model.make_experiment(1.0, 50));
+    experiments.push_back(model.make_experiment(0.5, 30));
+    experiments.push_back(model.make_experiment(0.25, 20));
+    ObjectiveOptions options;
+    options.pool_workers = workers;
+    options.warm_start = true;
+    options.dynamic_load_balancing = true;
+    ObjectiveFunction objective(model.program, model.observable,
+                                std::move(experiments), {0, 1},
+                                model.true_rates, options);
+    Run out;
+    out.jacobian = linalg::Matrix(objective.residual_size(), 2);
+    // Two evaluations (the second one warm) plus a warm Jacobian.
+    EXPECT_TRUE(objective.evaluate({1.0, 0.5}, out.r).is_ok());
+    EXPECT_TRUE(objective.evaluate({1.1, 0.45}, out.r).is_ok());
+    const linalg::Vector steps = {1.1e-4, 4.5e-5};
+    EXPECT_TRUE(
+        objective.evaluate_jacobian({1.1, 0.45}, out.r, steps, out.jacobian)
+            .is_ok());
+    out.warm_starts = objective.solver_stats().integration.warm_starts;
+    return out;
+  };
+  const Run baseline = run(0);
+  EXPECT_GT(baseline.warm_starts, 0u);
+  for (int workers : {1, 2, 8}) {
+    const Run other = run(workers);
+    ASSERT_EQ(other.r.size(), baseline.r.size());
+    for (std::size_t i = 0; i < baseline.r.size(); ++i) {
+      EXPECT_EQ(other.r[i], baseline.r[i]) << "worker count " << workers;
+    }
+    for (std::size_t i = 0; i < baseline.jacobian.rows(); ++i) {
+      for (std::size_t j = 0; j < baseline.jacobian.cols(); ++j) {
+        EXPECT_EQ(other.jacobian(i, j), baseline.jacobian(i, j))
+            << "worker count " << workers;
+      }
+    }
+    EXPECT_EQ(other.warm_starts, baseline.warm_starts);
+  }
+}
+
+TEST(Estimator, PoolAndWarmStartDeterministicEndToEnd) {
+  TinyModel model;
+  auto run = [&](int workers) {
+    std::vector<Experiment> experiments;
+    experiments.push_back(model.make_experiment(1.0, 60));
+    experiments.push_back(model.make_experiment(0.5, 60));
+    experiments.push_back(model.make_experiment(0.75, 40));
+    ObjectiveOptions options;
+    options.pool_workers = workers;
+    options.warm_start = true;
+    options.dynamic_load_balancing = true;
+    // Sparse-direct Newton path: warm solves also reuse the base solve's
+    // recorded LU factorizations (the factor cache).
+    options.compiled_jacobian = &model.jacobian;
+    ObjectiveFunction objective(model.program, model.observable,
+                                std::move(experiments), {0, 1},
+                                model.true_rates, options);
+    auto result = estimate_parameters(objective, {0.5, 0.2}, {0.01, 0.01},
+                                      {10.0, 10.0});
+    EXPECT_TRUE(result.is_ok()) << result.status().to_string();
+    return std::move(result).value();
+  };
+  const EstimationResult baseline = run(0);
+  EXPECT_NEAR(baseline.rate_constants[0], model.true_rates[0], 5e-3);
+  EXPECT_NEAR(baseline.rate_constants[1], model.true_rates[1], 5e-3);
+  EXPECT_GT(baseline.solver_stats.solves, 0u);
+  EXPECT_GT(baseline.solver_stats.integration.warm_starts, 0u);
+  EXPECT_GT(baseline.solver_stats.integration.factor_cache_hits, 0u);
+  for (int workers : {1, 2, 8}) {
+    const EstimationResult other = run(workers);
+    // Bit-identical optimization trajectory for any worker count.
+    ASSERT_EQ(other.rate_constants.size(), baseline.rate_constants.size());
+    for (std::size_t i = 0; i < baseline.rate_constants.size(); ++i) {
+      EXPECT_EQ(other.rate_constants[i], baseline.rate_constants[i])
+          << "worker count " << workers;
+    }
+    EXPECT_EQ(other.final_cost, baseline.final_cost);
+    EXPECT_EQ(other.iterations, baseline.iterations);
+    EXPECT_EQ(other.objective_evaluations, baseline.objective_evaluations);
+    EXPECT_EQ(other.solver_stats.solves, baseline.solver_stats.solves);
+    EXPECT_EQ(other.solver_stats.integration.steps,
+              baseline.solver_stats.integration.steps);
+    EXPECT_EQ(other.solver_stats.integration.warm_starts,
+              baseline.solver_stats.integration.warm_starts);
+    EXPECT_EQ(other.solver_stats.integration.factor_cache_hits,
+              baseline.solver_stats.integration.factor_cache_hits);
+    EXPECT_EQ(other.solver_stats.integration.factorizations,
+              baseline.solver_stats.integration.factorizations);
+  }
+}
+
+TEST(Estimator, SurfacesSolverStats) {
+  TinyModel model;
+  std::vector<Experiment> experiments;
+  experiments.push_back(model.make_experiment(1.0, 80));
+  ObjectiveFunction objective(model.program, model.observable,
+                              std::move(experiments), {0, 1},
+                              model.true_rates);
+  auto result = estimate_parameters(objective, {0.5, 0.2}, {0.01, 0.01},
+                                    {10.0, 10.0});
+  ASSERT_TRUE(result.is_ok());
+  const SolverStats& stats = result->solver_stats;
+  EXPECT_GT(stats.solves, 0u);
+  EXPECT_GT(stats.integration.steps, 0u);
+  EXPECT_GT(stats.integration.rhs_evaluations, 0u);
+  EXPECT_GT(stats.integration.newton_iterations, 0u);
+  EXPECT_GT(stats.integration.jacobian_evaluations, 0u);
+  EXPECT_GT(stats.integration.factorizations, 0u);
+  // No warm starting requested: the counter must stay zero.
+  EXPECT_EQ(stats.integration.warm_starts, 0u);
 }
 
 }  // namespace

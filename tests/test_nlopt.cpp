@@ -102,6 +102,46 @@ TEST(LevMar, ClampsOutOfBoundsStart) {
   EXPECT_NEAR(result->x[0], 1.0, 1e-6);
 }
 
+TEST(LevMar, BoundAwareFdStepNeverZeroAndFeasible) {
+  const double rel = 1e-4;
+  // Interior point: plain relative forward step.
+  EXPECT_DOUBLE_EQ(bound_aware_fd_step(1.0, 0.0, 10.0, rel), rel);
+  // Parameter exactly on the upper bound: the forward step would leave the
+  // box, so it flips backward (and stays nonzero).
+  EXPECT_DOUBLE_EQ(bound_aware_fd_step(10.0, 0.0, 10.0, rel), -rel * 10.0);
+  // Exactly on the lower bound: forward fits, stays forward.
+  EXPECT_GT(bound_aware_fd_step(0.0, 0.0, 10.0, rel), 0.0);
+  // Box narrower than the step on both sides: shrink to the wider side.
+  const double lo = 1.0 - 1e-6;
+  const double hi = 1.0 + 5e-7;
+  EXPECT_DOUBLE_EQ(bound_aware_fd_step(1.0, lo, hi, rel), -(1.0 - lo));
+  // Zero-width box: the parameter is pinned but the step must stay nonzero
+  // (a zero step would produce 0/0 columns).
+  EXPECT_NE(bound_aware_fd_step(2.0, 2.0, 2.0, rel), 0.0);
+}
+
+TEST(LevMar, JacobianPerturbationsStayInsideTheBox) {
+  // Regression: a parameter starting exactly on a bound used to get a
+  // forward-difference perturbation outside the box. Residuals here are
+  // only defined inside the bounds (like an ODE objective that diverges
+  // for out-of-range rate constants), so any out-of-box probe fails the
+  // whole fit.
+  auto residuals = [](const Vector& x, Vector& r) -> Status {
+    if (x[0] < 0.0 || x[0] > 2.0) {
+      return support::invalid_argument("evaluated outside the box");
+    }
+    r.resize(1);
+    r[0] = x[0] - 1.0;
+    return Status::ok();
+  };
+  Vector lower = {0.0};
+  Vector upper = {2.0};
+  // Start exactly on the upper bound.
+  auto result = bounded_least_squares(residuals, 1, {2.0}, lower, upper);
+  ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+  EXPECT_NEAR(result->x[0], 1.0, 1e-6);
+}
+
 TEST(LevMar, RejectsBadBounds) {
   auto residuals = [](const Vector&, Vector& r) -> Status {
     r.resize(1);

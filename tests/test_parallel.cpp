@@ -225,6 +225,57 @@ TEST(Schedule, LptWithinGuaranteedBound) {
   }
 }
 
+TEST(Schedule, LptZeroCostsSpreadRoundRobin) {
+  // Before the first objective call no solve times exist (all costs zero).
+  // The load tie-break on assigned-task count must spread the files across
+  // ranks instead of piling everything onto rank 0.
+  const Assignment a = lpt_schedule(std::vector<double>(8, 0.0), 4);
+  std::vector<int> counts(4, 0);
+  for (int r : a) {
+    ASSERT_GE(r, 0);
+    ASSERT_LT(r, 4);
+    ++counts[r];
+  }
+  for (int c : counts) EXPECT_EQ(c, 2);
+}
+
+TEST(Schedule, LptMoreRanksThanTasks) {
+  const std::vector<double> costs = {3.0, 1.0};
+  const Assignment a = lpt_schedule(costs, 5);
+  ASSERT_EQ(a.size(), 2u);
+  EXPECT_NE(a[0], a[1]);  // each file on its own (idle ranks stay idle)
+  for (int r : a) {
+    EXPECT_GE(r, 0);
+    EXPECT_LT(r, 5);
+  }
+  EXPECT_DOUBLE_EQ(makespan(costs, a, 5), 3.0);
+}
+
+TEST(Schedule, LptSingleTask) {
+  const Assignment a = lpt_schedule({7.5}, 3);
+  ASSERT_EQ(a.size(), 1u);
+  EXPECT_GE(a[0], 0);
+  EXPECT_LT(a[0], 3);
+}
+
+TEST(Schedule, LptEmptyTaskList) {
+  EXPECT_TRUE(lpt_schedule({}, 4).empty());
+}
+
+TEST(Schedule, LptAssignsEveryTaskExactlyOnce) {
+  // Mixed zero/positive costs (some files timed, some not): every task gets
+  // exactly one in-range rank and no load is lost or duplicated.
+  const std::vector<double> costs = {0.0, 5.0, 0.0, 2.0, 2.0, 0.0, 9.0};
+  const Assignment a = lpt_schedule(costs, 3);
+  ASSERT_EQ(a.size(), costs.size());
+  for (int r : a) {
+    EXPECT_GE(r, 0);
+    EXPECT_LT(r, 3);
+  }
+  const std::vector<double> loads = rank_loads(costs, a, 3);
+  EXPECT_DOUBLE_EQ(std::accumulate(loads.begin(), loads.end(), 0.0), 18.0);
+}
+
 TEST(SimCluster, PerfectBalanceGivesLinearSpeedup) {
   SimCluster cluster;
   std::vector<double> costs(16, 1.0);  // equal files
